@@ -1,0 +1,41 @@
+/// Ablation — AJP relay cost (DESIGN.md design decision 4).
+///
+/// Sweeps the per-byte cost of relaying dynamic content between the web
+/// server and the servlet engine; shows how the IPC overhead the paper
+/// profiles in §6.1 drives the PHP-vs-co-located-servlet gap, and that a
+/// dedicated servlet machine is insulated from the web-side half of it.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "stats/report.hpp"
+
+using namespace mwsim;
+
+int main(int argc, char** argv) {
+  bench::FigureSpec spec;
+  spec.app = core::App::Auction;
+  spec.mix = 1;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  std::printf("== Ablation: AJP per-byte relay cost (auction, bidding mix, 1100 clients) ==\n\n");
+
+  stats::TextTable table({"ajpPerByteUs", "WsPhp-DB", "WsServlet-DB", "Ws-Servlet-DB"});
+  for (double ajp : {0.0, 0.03, 0.10, 0.30}) {
+    std::vector<std::string> row{stats::fmt(ajp, 2)};
+    for (auto config : {core::Configuration::WsPhpDb, core::Configuration::WsServletDb,
+                        core::Configuration::WsServletSepDb}) {
+      core::ExperimentParams params = opts.baseParams(spec);
+      params.config = config;
+      params.clients = 1100;
+      params.cost.ajpPerByteUs = ajp;
+      const auto r = core::runExperiment(params);
+      row.push_back(stats::fmt(r.throughputIpm, 0));
+      std::fprintf(stderr, "  ajp=%.2f %s: %.0f ipm\n", ajp,
+                   core::configurationName(config), r.throughputIpm);
+    }
+    table.addRow(row);
+  }
+  std::printf("%s\nexpected: PHP is insensitive; the co-located servlet configuration "
+              "degrades fastest (pays the relay on the bottleneck machine, twice).\n",
+              table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Extension — the bulletin-board benchmark (RUBBoS) the paper skipped.
+///
+/// §7: "We do not use the third benchmark, the bulletin board, in this study
+/// because the Web server CPU is the bottleneck for the bulletin board.
+/// Therefore, we expect the results for the bulletin board to be similar to
+/// the auction site results." This bench runs the submission mix across the
+/// front-end configurations and checks that prediction: PHP above co-located
+/// servlets, a dedicated servlet machine best, EJB worst, database CPU low.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec;
+  spec.id = "Extension (paper section 7)";
+  spec.title = "Bulletin board throughput, submission mix";
+  spec.paperExpectation =
+      "not measured in the paper; predicted to mirror the auction site because the "
+      "web server CPU is the bottleneck";
+  spec.app = mwsim::core::App::BulletinBoard;
+  spec.mix = 1;
+  spec.clients = {300, 600, 900, 1100, 1300, 1600};
+  spec.peakCandidates = {900, 1100, 1400};
+  const int rc = runThroughputFigure(spec, argc, argv);
+  std::printf("\ncheck: if the ordering matches Figure 11 (PHP > co-located servlets; "
+              "dedicated servlet machine best; EJB flat and worst), the paper's "
+              "section-7 prediction holds.\n");
+  return rc;
+}

@@ -1,0 +1,46 @@
+/// Extension — response-time analysis the paper omits.
+///
+/// The paper reports only throughput and utilization; a practitioner also
+/// cares how latency degrades as each architecture saturates. This bench
+/// sweeps the auction bidding mix and prints mean/p90 response times per
+/// configuration — showing that the architectures' latency cliffs sit at
+/// their throughput knees, and that EJB trades latency long before its
+/// throughput ceiling.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "stats/report.hpp"
+
+using namespace mwsim;
+
+int main(int argc, char** argv) {
+  bench::FigureSpec spec;
+  spec.app = core::App::Auction;
+  spec.mix = 1;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  std::printf("== Extension: response times vs load (auction, bidding mix) ==\n\n");
+
+  const std::vector<core::Configuration> configs{
+      core::Configuration::WsPhpDb, core::Configuration::WsServletSepDb,
+      core::Configuration::WsServletEjbDb};
+  stats::TextTable table({"clients", "config", "ipm", "mean RT ms", "p90 RT ms"});
+  for (int clients : {400, 800, 1200, 1600}) {
+    for (auto config : configs) {
+      core::ExperimentParams params = opts.baseParams(spec);
+      params.config = config;
+      params.clients = clients;
+      const auto r = core::runExperiment(params);
+      std::fprintf(stderr, "  %s %d: %.0f ipm\n", core::configurationName(config),
+                   clients, r.throughputIpm);
+      table.addRow({std::to_string(clients), core::configurationName(config),
+                    stats::fmt(r.throughputIpm, 0),
+                    stats::fmt(r.meanResponseSeconds * 1e3, 0),
+                    stats::fmt(r.p90ResponseSeconds * 1e3, 0)});
+    }
+  }
+  std::printf("%s\nexpected: every architecture answers in tens of milliseconds until "
+              "its knee, then queueing dominates; EJB's latency departs first (lowest "
+              "capacity), PHP next, the dedicated servlet machine last.\n",
+              table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+/// Figure 5 — online bookstore throughput vs clients, shopping mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreShopping();
+  spec.id = "Figure 5";
+  spec.title = "Online bookstore throughput, shopping mix";
+  spec.paperExpectation =
+      "WsPhp-DB/WsServlet-DB/Ws-Servlet-DB peak together (~520 ipm) and dip past the "
+      "peak; (sync) configurations peak ~28% higher (663/665 ipm); EJB is clearly worst";
+  return runThroughputFigure(spec, argc, argv);
+}

@@ -1,0 +1,12 @@
+/// Figure 6 — bookstore CPU utilization at peak throughput, shopping mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreShopping();
+  spec.id = "Figure 6";
+  spec.title = "Online bookstore CPU utilization at peak, shopping mix";
+  spec.paperExpectation =
+      "database CPU is the bottleneck: ~70% for the non-sync configurations "
+      "(lock contention), 100% for (sync) and EJB";
+  return runCpuFigure(spec, argc, argv);
+}

@@ -1,0 +1,13 @@
+/// Figure 7 — online bookstore throughput vs clients, browsing mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreBrowsing();
+  spec.id = "Figure 7";
+  spec.title = "Online bookstore throughput, browsing mix";
+  spec.paperExpectation =
+      "lower than the shopping mix (read queries are more complex); all "
+      "configurations equal except EJB, which is much lower; no benefit from sync "
+      "locking (no lock contention)";
+  return runThroughputFigure(spec, argc, argv);
+}

@@ -1,0 +1,10 @@
+/// Figure 8 — bookstore CPU utilization at peak throughput, browsing mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreBrowsing();
+  spec.id = "Figure 8";
+  spec.title = "Online bookstore CPU utilization at peak, browsing mix";
+  spec.paperExpectation = "the database CPU is the bottleneck (~100%) for every configuration";
+  return runCpuFigure(spec, argc, argv);
+}

@@ -1,0 +1,12 @@
+/// Figure 9 — online bookstore throughput vs clients, ordering mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreOrdering();
+  spec.id = "Figure 9";
+  spec.title = "Online bookstore throughput, ordering mix";
+  spec.paperExpectation =
+      "shorter update queries give higher throughput than the shopping mix; the "
+      "(sync) configurations win by much more (lock contention dominates); EJB worst";
+  return runThroughputFigure(spec, argc, argv);
+}

@@ -1,0 +1,11 @@
+/// Figure 10 — bookstore CPU utilization at peak throughput, ordering mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = bookstoreOrdering();
+  spec.id = "Figure 10";
+  spec.title = "Online bookstore CPU utilization at peak, ordering mix";
+  spec.paperExpectation =
+      "database CPU ~60% for non-sync configurations (locking bound); 100% with sync";
+  return runCpuFigure(spec, argc, argv);
+}

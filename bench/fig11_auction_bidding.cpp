@@ -1,0 +1,13 @@
+/// Figure 11 — auction site throughput vs clients, bidding mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = auctionBidding();
+  spec.id = "Figure 11";
+  spec.title = "Auction site throughput, bidding mix";
+  spec.paperExpectation =
+      "WsPhp-DB peaks at 9,780 ipm (1,100 clients); WsServlet-DB lower at 7,380; "
+      "Ws-Servlet-DB best at 10,440; sync curves coincide with non-sync; EJB "
+      "flattens at 4,136 ipm";
+  return runThroughputFigure(spec, argc, argv);
+}

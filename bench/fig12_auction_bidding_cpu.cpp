@@ -1,0 +1,13 @@
+/// Figure 12 — auction CPU utilization at peak throughput, bidding mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = auctionBidding();
+  spec.id = "Figure 12";
+  spec.title = "Auction site CPU utilization at peak, bidding mix";
+  spec.paperExpectation =
+      "the dynamic-content generator's CPU saturates: web server 100% for "
+      "WsPhp/WsServlet, servlet machine for Ws-Servlet; EJB server 99% with servlet "
+      "32%, database 17%, web 6%; database at most 62% anywhere";
+  return runCpuFigure(spec, argc, argv);
+}

@@ -1,0 +1,12 @@
+/// Figure 13 — auction site throughput vs clients, browsing mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = auctionBrowsing();
+  spec.id = "Figure 13";
+  spec.title = "Auction site throughput, browsing mix";
+  spec.paperExpectation =
+      "same trends as bidding: PHP ~25% above co-located servlets; dedicated "
+      "servlet machine best (12,000 ipm); sync identical to non-sync; EJB lowest";
+  return runThroughputFigure(spec, argc, argv);
+}

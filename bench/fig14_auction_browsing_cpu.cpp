@@ -1,0 +1,12 @@
+/// Figure 14 — auction CPU utilization at peak throughput, browsing mix.
+#include "bench/figures.hpp"
+int main(int argc, char** argv) {
+  using namespace mwsim::bench;
+  FigureSpec spec = auctionBrowsing();
+  spec.id = "Figure 14";
+  spec.title = "Auction site CPU utilization at peak, browsing mix";
+  spec.paperExpectation =
+      "content-generator CPU binds except for Ws-Servlet(-sync), where the web "
+      "server approaches 100% from network traffic (~94 Mb/s on its 100 Mb/s NIC)";
+  return runCpuFigure(spec, argc, argv);
+}

@@ -1,0 +1,164 @@
+#include "bench/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "stats/report.hpp"
+
+namespace mwsim::bench {
+
+namespace {
+
+const char* argValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool argPresent(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<int> thin(const std::vector<int>& points) {
+  if (points.size() <= 3) return points;
+  std::vector<int> out;
+  for (std::size_t i = 0; i < points.size(); i += 2) out.push_back(points[i]);
+  if (out.back() != points.back()) out.push_back(points.back());
+  return out;
+}
+
+void printHeader(const FigureSpec& spec, const BenchOptions& opts) {
+  std::printf("== %s: %s ==\n", spec.id, spec.title);
+  std::printf("paper: %s\n", spec.paperExpectation);
+  std::printf("(measure %.0fs, ramp-up %.0fs, seed %llu%s)\n\n", opts.measureSec,
+              opts.rampUpSec, static_cast<unsigned long long>(opts.seed),
+              opts.fullScale ? ", full-scale database" : "");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* v = argValue(argc, argv, "--measure-sec")) opts.measureSec = std::atof(v);
+  if (const char* v = argValue(argc, argv, "--rampup-sec")) opts.rampUpSec = std::atof(v);
+  if (const char* v = argValue(argc, argv, "--seed")) {
+    opts.seed = static_cast<std::uint64_t>(std::atoll(v));
+  }
+  opts.quick = argPresent(argc, argv, "--quick");
+  opts.csv = argPresent(argc, argv, "--csv");
+  opts.fullScale = argPresent(argc, argv, "--full-scale");
+  return opts;
+}
+
+core::ExperimentParams BenchOptions::baseParams(const FigureSpec& spec) const {
+  core::ExperimentParams params;
+  params.app = spec.app;
+  params.mix = spec.mix;
+  params.seed = seed;
+  params.rampUp = sim::fromSeconds(rampUpSec);
+  params.measure = sim::fromSeconds(measureSec);
+  params.rampDown = sim::fromSeconds(5);
+  params.bookstoreScale = fullScale ? 1.0 : 0.25;
+  params.auctionHistoryScale = fullScale ? 1.0 : 0.10;
+  return params;
+}
+
+int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  printHeader(spec, opts);
+
+  const std::vector<int> points = opts.quick ? thin(spec.clients) : spec.clients;
+
+  std::vector<std::string> headers{"clients"};
+  for (auto c : spec.configs) headers.push_back(core::configurationName(c));
+  stats::TextTable table(headers);
+  stats::CsvWriter csv(headers);
+
+  // throughput[config][point]
+  std::vector<std::vector<double>> curves(spec.configs.size());
+  for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+    core::ExperimentParams params = opts.baseParams(spec);
+    params.config = spec.configs[ci];
+    for (int clients : points) {
+      params.clients = clients;
+      const auto result = core::runExperiment(params);
+      curves[ci].push_back(result.throughputIpm);
+      std::fprintf(stderr, "  [%s %d clients] %.0f ipm\n",
+                   core::configurationName(params.config), clients,
+                   result.throughputIpm);
+    }
+  }
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row{std::to_string(points[p])};
+    for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+      row.push_back(stats::fmt(curves[ci][p], 0));
+    }
+    table.addRow(row);
+    csv.addRow(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("peak throughput (interactions/min):\n");
+  for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+    double best = 0;
+    int bestClients = 0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (curves[ci][p] > best) {
+        best = curves[ci][p];
+        bestClients = points[p];
+      }
+    }
+    std::printf("  %-22s %6.0f ipm at %d clients\n",
+                core::configurationName(spec.configs[ci]), best, bestClients);
+  }
+  if (opts.csv) std::printf("\nCSV:\n%s", csv.str().c_str());
+  return 0;
+}
+
+int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  printHeader(spec, opts);
+
+  stats::TextTable table({"configuration", "peak ipm", "clients", "WebServer", "Database",
+                          "Servlet", "EJB", "web NIC Mb/s"});
+
+  const std::vector<int> candidates =
+      opts.quick ? thin(spec.peakCandidates) : spec.peakCandidates;
+
+  for (auto config : spec.configs) {
+    core::ExperimentParams params = opts.baseParams(spec);
+    params.config = config;
+    core::ExperimentResult best;
+    int bestClients = 0;
+    for (int clients : candidates) {
+      params.clients = clients;
+      auto result = core::runExperiment(params);
+      std::fprintf(stderr, "  [%s %d clients] %.0f ipm\n", core::configurationName(config),
+                   clients, result.throughputIpm);
+      if (result.throughputIpm > best.throughputIpm) {
+        best = std::move(result);
+        bestClients = clients;
+      }
+    }
+    auto cell = [&](const char* machine) -> std::string {
+      const auto* u = best.machine(machine);
+      return u ? stats::fmt(u->cpuUtilization * 100.0, 0) + "%" : "-";
+    };
+    const auto* web = best.machine("WebServer");
+    table.addRow({core::configurationName(config), stats::fmt(best.throughputIpm, 0),
+                  std::to_string(bestClients), cell("WebServer"), cell("Database"),
+                  cell("Servlet Container"), cell("EJB Server"),
+                  web ? stats::fmt(web->nicMbps, 1) : "-"});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+}  // namespace mwsim::bench

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Shared harness for the figure benches: each bench binary regenerates one
+/// table/figure from the paper's evaluation section (see DESIGN.md's
+/// experiment index). Output is the same series the paper plots, as an
+/// aligned text table plus optional CSV.
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace mwsim::bench {
+
+/// Description of one throughput figure (throughput vs. client count, one
+/// curve per configuration).
+struct FigureSpec {
+  const char* id;     // e.g. "Figure 5"
+  const char* title;  // e.g. "Online bookstore throughput, shopping mix"
+  /// What the paper reports, for side-by-side reading of the output.
+  const char* paperExpectation;
+  core::App app = core::App::Bookstore;
+  int mix = 1;
+  std::vector<int> clients;
+  /// Client counts probed to locate each configuration's peak (CPU figures).
+  std::vector<int> peakCandidates;
+  /// Configurations to run (defaults to all six).
+  std::vector<core::Configuration> configs = core::allConfigurations();
+};
+
+/// Common CLI options for all benches:
+///   --measure-sec N   measurement window (default 60)
+///   --rampup-sec N    ramp-up (default 40)
+///   --seed N
+///   --quick           halve the sweep points
+///   --csv             also emit CSV
+///   --full-scale      paper-sized database history tables
+struct BenchOptions {
+  double measureSec = 60;
+  double rampUpSec = 40;
+  std::uint64_t seed = 1;
+  bool quick = false;
+  bool csv = false;
+  bool fullScale = false;
+
+  static BenchOptions parse(int argc, char** argv);
+  core::ExperimentParams baseParams(const FigureSpec& spec) const;
+};
+
+/// Runs a throughput-vs-clients figure: one curve per configuration.
+int runThroughputFigure(const FigureSpec& spec, int argc, char** argv);
+
+/// Runs a CPU-utilization-at-peak figure: finds each configuration's peak
+/// over `peakCandidates` and prints per-machine CPU (and web NIC) at it.
+int runCpuFigure(const FigureSpec& spec, int argc, char** argv);
+
+}  // namespace mwsim::bench

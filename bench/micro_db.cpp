@@ -1,0 +1,131 @@
+/// Microbenchmarks for the relational engine substrate (google-benchmark):
+/// real (wall-clock) cost of the operations the simulation executes, to
+/// confirm the simulator itself is not the bottleneck of the benches.
+#include <benchmark/benchmark.h>
+
+#include "apps/bookstore/schema.hpp"
+#include "db/executor.hpp"
+#include "db/parser.hpp"
+
+namespace {
+
+using namespace mwsim;
+
+struct Fixture {
+  db::Database database;
+  db::Executor exec{database};
+
+  Fixture() {
+    apps::bookstore::Scale scale;
+    scale.scale = 0.02;
+    apps::bookstore::createSchema(database);
+    sim::Rng rng(1);
+    apps::bookstore::populate(database, scale, rng);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ParseSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::parseSql("SELECT i_id, i_title FROM items WHERE i_subject = ? "
+                     "ORDER BY i_pub_date DESC LIMIT 50"));
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_PkLookup(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt = db::parseSql("SELECT * FROM items WHERE i_id = ?");
+  std::int64_t id = 1;
+  for (auto _ : state) {
+    const db::Value params[] = {db::Value(id)};
+    benchmark::DoNotOptimize(f.exec.execute(*stmt, params));
+    id = id % 10'000 + 1;
+  }
+}
+BENCHMARK(BM_PkLookup);
+
+void BM_SecondaryIndexLookup(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt = db::parseSql(
+      "SELECT i_id, i_title FROM items WHERE i_subject = ? ORDER BY i_pub_date DESC "
+      "LIMIT 50");
+  std::int64_t subject = 0;
+  for (auto _ : state) {
+    const db::Value params[] = {db::Value(subject)};
+    benchmark::DoNotOptimize(f.exec.execute(*stmt, params));
+    subject = (subject + 1) % 24;
+  }
+}
+BENCHMARK(BM_SecondaryIndexLookup);
+
+void BM_FullScanLike(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt =
+      db::parseSql("SELECT i_id FROM items WHERE i_title LIKE '%abc%' LIMIT 50");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.exec.execute(*stmt));
+  }
+}
+BENCHMARK(BM_FullScanLike);
+
+void BM_ThreeWayJoinGroupBy(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt = db::parseSql(
+      "SELECT ol.ol_i_id AS i_id, SUM(ol.ol_qty) AS total FROM order_line ol "
+      "JOIN items i ON ol.ol_i_id = i.i_id JOIN authors a ON i.i_a_id = a.a_id "
+      "WHERE ol.ol_o_id >= ? GROUP BY ol.ol_i_id ORDER BY total DESC LIMIT 50");
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(f.database.table("orders").size()) - 500;
+  for (auto _ : state) {
+    const db::Value params[] = {db::Value(horizon)};
+    benchmark::DoNotOptimize(f.exec.execute(*stmt, params));
+  }
+}
+BENCHMARK(BM_ThreeWayJoinGroupBy);
+
+void BM_InsertOrderLine(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt = db::parseSql(
+      "INSERT INTO order_line (ol_o_id, ol_i_id, ol_qty, ol_discount) VALUES "
+      "(?, ?, ?, ?)");
+  std::int64_t o = 1;
+  for (auto _ : state) {
+    const db::Value params[] = {db::Value(o), db::Value(o % 10'000 + 1), db::Value(1),
+                                db::Value(0.0)};
+    benchmark::DoNotOptimize(f.exec.execute(*stmt, params));
+    ++o;
+  }
+}
+BENCHMARK(BM_InsertOrderLine);
+
+void BM_UpdateByPk(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt =
+      db::parseSql("UPDATE items SET i_stock = i_stock - 1 WHERE i_id = ?");
+  std::int64_t id = 1;
+  for (auto _ : state) {
+    const db::Value params[] = {db::Value(id)};
+    benchmark::DoNotOptimize(f.exec.execute(*stmt, params));
+    id = id % 10'000 + 1;
+  }
+}
+BENCHMARK(BM_UpdateByPk);
+
+void BM_AggregateFastPath(benchmark::State& state) {
+  auto& f = fixture();
+  const auto stmt = db::parseSql("SELECT MAX(o_id) AS m FROM orders");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.exec.execute(*stmt));
+  }
+}
+BENCHMARK(BM_AggregateFastPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+/// Microbenchmarks for the discrete-event kernel (google-benchmark):
+/// events/second and coroutine round-trip costs bound how much simulated
+/// traffic the figure benches can push per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace mwsim::sim;
+
+void BM_ScheduleDispatch(benchmark::State& state) {
+  Simulation sim;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    sim.schedule(kMicrosecond, [&] { ++counter; });
+    sim.run();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_ScheduleDispatch);
+
+void BM_CoroutineDelayRoundTrip(benchmark::State& state) {
+  Simulation sim;
+  // One long-lived process that sleeps in a loop; each iteration = one
+  // suspend + event + resume.
+  struct Driver {
+    static Task<> loop(Simulation& s, std::uint64_t& n) {
+      for (;;) {
+        co_await s.delay(kMicrosecond);
+        ++n;
+      }
+    }
+  };
+  std::uint64_t iterations = 0;
+  sim.spawn(Driver::loop(sim, iterations));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += kMicrosecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(iterations);
+  sim.shutdown();
+}
+BENCHMARK(BM_CoroutineDelayRoundTrip);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  struct Driver {
+    static Task<> burn(Simulation&, CpuResource& c) {
+      for (;;) {
+        co_await c.consume(10 * kMicrosecond);
+      }
+    }
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(Driver::burn(sim, cpu));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += kMillisecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(cpu.jobsCompleted());
+  sim.shutdown();
+}
+BENCHMARK(BM_CpuProcessorSharing);
+
+void BM_ResourceAcquireRelease(benchmark::State& state) {
+  Simulation sim;
+  Resource res(sim, 4);
+  struct Driver {
+    static Task<> cycle(Simulation& s, Resource& r) {
+      for (;;) {
+        ResourceHold hold = co_await r.acquire();
+        co_await s.delay(kMicrosecond);
+      }
+    }
+  };
+  for (int i = 0; i < 16; ++i) sim.spawn(Driver::cycle(sim, res));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 100 * kMicrosecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(res.acquisitions());
+  sim.shutdown();
+}
+BENCHMARK(BM_ResourceAcquireRelease);
+
+void BM_RwLockReaderChurn(benchmark::State& state) {
+  Simulation sim;
+  RwLock lock(sim);
+  struct Driver {
+    static Task<> read(Simulation& s, RwLock& l) {
+      for (;;) {
+        LockHold h = co_await l.lockRead();
+        co_await s.delay(kMicrosecond);
+      }
+    }
+    static Task<> write(Simulation& s, RwLock& l) {
+      for (;;) {
+        co_await s.delay(20 * kMicrosecond);
+        LockHold h = co_await l.lockWrite();
+        co_await s.delay(2 * kMicrosecond);
+      }
+    }
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(Driver::read(sim, lock));
+  sim.spawn(Driver::write(sim, lock));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 100 * kMicrosecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(lock.readAcquisitions());
+  sim.shutdown();
+}
+BENCHMARK(BM_RwLockReaderChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

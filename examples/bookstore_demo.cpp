@@ -1,0 +1,54 @@
+/// bookstore_demo — "should my e-commerce site move locking out of MySQL?"
+///
+/// The scenario from the paper's §5: a TPC-W-style online bookstore whose
+/// database is the bottleneck. This demo runs the shopping mix under load
+/// in the PHP configuration (LOCK TABLES in the database) and in the
+/// sync-servlet configuration (Java monitors in the servlet engine), then
+/// reports the throughput and where the database time went.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwsim;
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 700;
+
+  core::ExperimentParams params;
+  params.app = core::App::Bookstore;
+  params.mix = 1;  // shopping — the representative TPC-W mix
+  params.clients = clients;
+  params.rampUp = 30 * sim::kSecond;
+  params.measure = 90 * sim::kSecond;
+  params.rampDown = 5 * sim::kSecond;
+
+  std::printf("Online bookstore, shopping mix, %d clients\n\n", clients);
+  stats::TextTable table({"configuration", "ipm", "db cpu", "db statements",
+                          "lock waits", "mean RT"});
+
+  core::ExperimentResult php;
+  core::ExperimentResult sync;
+  for (auto config : {core::Configuration::WsPhpDb, core::Configuration::WsServletDb,
+                      core::Configuration::WsServletDbSync}) {
+    params.config = config;
+    const auto r = core::runExperiment(params);
+    if (config == core::Configuration::WsPhpDb) php = r;
+    if (config == core::Configuration::WsServletDbSync) sync = r;
+    const auto* db = r.machine("Database");
+    table.addRow({core::configurationName(config), stats::fmt(r.throughputIpm, 0),
+                  stats::fmtPct(db ? db->cpuUtilization : 0),
+                  stats::fmtInt(static_cast<std::int64_t>(r.queries)),
+                  stats::fmt(r.lockWaitSeconds, 1) + "s",
+                  stats::fmt(r.meanResponseSeconds * 1e3, 0) + "ms"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const double gain = (sync.throughputIpm / php.throughputIpm - 1.0) * 100.0;
+  std::printf("Moving the critical sections out of MySQL and into the servlet JVM is\n"
+              "worth %+.0f%% throughput at this load (the paper measures +28%% at its\n"
+              "shopping-mix peak): every LOCK/UNLOCK TABLES pair costs the database\n"
+              "handler reopens, and the locks are held across client round trips.\n",
+              gain);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+/// Shared helpers for the example/bench executables: tiny CLI parsing and
+/// result printing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+namespace mwsim::cli {
+
+/// Minimal `--flag value` parser over argv.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  const char* get(const char* flag, const char* fallback = nullptr) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0) return argv_[i + 1];
+    }
+    return fallback;
+  }
+  double getDouble(const char* flag, double fallback) const {
+    const char* v = get(flag);
+    return v ? std::atof(v) : fallback;
+  }
+  std::int64_t getInt(const char* flag, std::int64_t fallback) const {
+    const char* v = get(flag);
+    return v ? std::atoll(v) : fallback;
+  }
+  bool has(const char* flag) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+inline core::Configuration configurationFromName(const std::string& name) {
+  for (auto c : core::allConfigurations()) {
+    if (name == core::configurationName(c)) return c;
+  }
+  std::fprintf(stderr, "unknown configuration '%s'; valid:\n", name.c_str());
+  for (auto c : core::allConfigurations()) {
+    std::fprintf(stderr, "  %s\n", core::configurationName(c));
+  }
+  std::exit(2);
+}
+
+inline void printResult(const core::ExperimentParams& params,
+                        const core::ExperimentResult& result) {
+  std::printf("configuration: %s  app: %s  mix: %s  clients: %d\n",
+              core::configurationName(params.config),
+              params.app == core::App::Bookstore  ? "bookstore"
+              : params.app == core::App::Auction ? "auction"
+                                                 : "bulletin-board",
+              core::mixName(params.app, params.mix), params.clients);
+  std::printf("throughput: %.0f interactions/min (%llu interactions, %.1f%% read-write)\n",
+              result.throughputIpm,
+              static_cast<unsigned long long>(result.interactions),
+              result.interactions
+                  ? 100.0 * static_cast<double>(result.readWriteInteractions) /
+                        static_cast<double>(result.interactions)
+                  : 0.0);
+  std::printf("response time: mean %.3f s, p90 %.3f s\n", result.meanResponseSeconds,
+              result.p90ResponseSeconds);
+  std::printf("db: %llu queries, %llu lock acquisitions (%llu contended, %.1f s waited)\n",
+              static_cast<unsigned long long>(result.queries),
+              static_cast<unsigned long long>(result.lockAcquisitions),
+              static_cast<unsigned long long>(result.contendedLockAcquisitions),
+              result.lockWaitSeconds);
+  stats::TextTable table({"machine", "cpu%", "nic Mb/s", "nic util", "mem MB"});
+  for (const auto& u : result.usage) {
+    table.addRow({u.name, stats::fmt(u.cpuUtilization * 100.0),
+                  stats::fmt(u.nicMbps, 2), stats::fmtPct(u.nicUtilization),
+                  stats::fmt(static_cast<double>(u.memoryBytes) / 1e6, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace mwsim::cli

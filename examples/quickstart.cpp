@@ -1,0 +1,44 @@
+/// quickstart — the smallest complete use of the library:
+/// run one configuration of one benchmark at one load point and read the
+/// paper-style metrics from the result.
+///
+///   $ ./quickstart
+///
+/// See custom_run.cpp for the fully parameterized version, and the bench/
+/// directory for the binaries that regenerate every figure in the paper.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace mwsim;
+
+  // Describe the experiment: the auction site's bidding mix served by PHP
+  // (paper configuration WsPhp-DB), 800 emulated browsers, measured for two
+  // simulated minutes after a 30 s ramp-up.
+  core::ExperimentParams params;
+  params.config = core::Configuration::WsPhpDb;
+  params.app = core::App::Auction;
+  params.mix = 1;  // bidding
+  params.clients = 800;
+  params.rampUp = 30 * sim::kSecond;
+  params.measure = 2 * sim::kMinute;
+  params.rampDown = 10 * sim::kSecond;
+
+  // Run it: this builds the machines, populates the database, spawns the
+  // client farm, and simulates the whole thing deterministically.
+  const core::ExperimentResult result = core::runExperiment(params);
+
+  std::printf("configuration : %s\n", core::configurationName(params.config));
+  std::printf("workload      : auction site, %s mix, %d clients\n",
+              core::mixName(params.app, params.mix), params.clients);
+  std::printf("throughput    : %.0f interactions/minute\n", result.throughputIpm);
+  std::printf("response time : %.0f ms mean, %.0f ms p90\n",
+              result.meanResponseSeconds * 1e3, result.p90ResponseSeconds * 1e3);
+  for (const auto& usage : result.usage) {
+    std::printf("%-14s: %4.1f%% CPU, %6.2f Mb/s NIC\n", usage.name.c_str(),
+                usage.cpuUtilization * 100.0, usage.nicMbps);
+  }
+  return 0;
+}

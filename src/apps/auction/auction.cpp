@@ -1,0 +1,445 @@
+#include "apps/auction/auction.hpp"
+
+#include <stdexcept>
+
+#include "middleware/db_session.hpp"
+
+namespace mwsim::apps::auction {
+
+using mw::AppContext;
+using mw::ClientSession;
+using mw::lockSet;
+using mw::Page;
+using mw::sqlArgs;
+using sim::Task;
+
+namespace {
+
+// ---- page-weight constants (bytes) ----------------------------------------
+// Calibrated so the browsing-mix average interaction moves ~50 KB on the
+// wire: the paper's Ws-Servlet-DB browsing peak pushes ~80 Mb/s to clients
+// at ~200 interactions/s (§6.2).
+constexpr std::size_t kTemplateHtml = 3600;
+constexpr std::size_t kListRowHtml = 320;  // item row with bid stats + links
+constexpr std::size_t kFormHtml = 2300;
+constexpr int kNavImages = 8;  // eBay-style banner, buttons, category icons
+constexpr std::size_t kNavImageBytes = 16'500;
+constexpr int kListThumbnails = 14;  // thumbnails rendered in a listing page
+
+Page listPage(std::size_t rows, int extraImages, std::size_t extraImageBytes) {
+  Page page;
+  page.htmlBytes = kTemplateHtml + rows * kListRowHtml;
+  page.imageCount = kNavImages + extraImages;
+  page.imageBytes = kNavImageBytes + extraImageBytes;
+  return page;
+}
+
+Page formPage(bool withItemContext = false) {
+  Page page;
+  page.htmlBytes = kFormHtml + (withItemContext ? 1200 : 0);
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  return page;
+}
+
+}  // namespace
+
+Task<> AuctionLogic::ensureUser(AppContext& ctx, ClientSession& session) {
+  if (session.userId < 0) {
+    // Log in: look up the user by nickname and check the password.
+    const std::int64_t id = ctx.rng.uniformInt(1, scale_.users());
+    auto r = co_await ctx.query(
+        "SELECT u_id, u_password, u_nickname FROM users WHERE u_nickname = ?",
+        sqlArgs("nick" + std::to_string(id)));
+    session.userId = r.resultSet.empty() ? id : r.resultSet.intAt(0, "u_id");
+  }
+}
+
+Task<Page> AuctionLogic::invoke(std::string_view interaction, AppContext& ctx,
+                                ClientSession& session) {
+  // ---------------------------------------------------------- entry pages
+  if (interaction == "Home" || interaction == "Browse") {
+    Page page;
+    page.htmlBytes = kTemplateHtml + 1800;
+    page.imageCount = kNavImages + 2;
+    page.imageBytes = kNavImageBytes + 9'000;
+    co_return page;
+  }
+
+  if (interaction == "BrowseCategories" || interaction == "BrowseCategoriesInRegion") {
+    auto r = co_await ctx.query("SELECT c_id, c_name FROM categories");
+    if (interaction == "BrowseCategoriesInRegion" && session.lastRegionId <= 0) {
+      session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+    }
+    session.lastCategoryId =
+        ctx.rng.uniformInt(1, static_cast<std::int64_t>(scale_.categories));
+    co_return listPage(r.resultSet.rowCount(), 0, 0);
+  }
+
+  if (interaction == "BrowseRegions") {
+    auto r = co_await ctx.query("SELECT r_id, r_name FROM regions");
+    session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+    co_return listPage(r.resultSet.rowCount(), 0, 0);
+  }
+
+  if (interaction == "SearchItemsInCategory") {
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    const std::int64_t offset = 25 * ctx.rng.uniformInt(0, 2);  // page 1-3
+    // LIMIT/OFFSET must be literals in our SQL subset; the pages are enum-
+    // erable so the statement cache still collapses them to three entries.
+    auto r = co_await ctx.query(
+        "SELECT i_id, i_name, i_initial_price, i_max_bid, i_nb_of_bids, i_end_date, "
+        "i_thumbnail_bytes FROM items WHERE i_category = ? ORDER BY i_end_date "
+        "LIMIT 25 OFFSET " + std::to_string(offset),
+        sqlArgs(session.lastCategoryId));
+    std::size_t thumbs = 0;
+    const std::size_t shown =
+        std::min<std::size_t>(kListThumbnails, r.resultSet.rowCount());
+    for (std::size_t i = 0; i < shown; ++i) {
+      thumbs += static_cast<std::size_t>(r.resultSet.intAt(i, "i_thumbnail_bytes"));
+    }
+    if (!r.resultSet.empty()) {
+      session.lastItemId = r.resultSet.intAt(
+          static_cast<std::size_t>(
+              ctx.rng.uniformInt(0, static_cast<std::int64_t>(r.resultSet.rowCount()) - 1)),
+          "i_id");
+    }
+    co_return listPage(r.resultSet.rowCount(), static_cast<int>(shown), thumbs);
+  }
+
+  if (interaction == "SearchItemsInRegion") {
+    if (session.lastRegionId <= 0) {
+      session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+    }
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    // Region search goes through the sellers living in that region.
+    auto r = co_await ctx.query(
+        "SELECT i.i_id, i.i_name, i.i_initial_price, i.i_max_bid, i.i_nb_of_bids, "
+        "i.i_end_date, i.i_thumbnail_bytes "
+        "FROM users u JOIN items i ON i.i_seller = u.u_id "
+        "WHERE u.u_region = ? AND i.i_category = ? ORDER BY i.i_end_date LIMIT 25",
+        sqlArgs(session.lastRegionId, session.lastCategoryId));
+    std::size_t thumbs = 0;
+    const std::size_t shown =
+        std::min<std::size_t>(kListThumbnails, r.resultSet.rowCount());
+    for (std::size_t i = 0; i < shown; ++i) {
+      thumbs += static_cast<std::size_t>(r.resultSet.intAt(i, "i_thumbnail_bytes"));
+    }
+    if (!r.resultSet.empty()) session.lastItemId = r.resultSet.intAt(0, "i_id");
+    co_return listPage(r.resultSet.rowCount(), static_cast<int>(shown), thumbs);
+  }
+
+  // ------------------------------------------------------------ item views
+  if (interaction == "ViewItem") {
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    auto r = co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+    if (r.resultSet.empty()) {
+      item = ctx.rng.uniformInt(1, scale_.activeItems);
+      r = co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+    }
+    session.lastItemId = item;
+    std::size_t descBytes = 4000;
+    std::size_t thumb = 1200;
+    if (!r.resultSet.empty()) {
+      descBytes = static_cast<std::size_t>(r.resultSet.intAt(0, "i_desc_bytes"));
+      thumb = static_cast<std::size_t>(r.resultSet.intAt(0, "i_thumbnail_bytes"));
+      co_await ctx.query("SELECT u_nickname, u_rating FROM users WHERE u_id = ?",
+                         sqlArgs(r.resultSet.intAt(0, "i_seller")));
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + descBytes;
+    page.imageCount = kNavImages + 1;
+    page.imageBytes = kNavImageBytes + thumb * 6;  // full-size photo
+    co_return page;
+  }
+
+  if (interaction == "ViewUserInfo") {
+    std::int64_t user = ctx.rng.uniformInt(1, scale_.users());
+    co_await ctx.query("SELECT * FROM users WHERE u_id = ?", sqlArgs(user));
+    auto comments = co_await ctx.query(
+        "SELECT c.c_rating, c.c_date, c.c_comment, u.u_nickname "
+        "FROM comments c JOIN users u ON c.c_from_user_id = u.u_id "
+        "WHERE c.c_to_user_id = ? ORDER BY c.c_date DESC LIMIT 25",
+        sqlArgs(user));
+    co_return listPage(comments.resultSet.rowCount(), 0, 0);
+  }
+
+  if (interaction == "ViewBidHistory") {
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    co_await ctx.query("SELECT i_name FROM items WHERE i_id = ?", sqlArgs(item));
+    auto bids = co_await ctx.query(
+        "SELECT b.b_bid, b.b_qty, b.b_date, u.u_nickname, u.u_rating "
+        "FROM bids b JOIN users u ON b.b_user_id = u.u_id "
+        "WHERE b.b_item_id = ? ORDER BY b.b_bid DESC",
+        sqlArgs(item));
+    co_return listPage(bids.resultSet.rowCount(), 0, 0);
+  }
+
+  // ------------------------------------------------------------ bid flow
+  if (interaction == "PutBidAuth" || interaction == "BuyNowAuth" ||
+      interaction == "PutCommentAuth" || interaction == "AboutMeAuth" ||
+      interaction == "Register" || interaction == "SellItemForm") {
+    co_return formPage();
+  }
+
+  if (interaction == "PutBid") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    session.lastItemId = item;
+    co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+    co_await ctx.query(
+        "SELECT MAX(b_bid) AS m, COUNT(*) AS n FROM bids WHERE b_item_id = ?",
+        sqlArgs(item));
+    co_return formPage(/*withItemContext=*/true);
+  }
+
+  if (interaction == "StoreBid") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    const double amount = ctx.rng.uniformReal(1.0, 1000.0);
+
+    // Insert the bid and refresh the item's denormalized bid statistics.
+    // The two statements must be atomic: LOCK TABLES with PHP / non-sync
+    // servlets, a Java monitor with sync servlets.
+    auto cs = co_await ctx.enterCritical(lockSet().write("bids").write("items"));
+    co_await ctx.query(
+        "INSERT INTO bids (b_user_id, b_item_id, b_qty, b_bid, b_max_bid, b_date) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        sqlArgs(session.userId, item, 1, amount, amount * 1.1, 8000));
+    co_await ctx.query(
+        "UPDATE items SET i_nb_of_bids = i_nb_of_bids + 1, i_max_bid = ? "
+        "WHERE i_id = ? AND i_max_bid < ?",
+        sqlArgs(amount, item, amount));
+    co_await ctx.leaveCritical(std::move(cs));
+    co_return formPage(true);
+  }
+
+  // --------------------------------------------------------- buy-now flow
+  if (interaction == "BuyNow") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    session.lastItemId = item;
+    co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+    co_return formPage(true);
+  }
+
+  if (interaction == "StoreBuyNow") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    auto cs = co_await ctx.enterCritical(lockSet().write("buy_now").write("items"));
+    co_await ctx.query(
+        "INSERT INTO buy_now (bn_buyer_id, bn_item_id, bn_qty, bn_date) VALUES "
+        "(?, ?, ?, ?)",
+        sqlArgs(session.userId, item, 1, 8000));
+    co_await ctx.query(
+        "UPDATE items SET i_quantity = i_quantity - 1 WHERE i_id = ? AND i_quantity > 0",
+        sqlArgs(item));
+    co_await ctx.leaveCritical(std::move(cs));
+    co_return formPage(true);
+  }
+
+  // --------------------------------------------------------- comment flow
+  if (interaction == "PutComment") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    session.lastItemId = item;
+    auto r = co_await ctx.query("SELECT i_name, i_seller FROM items WHERE i_id = ?",
+                                sqlArgs(item));
+    if (!r.resultSet.empty()) {
+      co_await ctx.query("SELECT u_nickname FROM users WHERE u_id = ?",
+                         sqlArgs(r.resultSet.intAt(0, "i_seller")));
+    }
+    co_return formPage(true);
+  }
+
+  if (interaction == "StoreComment") {
+    co_await ensureUser(ctx, session);
+    std::int64_t item = session.lastItemId;
+    if (item <= 0) item = ctx.rng.uniformInt(1, scale_.activeItems);
+    const std::int64_t toUser = ctx.rng.uniformInt(1, scale_.users());
+    const std::int64_t rating = ctx.rng.uniformInt(-5, 5);
+    auto cs = co_await ctx.enterCritical(lockSet().write("comments").write("users"));
+    co_await ctx.query(
+        "INSERT INTO comments (c_from_user_id, c_to_user_id, c_item_id, c_rating, "
+        "c_date, c_comment) VALUES (?, ?, ?, ?, ?, ?)",
+        sqlArgs(session.userId, toUser, item, rating, 8000, ctx.rng.randomText(80)));
+    co_await ctx.query("UPDATE users SET u_rating = u_rating + ? WHERE u_id = ?",
+                       sqlArgs(rating, toUser));
+    co_await ctx.leaveCritical(std::move(cs));
+    co_return formPage(true);
+  }
+
+  // ------------------------------------------------------------ sell flow
+  if (interaction == "SelectCategoryToSellItem") {
+    auto r = co_await ctx.query("SELECT c_id, c_name FROM categories");
+    session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    co_return listPage(r.resultSet.rowCount(), 0, 0);
+  }
+
+  if (interaction == "RegisterItem") {
+    co_await ensureUser(ctx, session);
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    const double initial = ctx.rng.uniformReal(1.0, 500.0);
+    // New item id from the ids sequence table, then the insert — atomic.
+    auto cs = co_await ctx.enterCritical(lockSet().write("ids").write("items"));
+    co_await ctx.query("UPDATE ids SET id_value = id_value + 1 WHERE id_name = 'items'");
+    auto idRow =
+        co_await ctx.query("SELECT id_value FROM ids WHERE id_name = 'items'");
+    const std::int64_t newId = idRow.resultSet.intAt(0, "id_value");
+    co_await ctx.query(
+        "INSERT INTO items (i_id, i_name, i_description, i_desc_bytes, i_seller, "
+        "i_category, i_quantity, i_initial_price, i_reserve_price, i_buy_now, "
+        "i_nb_of_bids, i_max_bid, i_start_date, i_end_date, i_thumbnail_bytes) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        sqlArgs(newId, "item " + ctx.rng.randomText(24), ctx.rng.randomText(80),
+                ctx.rng.uniformInt(2000, 9000), session.userId, session.lastCategoryId,
+                1, initial, initial * 1.2, 0.0, 0, initial, 8000, 8007,
+                ctx.rng.uniformInt(800, 3000)));
+    co_await ctx.leaveCritical(std::move(cs));
+    session.lastItemId = newId;
+    co_return formPage(true);
+  }
+
+  if (interaction == "RegisterUser") {
+    const std::string nickname =
+        "newnick" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+    auto exists = co_await ctx.query("SELECT u_id FROM users WHERE u_nickname = ?",
+                                     sqlArgs(nickname));
+    if (exists.resultSet.empty()) {
+      auto cs = co_await ctx.enterCritical(lockSet().write("ids").write("users"));
+      co_await ctx.query(
+          "UPDATE ids SET id_value = id_value + 1 WHERE id_name = 'users'");
+      auto idRow =
+          co_await ctx.query("SELECT id_value FROM ids WHERE id_name = 'users'");
+      const std::int64_t newId = idRow.resultSet.intAt(0, "id_value");
+      co_await ctx.query(
+          "INSERT INTO users (u_id, u_fname, u_lname, u_nickname, u_password, u_email, "
+          "u_rating, u_balance, u_creation_date, u_region) VALUES "
+          "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+          sqlArgs(newId, ctx.rng.randomString(7), ctx.rng.randomString(9), nickname,
+                  ctx.rng.randomString(8), nickname + "@example.com", 0, 0.0, 8000,
+                  ctx.rng.uniformInt(1, scale_.regions)));
+      co_await ctx.leaveCritical(std::move(cs));
+      session.userId = newId;
+    }
+    co_return formPage();
+  }
+
+  // --------------------------------------------------------------- AboutMe
+  if (interaction == "AboutMe") {
+    co_await ensureUser(ctx, session);
+    co_await ctx.query("SELECT * FROM users WHERE u_id = ?", sqlArgs(session.userId));
+    auto myBids = co_await ctx.query(
+        "SELECT b.b_bid, b.b_max_bid, i.i_name, i.i_max_bid, i.i_end_date "
+        "FROM bids b JOIN items i ON b.b_item_id = i.i_id WHERE b.b_user_id = ? "
+        "LIMIT 20",
+        sqlArgs(session.userId));
+    auto selling = co_await ctx.query(
+        "SELECT i_id, i_name, i_max_bid, i_nb_of_bids, i_end_date FROM items "
+        "WHERE i_seller = ? LIMIT 20",
+        sqlArgs(session.userId));
+    auto sold = co_await ctx.query(
+        "SELECT i_id, i_name, i_max_bid, i_end_date FROM old_items WHERE i_seller = ? "
+        "LIMIT 20",
+        sqlArgs(session.userId));
+    auto bought = co_await ctx.query(
+        "SELECT bn.bn_qty, bn.bn_date, i.i_name FROM buy_now bn "
+        "JOIN items i ON bn.bn_item_id = i.i_id WHERE bn.bn_buyer_id = ? LIMIT 20",
+        sqlArgs(session.userId));
+    auto comments = co_await ctx.query(
+        "SELECT c_rating, c_date, c_comment FROM comments WHERE c_to_user_id = ? "
+        "ORDER BY c_date DESC LIMIT 10",
+        sqlArgs(session.userId));
+    const std::size_t rows = myBids.resultSet.rowCount() + selling.resultSet.rowCount() +
+                             sold.resultSet.rowCount() + bought.resultSet.rowCount() +
+                             comments.resultSet.rowCount();
+    co_return listPage(rows, 0, 0);
+  }
+
+  throw std::runtime_error("auction: unknown interaction " + std::string(interaction));
+}
+
+// -------------------------------------------------------------------- Mixes
+
+wl::MixMatrix mixMatrix(Mix mix) {
+  const std::vector<std::string> states{
+      "Home",          "Register",       "RegisterUser",
+      "Browse",        "BrowseCategories", "SearchItemsInCategory",
+      "BrowseRegions", "BrowseCategoriesInRegion", "SearchItemsInRegion",
+      "ViewItem",      "ViewUserInfo",   "ViewBidHistory",
+      "BuyNowAuth",    "BuyNow",         "StoreBuyNow",
+      "PutBidAuth",    "PutBid",         "StoreBid",
+      "PutCommentAuth", "PutComment",    "StoreComment",
+      "SelectCategoryToSellItem", "SellItemForm", "RegisterItem",
+      "AboutMeAuth",   "AboutMe"};
+  // Read-write interactions: the five Store*/Register* writers.
+  std::vector<bool> readWrite(states.size(), false);
+  for (const char* w : {"RegisterUser", "StoreBuyNow", "StoreBid", "StoreComment",
+                        "RegisterItem"}) {
+    readWrite[wl::MixBuilder("tmp", states, std::vector<double>(states.size(), 1.0),
+                             std::vector<bool>(states.size(), false))
+                  .index(w)] = true;
+  }
+
+  std::vector<double> weights;
+  std::string name;
+  if (mix == Mix::Browsing) {
+    name = "browsing";
+    weights = {3.0, 0, 0,
+               8.0, 12.0, 30.0,
+               5.0, 5.0, 10.0,
+               20.0, 4.0, 3.0,
+               0, 0, 0,
+               0, 0, 0,
+               0, 0, 0,
+               0, 0, 0,
+               1.0, 1.0};
+  } else {
+    name = "bidding";
+    weights = {2.0, 1.4, 1.1,
+               5.0, 7.0, 16.0,
+               2.5, 2.5, 5.0,
+               13.0, 3.0, 2.2,
+               1.6, 1.5, 1.2,
+               7.5, 7.0, 6.3,
+               2.6, 2.4, 2.2,
+               2.6, 2.5, 2.0,
+               1.2, 1.2};
+  }
+
+  wl::MixBuilder builder(name, states, weights, readWrite);
+  builder.follow("BrowseCategories", "SearchItemsInCategory", 0.65)
+      .follow("BrowseRegions", "BrowseCategoriesInRegion", 0.70)
+      .follow("BrowseCategoriesInRegion", "SearchItemsInRegion", 0.65)
+      .follow("SearchItemsInCategory", "ViewItem", 0.45)
+      .follow("SearchItemsInRegion", "ViewItem", 0.45)
+      .follow("AboutMeAuth", "AboutMe", 0.85);
+  if (mix == Mix::Bidding) {
+    builder.follow("Register", "RegisterUser", 0.80)
+        .follow("BuyNowAuth", "BuyNow", 0.85)
+        .follow("BuyNow", "StoreBuyNow", 0.55)
+        .follow("PutBidAuth", "PutBid", 0.85)
+        .follow("PutBid", "StoreBid", 0.60)
+        .follow("PutCommentAuth", "PutComment", 0.85)
+        .follow("PutComment", "StoreComment", 0.75)
+        .follow("SelectCategoryToSellItem", "SellItemForm", 0.85)
+        .follow("SellItemForm", "RegisterItem", 0.70)
+        .follow("ViewItem", "PutBidAuth", 0.20);
+  }
+  return builder.build(/*initialState=*/0);
+}
+
+}  // namespace mwsim::apps::auction

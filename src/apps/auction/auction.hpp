@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string_view>
+
+#include "apps/auction/schema.hpp"
+#include "middleware/application.hpp"
+#include "workload/mix.hpp"
+
+namespace mwsim::apps::auction {
+
+/// Workload mixes (paper §3.2): a browsing mix of read-only interactions
+/// and a bidding mix with 15 % read-write interactions.
+enum class Mix { Browsing, Bidding };
+
+/// Builds the Markov matrix for a mix over the 26 interactions.
+wl::MixMatrix mixMatrix(Mix mix);
+
+/// The 26 auction-site interactions with explicit SQL (RUBiS-style),
+/// shared between the PHP and servlet tiers.
+class AuctionLogic final : public mw::SqlBusinessLogic {
+ public:
+  explicit AuctionLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::AppContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  sim::Task<> ensureUser(mw::AppContext& ctx, mw::ClientSession& session);
+
+  Scale scale_;
+};
+
+}  // namespace mwsim::apps::auction

@@ -1,0 +1,365 @@
+#include "apps/auction/auction_ejb.hpp"
+
+#include <stdexcept>
+
+#include "middleware/db_session.hpp"
+
+namespace mwsim::apps::auction {
+
+using mw::ClientSession;
+using mw::EjbContext;
+using mw::EntityManager;
+using mw::Page;
+using mw::sqlArgs;
+using sim::Task;
+
+namespace {
+
+constexpr std::size_t kTemplateHtml = 3600;
+constexpr std::size_t kListRowHtml = 320;
+constexpr std::size_t kFormHtml = 2300;
+constexpr int kNavImages = 8;
+constexpr std::size_t kNavImageBytes = 16'500;
+constexpr int kListThumbnails = 14;
+
+Page listPage(std::size_t rows, int extraImages, std::size_t extraImageBytes) {
+  Page page;
+  page.htmlBytes = kTemplateHtml + rows * kListRowHtml;
+  page.imageCount = kNavImages + extraImages;
+  page.imageBytes = kNavImageBytes + extraImageBytes;
+  return page;
+}
+
+Page formPage(bool withItemContext = false) {
+  Page page;
+  page.htmlBytes = kFormHtml + (withItemContext ? 1200 : 0);
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  return page;
+}
+
+Task<> ensureUser(EjbContext& ctx, ClientSession& session, const Scale& scale) {
+  if (session.userId < 0) {
+    const std::int64_t id = ctx.rng.uniformInt(1, scale.users());
+    auto found = co_await ctx.em.finder("SELECT u_id FROM users WHERE u_nickname = ?",
+                                        sqlArgs("nick" + std::to_string(id)), "users");
+    if (!found.empty()) {
+      (void)co_await ctx.em.get(found.front(), "u_password");
+      session.userId = (co_await ctx.em.get(found.front(), "u_id")).asInt();
+    } else {
+      session.userId = id;
+    }
+  }
+}
+
+/// Reads the listing-row fields of one item entity; returns thumbnail size.
+Task<std::size_t> showListedItem(EjbContext& ctx, EntityManager::Handle h) {
+  (void)co_await ctx.em.get(h, "i_name");
+  (void)co_await ctx.em.get(h, "i_initial_price");
+  (void)co_await ctx.em.get(h, "i_max_bid");
+  (void)co_await ctx.em.get(h, "i_nb_of_bids");
+  (void)co_await ctx.em.get(h, "i_end_date");
+  const auto thumb = co_await ctx.em.get(h, "i_thumbnail_bytes");
+  co_return static_cast<std::size_t>(thumb.asInt());
+}
+
+}  // namespace
+
+Task<Page> AuctionEjbLogic::invoke(std::string_view interaction, EjbContext& ctx,
+                                   ClientSession& session) {
+  EntityManager& em = ctx.em;
+
+  if (interaction == "Home" || interaction == "Browse") {
+    Page page;
+    page.htmlBytes = kTemplateHtml + 1800;
+    page.imageCount = kNavImages + 2;
+    page.imageBytes = kNavImageBytes + 9'000;
+    co_return page;
+  }
+
+  if (interaction == "BrowseCategories" || interaction == "BrowseCategoriesInRegion" ||
+      interaction == "SelectCategoryToSellItem") {
+    auto cats = co_await em.finder("SELECT c_id FROM categories", sqlArgs(), "categories");
+    for (auto h : cats) (void)co_await em.get(h, "c_name");
+    if (interaction == "BrowseCategoriesInRegion" && session.lastRegionId <= 0) {
+      session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+    }
+    session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    co_return listPage(cats.size(), 0, 0);
+  }
+
+  if (interaction == "BrowseRegions") {
+    auto regions = co_await em.finder("SELECT r_id FROM regions", sqlArgs(), "regions");
+    for (auto h : regions) (void)co_await em.get(h, "r_name");
+    session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+    co_return listPage(regions.size(), 0, 0);
+  }
+
+  if (interaction == "SearchItemsInCategory" || interaction == "SearchItemsInRegion") {
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    std::vector<EntityManager::Handle> items;
+    if (interaction == "SearchItemsInCategory") {
+      items = co_await em.finder(
+          "SELECT i_id FROM items WHERE i_category = ? ORDER BY i_end_date LIMIT 25",
+          sqlArgs(session.lastCategoryId), "items");
+    } else {
+      if (session.lastRegionId <= 0) {
+        session.lastRegionId = ctx.rng.uniformInt(1, scale_.regions);
+      }
+      items = co_await em.finder(
+          "SELECT i.i_id FROM users u JOIN items i ON i.i_seller = u.u_id "
+          "WHERE u.u_region = ? AND i.i_category = ? ORDER BY i.i_end_date LIMIT 25",
+          sqlArgs(session.lastRegionId, session.lastCategoryId), "items");
+    }
+    std::size_t thumbs = 0;
+    int shown = 0;
+    for (auto h : items) {
+      const std::size_t t = co_await showListedItem(ctx, h);
+      if (shown < kListThumbnails) {
+        thumbs += t;
+        ++shown;
+      }
+    }
+    if (!items.empty()) {
+      session.lastItemId = (co_await em.get(items.front(), "i_id")).asInt();
+    }
+    co_return listPage(items.size(), shown, thumbs);
+  }
+
+  if (interaction == "ViewItem") {
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (!item) {
+      itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+      item = co_await em.find("items", db::Value(itemId));
+    }
+    session.lastItemId = itemId;
+    std::size_t descBytes = 4000;
+    std::size_t thumb = 1200;
+    if (item) {
+      (void)co_await em.get(*item, "i_name");
+      (void)co_await em.get(*item, "i_max_bid");
+      (void)co_await em.get(*item, "i_nb_of_bids");
+      (void)co_await em.get(*item, "i_end_date");
+      descBytes = static_cast<std::size_t>((co_await em.get(*item, "i_desc_bytes")).asInt());
+      thumb = static_cast<std::size_t>(
+          (co_await em.get(*item, "i_thumbnail_bytes")).asInt());
+      auto seller = co_await em.find("users", co_await em.get(*item, "i_seller"));
+      if (seller) {
+        (void)co_await em.get(*seller, "u_nickname");
+        (void)co_await em.get(*seller, "u_rating");
+      }
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + descBytes;
+    page.imageCount = kNavImages + 1;
+    page.imageBytes = kNavImageBytes + thumb * 6;
+    co_return page;
+  }
+
+  if (interaction == "ViewUserInfo") {
+    const std::int64_t user = ctx.rng.uniformInt(1, scale_.users());
+    auto u = co_await em.find("users", db::Value(user));
+    if (u) {
+      (void)co_await em.get(*u, "u_nickname");
+      (void)co_await em.get(*u, "u_rating");
+    }
+    auto comments = co_await em.finder(
+        "SELECT c_id FROM comments WHERE c_to_user_id = ? ORDER BY c_date DESC LIMIT 25",
+        sqlArgs(user), "comments");
+    for (auto h : comments) {
+      (void)co_await em.get(h, "c_rating");
+      (void)co_await em.get(h, "c_comment");
+      auto from = co_await em.find("users", co_await em.get(h, "c_from_user_id"));
+      if (from) (void)co_await em.get(*from, "u_nickname");
+    }
+    co_return listPage(comments.size(), 0, 0);
+  }
+
+  if (interaction == "ViewBidHistory") {
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (item) (void)co_await em.get(*item, "i_name");
+    auto bids = co_await em.finder(
+        "SELECT b_id FROM bids WHERE b_item_id = ? ORDER BY b_bid DESC", sqlArgs(itemId),
+        "bids");
+    for (auto h : bids) {
+      (void)co_await em.get(h, "b_bid");
+      (void)co_await em.get(h, "b_date");
+      auto bidder = co_await em.find("users", co_await em.get(h, "b_user_id"));
+      if (bidder) (void)co_await em.get(*bidder, "u_nickname");
+    }
+    co_return listPage(bids.size(), 0, 0);
+  }
+
+  if (interaction == "PutBidAuth" || interaction == "BuyNowAuth" ||
+      interaction == "PutCommentAuth" || interaction == "AboutMeAuth" ||
+      interaction == "Register" || interaction == "SellItemForm") {
+    co_return formPage();
+  }
+
+  if (interaction == "PutBid" || interaction == "BuyNow" ||
+      interaction == "PutComment") {
+    co_await ensureUser(ctx, session, scale_);
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    session.lastItemId = itemId;
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (item) {
+      (void)co_await em.get(*item, "i_name");
+      (void)co_await em.get(*item, "i_max_bid");
+      (void)co_await em.get(*item, "i_nb_of_bids");
+      if (interaction == "PutComment") {
+        auto seller = co_await em.find("users", co_await em.get(*item, "i_seller"));
+        if (seller) (void)co_await em.get(*seller, "u_nickname");
+      }
+    }
+    co_return formPage(true);
+  }
+
+  if (interaction == "StoreBid") {
+    co_await ensureUser(ctx, session, scale_);
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    const double amount = ctx.rng.uniformReal(1.0, 1000.0);
+    std::vector<std::string> cols{"b_user_id", "b_item_id", "b_qty",
+                                  "b_bid",     "b_max_bid", "b_date"};
+    (void)co_await em.create("bids", std::move(cols),
+                             sqlArgs(session.userId, itemId, 1, amount, amount * 1.1,
+                                     8000));
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (item) {
+      const auto nb = co_await em.get(*item, "i_nb_of_bids");
+      co_await em.set(*item, "i_nb_of_bids", db::Value(nb.asInt() + 1));
+      const auto maxBid = co_await em.get(*item, "i_max_bid");
+      if (maxBid.asDouble() < amount) {
+        co_await em.set(*item, "i_max_bid", db::Value(amount));
+      }
+    }
+    co_return formPage(true);
+  }
+
+  if (interaction == "StoreBuyNow") {
+    co_await ensureUser(ctx, session, scale_);
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    std::vector<std::string> cols{"bn_buyer_id", "bn_item_id", "bn_qty", "bn_date"};
+    (void)co_await em.create("buy_now", std::move(cols),
+                             sqlArgs(session.userId, itemId, 1, 8000));
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (item) {
+      const auto qty = co_await em.get(*item, "i_quantity");
+      if (qty.asInt() > 0) {
+        co_await em.set(*item, "i_quantity", db::Value(qty.asInt() - 1));
+      }
+    }
+    co_return formPage(true);
+  }
+
+  if (interaction == "StoreComment") {
+    co_await ensureUser(ctx, session, scale_);
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.activeItems);
+    const std::int64_t toUser = ctx.rng.uniformInt(1, scale_.users());
+    const std::int64_t rating = ctx.rng.uniformInt(-5, 5);
+    std::vector<std::string> cols{"c_from_user_id", "c_to_user_id", "c_item_id",
+                                  "c_rating",       "c_date",       "c_comment"};
+    (void)co_await em.create(
+        "comments", std::move(cols),
+        sqlArgs(session.userId, toUser, itemId, rating, 8000, ctx.rng.randomText(80)));
+    auto target = co_await em.find("users", db::Value(toUser));
+    if (target) {
+      const auto current = co_await em.get(*target, "u_rating");
+      co_await em.set(*target, "u_rating", db::Value(current.asInt() + rating));
+    }
+    co_return formPage(true);
+  }
+
+  if (interaction == "RegisterItem") {
+    co_await ensureUser(ctx, session, scale_);
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    const double initial = ctx.rng.uniformReal(1.0, 500.0);
+    std::vector<std::string> cols{
+        "i_name",      "i_description", "i_desc_bytes", "i_seller",
+        "i_category",  "i_quantity",    "i_initial_price", "i_reserve_price",
+        "i_buy_now",   "i_nb_of_bids",  "i_max_bid",    "i_start_date",
+        "i_end_date",  "i_thumbnail_bytes"};
+    auto item = co_await em.create(
+        "items", std::move(cols),
+        sqlArgs("item " + ctx.rng.randomText(24), ctx.rng.randomText(80),
+                ctx.rng.uniformInt(2000, 9000), session.userId, session.lastCategoryId,
+                1, initial, initial * 1.2, 0.0, 0, initial, 8000, 8007,
+                ctx.rng.uniformInt(800, 3000)));
+    session.lastItemId = (co_await em.get(item, "i_id")).asInt();
+    co_return formPage(true);
+  }
+
+  if (interaction == "RegisterUser") {
+    const std::string nickname =
+        "newnick" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+    auto exists = co_await em.finder("SELECT u_id FROM users WHERE u_nickname = ?",
+                                     sqlArgs(nickname), "users");
+    if (exists.empty()) {
+      std::vector<std::string> cols{"u_fname", "u_lname",  "u_nickname",
+                                    "u_password", "u_email", "u_rating",
+                                    "u_balance", "u_creation_date", "u_region"};
+      auto user = co_await em.create(
+          "users", std::move(cols),
+          sqlArgs(ctx.rng.randomString(7), ctx.rng.randomString(9), nickname,
+                  ctx.rng.randomString(8), nickname + "@example.com", 0, 0.0, 8000,
+                  ctx.rng.uniformInt(1, scale_.regions)));
+      session.userId = (co_await em.get(user, "u_id")).asInt();
+    }
+    co_return formPage();
+  }
+
+  if (interaction == "AboutMe") {
+    co_await ensureUser(ctx, session, scale_);
+    auto me = co_await em.find("users", db::Value(session.userId));
+    if (me) (void)co_await em.get(*me, "u_nickname");
+    std::size_t rows = 0;
+    auto myBids = co_await em.finder(
+        "SELECT b_id FROM bids WHERE b_user_id = ? LIMIT 20", sqlArgs(session.userId),
+        "bids");
+    for (auto h : myBids) {
+      (void)co_await em.get(h, "b_bid");
+      auto item = co_await em.find("items", co_await em.get(h, "b_item_id"));
+      if (item) (void)co_await em.get(*item, "i_name");
+      ++rows;
+    }
+    auto selling = co_await em.finder(
+        "SELECT i_id FROM items WHERE i_seller = ? LIMIT 20", sqlArgs(session.userId),
+        "items");
+    for (auto h : selling) {
+      (void)co_await em.get(h, "i_name");
+      (void)co_await em.get(h, "i_max_bid");
+      ++rows;
+    }
+    auto sold = co_await em.finder(
+        "SELECT i_id FROM old_items WHERE i_seller = ? LIMIT 20", sqlArgs(session.userId),
+        "old_items");
+    for (auto h : sold) {
+      (void)co_await em.get(h, "i_name");
+      ++rows;
+    }
+    auto comments = co_await em.finder(
+        "SELECT c_id FROM comments WHERE c_to_user_id = ? ORDER BY c_date DESC LIMIT 10",
+        sqlArgs(session.userId), "comments");
+    for (auto h : comments) {
+      (void)co_await em.get(h, "c_comment");
+      ++rows;
+    }
+    co_return listPage(rows, 0, 0);
+  }
+
+  throw std::runtime_error("auction-ejb: unknown interaction " +
+                           std::string(interaction));
+}
+
+}  // namespace mwsim::apps::auction

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string_view>
+
+#include "apps/auction/schema.hpp"
+#include "middleware/ejb.hpp"
+
+namespace mwsim::apps::auction {
+
+/// Auction-site business logic as session-facade methods over CMP entity
+/// beans — the Ws-Servlet-EJB-DB configuration. Listing pages walk item
+/// entities one by one (finder + N activations + per-field accessors),
+/// which is what saturates the EJB server's CPU in the paper's Figure 12.
+class AuctionEjbLogic final : public mw::EjbBusinessLogic {
+ public:
+  explicit AuctionEjbLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::EjbContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  Scale scale_;
+};
+
+}  // namespace mwsim::apps::auction

@@ -1,0 +1,464 @@
+#include "apps/bbs/bbs.hpp"
+
+#include <stdexcept>
+
+#include "middleware/db_session.hpp"
+
+namespace mwsim::apps::bbs {
+
+using mw::AppContext;
+using mw::ClientSession;
+using mw::lockSet;
+using mw::Page;
+using mw::sqlArgs;
+using sim::Task;
+
+namespace {
+
+// Page weights: Slashdot-style pages are text-heavy with a modest set of
+// topic icons; comment pages grow with the comment count.
+constexpr std::size_t kTemplateHtml = 4000;
+constexpr std::size_t kStoryRowHtml = 260;
+constexpr std::size_t kCommentHtml = 420;
+constexpr std::size_t kFormHtml = 2400;
+constexpr int kNavImages = 9;
+constexpr std::size_t kNavImageBytes = 14'000;
+
+Page listPage(std::size_t rows) {
+  Page page;
+  page.htmlBytes = kTemplateHtml + rows * kStoryRowHtml;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  return page;
+}
+
+Page formPage() {
+  Page page;
+  page.htmlBytes = kFormHtml;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  return page;
+}
+
+}  // namespace
+
+Task<> BbsLogic::ensureUser(AppContext& ctx, ClientSession& session) {
+  if (session.userId < 0) {
+    const std::int64_t id = ctx.rng.uniformInt(1, scale_.users());
+    auto r = co_await ctx.query(
+        "SELECT u_id, u_password FROM users WHERE u_nickname = ?",
+        sqlArgs("reader" + std::to_string(id)));
+    session.userId = r.resultSet.empty() ? id : r.resultSet.intAt(0, "u_id");
+  }
+}
+
+Task<Page> BbsLogic::invoke(std::string_view interaction, AppContext& ctx,
+                            ClientSession& session) {
+  // ----------------------------------------------------------- home page
+  if (interaction == "StoriesOfTheDay") {
+    auto r = co_await ctx.query(
+        "SELECT s_id, s_title, s_date, s_nb_comments FROM stories "
+        "WHERE s_date >= 7998 ORDER BY s_date DESC LIMIT 10");
+    if (!r.resultSet.empty()) {
+      session.lastItemId = r.resultSet.intAt(
+          static_cast<std::size_t>(ctx.rng.uniformInt(
+              0, static_cast<std::int64_t>(r.resultSet.rowCount()) - 1)),
+          "s_id");
+    }
+    co_return listPage(r.resultSet.rowCount());
+  }
+
+  if (interaction == "BrowseCategories") {
+    auto r = co_await ctx.query("SELECT cat_id, cat_name FROM categories");
+    session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    co_return listPage(r.resultSet.rowCount());
+  }
+
+  if (interaction == "BrowseStoriesByCategory") {
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    auto r = co_await ctx.query(
+        "SELECT s_id, s_title, s_date, s_nb_comments FROM stories "
+        "WHERE s_category = ? ORDER BY s_date DESC LIMIT 25",
+        sqlArgs(session.lastCategoryId));
+    if (!r.resultSet.empty()) session.lastItemId = r.resultSet.intAt(0, "s_id");
+    co_return listPage(r.resultSet.rowCount());
+  }
+
+  if (interaction == "OlderStories") {
+    const std::int64_t day = ctx.rng.uniformInt(7000, 7969);
+    auto r = co_await ctx.query(
+        "SELECT s_id, s_title, s_date FROM old_stories WHERE s_date = ? LIMIT 25",
+        sqlArgs(day));
+    co_return listPage(r.resultSet.rowCount());
+  }
+
+  if (interaction == "ViewStory") {
+    std::int64_t story = session.lastItemId;
+    if (story <= 0) story = ctx.rng.uniformInt(1, scale_.activeStories);
+    auto s = co_await ctx.query("SELECT * FROM stories WHERE s_id = ?", sqlArgs(story));
+    std::size_t bodyBytes = 3000;
+    std::size_t commentRows = 0;
+    if (!s.resultSet.empty()) {
+      session.lastItemId = story;
+      bodyBytes = static_cast<std::size_t>(s.resultSet.intAt(0, "s_body_bytes"));
+      co_await ctx.query("SELECT u_nickname, u_rating FROM users WHERE u_id = ?",
+                         sqlArgs(s.resultSet.intAt(0, "s_author")));
+      // The full comment tree, joined with commenter names.
+      auto comments = co_await ctx.query(
+          "SELECT c.c_id, c.c_subject, c.c_body, c.c_rating, u.u_nickname "
+          "FROM comments c JOIN users u ON c.c_author = u.u_id "
+          "WHERE c.c_story_id = ? ORDER BY c.c_date",
+          sqlArgs(story));
+      commentRows = comments.resultSet.rowCount();
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + bodyBytes + commentRows * kCommentHtml;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    co_return page;
+  }
+
+  if (interaction == "ViewComment") {
+    std::int64_t story = session.lastItemId;
+    if (story <= 0) story = ctx.rng.uniformInt(1, scale_.activeStories);
+    auto r = co_await ctx.query(
+        "SELECT c_id, c_subject, c_body, c_rating FROM comments WHERE c_story_id = ? "
+        "ORDER BY c_rating DESC LIMIT 10",
+        sqlArgs(story));
+    Page page;
+    page.htmlBytes = kTemplateHtml + r.resultSet.rowCount() * kCommentHtml;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    co_return page;
+  }
+
+  if (interaction == "Search") {
+    const std::string needle = "%" + ctx.rng.randomString(3) + "%";
+    auto r = co_await ctx.query(
+        "SELECT s_id, s_title, s_date FROM stories WHERE s_title LIKE ? "
+        "ORDER BY s_date DESC LIMIT 25",
+        sqlArgs(needle));
+    co_return listPage(r.resultSet.rowCount());
+  }
+
+  if (interaction == "AboutMe") {
+    co_await ensureUser(ctx, session);
+    co_await ctx.query("SELECT * FROM users WHERE u_id = ?", sqlArgs(session.userId));
+    auto stories = co_await ctx.query(
+        "SELECT s_id, s_title FROM stories WHERE s_author = ? LIMIT 10",
+        sqlArgs(session.userId));
+    auto comments = co_await ctx.query(
+        "SELECT c_id, c_subject FROM comments WHERE c_author = ? LIMIT 10",
+        sqlArgs(session.userId));
+    co_return listPage(stories.resultSet.rowCount() + comments.resultSet.rowCount());
+  }
+
+  // --------------------------------------------------------------- forms
+  if (interaction == "RegisterForm" || interaction == "SubmitStoryForm" ||
+      interaction == "PostCommentForm" || interaction == "ModerateCommentForm") {
+    if (interaction == "PostCommentForm" || interaction == "ModerateCommentForm") {
+      std::int64_t story = session.lastItemId;
+      if (story <= 0) story = ctx.rng.uniformInt(1, scale_.activeStories);
+      session.lastItemId = story;
+      co_await ctx.query("SELECT s_title FROM stories WHERE s_id = ?", sqlArgs(story));
+    }
+    co_return formPage();
+  }
+
+  // --------------------------------------------------------------- writes
+  if (interaction == "RegisterUser") {
+    const std::string nickname =
+        "newreader" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+    auto exists = co_await ctx.query("SELECT u_id FROM users WHERE u_nickname = ?",
+                                     sqlArgs(nickname));
+    if (exists.resultSet.empty()) {
+      auto r = co_await ctx.query(
+          "INSERT INTO users (u_nickname, u_password, u_email, u_rating, u_access, "
+          "u_creation_date) VALUES (?, ?, ?, ?, ?, ?)",
+          sqlArgs(nickname, ctx.rng.randomString(8), nickname + "@example.com", 0, 0,
+                  8000));
+      session.userId = r.lastInsertId;
+    }
+    co_return formPage();
+  }
+
+  if (interaction == "StoreStory") {
+    co_await ensureUser(ctx, session);
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    auto cs = co_await ctx.enterCritical(lockSet().write("stories").write("submissions"));
+    auto story = co_await ctx.query(
+        "INSERT INTO stories (s_title, s_body, s_body_bytes, s_author, s_category, "
+        "s_date, s_nb_comments) VALUES (?, ?, ?, ?, ?, ?, ?)",
+        sqlArgs("story " + ctx.rng.randomText(30), ctx.rng.randomText(120),
+                ctx.rng.uniformInt(1500, 9000), session.userId, session.lastCategoryId,
+                8000, 0));
+    co_await ctx.query(
+        "INSERT INTO submissions (sub_author, sub_title, sub_date, sub_category) "
+        "VALUES (?, ?, ?, ?)",
+        sqlArgs(session.userId, "story", 8000, session.lastCategoryId));
+    co_await ctx.leaveCritical(std::move(cs));
+    session.lastItemId = story.lastInsertId;
+    co_return formPage();
+  }
+
+  if (interaction == "StoreComment") {
+    co_await ensureUser(ctx, session);
+    std::int64_t story = session.lastItemId;
+    if (story <= 0) story = ctx.rng.uniformInt(1, scale_.activeStories);
+    auto cs = co_await ctx.enterCritical(lockSet().write("comments").write("stories"));
+    co_await ctx.query(
+        "INSERT INTO comments (c_story_id, c_author, c_parent, c_date, c_rating, "
+        "c_subject, c_body) VALUES (?, ?, ?, ?, ?, ?, ?)",
+        sqlArgs(story, session.userId, 0, 8000, 0, "re: " + ctx.rng.randomText(12),
+                ctx.rng.randomText(60)));
+    co_await ctx.query(
+        "UPDATE stories SET s_nb_comments = s_nb_comments + 1 WHERE s_id = ?",
+        sqlArgs(story));
+    co_await ctx.leaveCritical(std::move(cs));
+    co_return formPage();
+  }
+
+  if (interaction == "StoreModeratorLog") {
+    co_await ensureUser(ctx, session);
+    std::int64_t story = session.lastItemId;
+    if (story <= 0) story = ctx.rng.uniformInt(1, scale_.activeStories);
+    auto comment = co_await ctx.query(
+        "SELECT c_id, c_rating FROM comments WHERE c_story_id = ? LIMIT 1",
+        sqlArgs(story));
+    if (!comment.resultSet.empty()) {
+      const std::int64_t commentId = comment.resultSet.intAt(0, "c_id");
+      const std::int64_t rating = ctx.rng.uniformInt(-1, 1);
+      auto cs = co_await ctx.enterCritical(
+          lockSet().write("comments").write("moderator_log"));
+      co_await ctx.query("UPDATE comments SET c_rating = c_rating + ? WHERE c_id = ?",
+                         sqlArgs(rating, commentId));
+      co_await ctx.query(
+          "INSERT INTO moderator_log (ml_moderator, ml_comment_id, ml_rating, ml_date) "
+          "VALUES (?, ?, ?, ?)",
+          sqlArgs(session.userId, commentId, rating, 8000));
+      co_await ctx.leaveCritical(std::move(cs));
+    }
+    co_return formPage();
+  }
+
+  throw std::runtime_error("bbs: unknown interaction " + std::string(interaction));
+}
+
+// -------------------------------------------------------------- EJB variant
+
+Task<Page> BbsEjbLogic::invoke(std::string_view interaction, mw::EjbContext& ctx,
+                               ClientSession& session) {
+  mw::EntityManager& em = ctx.em;
+
+  auto ensureUser = [&](ClientSession& s) -> Task<> {
+    if (s.userId < 0) {
+      const std::int64_t id = ctx.rng.uniformInt(1, scale_.users());
+      auto found = co_await em.finder("SELECT u_id FROM users WHERE u_nickname = ?",
+                                      sqlArgs("reader" + std::to_string(id)), "users");
+      if (!found.empty()) {
+        s.userId = (co_await em.get(found.front(), "u_id")).asInt();
+      } else {
+        s.userId = id;
+      }
+    }
+  };
+
+  if (interaction == "StoriesOfTheDay" || interaction == "BrowseStoriesByCategory" ||
+      interaction == "OlderStories" || interaction == "Search") {
+    std::vector<mw::EntityManager::Handle> stories;
+    if (interaction == "BrowseStoriesByCategory") {
+      if (session.lastCategoryId <= 0) {
+        session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+      }
+      stories = co_await em.finder(
+          "SELECT s_id FROM stories WHERE s_category = ? ORDER BY s_date DESC LIMIT 25",
+          sqlArgs(session.lastCategoryId), "stories");
+    } else if (interaction == "OlderStories") {
+      stories = co_await em.finder(
+          "SELECT s_id FROM old_stories WHERE s_date = ? LIMIT 25",
+          sqlArgs(ctx.rng.uniformInt(7000, 7969)), "old_stories");
+    } else if (interaction == "Search") {
+      stories = co_await em.finder(
+          "SELECT s_id FROM stories WHERE s_title LIKE ? LIMIT 25",
+          sqlArgs("%" + ctx.rng.randomString(3) + "%"), "stories");
+    } else {
+      stories = co_await em.finder(
+          "SELECT s_id FROM stories WHERE s_date >= 7998 ORDER BY s_date DESC LIMIT 10",
+          sqlArgs(), "stories");
+    }
+    for (auto h : stories) {
+      (void)co_await em.get(h, "s_title");
+      (void)co_await em.get(h, "s_date");
+      (void)co_await em.get(h, "s_nb_comments");
+    }
+    if (!stories.empty()) {
+      session.lastItemId = (co_await em.get(stories.front(), "s_id")).asInt();
+    }
+    co_return listPage(stories.size());
+  }
+
+  if (interaction == "BrowseCategories") {
+    auto cats = co_await em.finder("SELECT cat_id FROM categories", sqlArgs(),
+                                   "categories");
+    for (auto h : cats) (void)co_await em.get(h, "cat_name");
+    session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    co_return listPage(cats.size());
+  }
+
+  if (interaction == "ViewStory" || interaction == "ViewComment") {
+    std::int64_t storyId = session.lastItemId;
+    if (storyId <= 0) storyId = ctx.rng.uniformInt(1, scale_.activeStories);
+    session.lastItemId = storyId;
+    std::size_t bodyBytes = 3000;
+    auto story = co_await em.find("stories", db::Value(storyId));
+    std::size_t rows = 0;
+    if (story) {
+      (void)co_await em.get(*story, "s_title");
+      bodyBytes = static_cast<std::size_t>(
+          (co_await em.get(*story, "s_body_bytes")).asInt());
+      auto comments = co_await em.finder(
+          "SELECT c_id FROM comments WHERE c_story_id = ? ORDER BY c_date",
+          sqlArgs(storyId), "comments");
+      for (auto h : comments) {
+        (void)co_await em.get(h, "c_subject");
+        (void)co_await em.get(h, "c_body");
+        auto author = co_await em.find("users", co_await em.get(h, "c_author"));
+        if (author) (void)co_await em.get(*author, "u_nickname");
+        ++rows;
+      }
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + bodyBytes + rows * kCommentHtml;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    co_return page;
+  }
+
+  if (interaction == "AboutMe") {
+    co_await ensureUser(session);
+    auto me = co_await em.find("users", db::Value(session.userId));
+    if (me) (void)co_await em.get(*me, "u_rating");
+    auto mine = co_await em.finder(
+        "SELECT c_id FROM comments WHERE c_author = ? LIMIT 10", sqlArgs(session.userId),
+        "comments");
+    for (auto h : mine) (void)co_await em.get(h, "c_subject");
+    co_return listPage(mine.size());
+  }
+
+  if (interaction == "RegisterForm" || interaction == "SubmitStoryForm" ||
+      interaction == "PostCommentForm" || interaction == "ModerateCommentForm") {
+    co_return formPage();
+  }
+
+  if (interaction == "RegisterUser") {
+    std::vector<std::string> cols{"u_nickname", "u_password", "u_email",
+                                  "u_rating",   "u_access",  "u_creation_date"};
+    const std::string nickname =
+        "newreader" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+    auto user = co_await em.create(
+        "users", std::move(cols),
+        sqlArgs(nickname, ctx.rng.randomString(8), nickname + "@example.com", 0, 0,
+                8000));
+    session.userId = (co_await em.get(user, "u_id")).asInt();
+    co_return formPage();
+  }
+
+  if (interaction == "StoreStory") {
+    co_await ensureUser(session);
+    if (session.lastCategoryId <= 0) {
+      session.lastCategoryId = ctx.rng.uniformInt(1, scale_.categories);
+    }
+    std::vector<std::string> cols{"s_title", "s_body", "s_body_bytes", "s_author",
+                                  "s_category", "s_date", "s_nb_comments"};
+    auto story = co_await em.create(
+        "stories", std::move(cols),
+        sqlArgs("story " + ctx.rng.randomText(30), ctx.rng.randomText(120),
+                ctx.rng.uniformInt(1500, 9000), session.userId, session.lastCategoryId,
+                8000, 0));
+    session.lastItemId = (co_await em.get(story, "s_id")).asInt();
+    co_return formPage();
+  }
+
+  if (interaction == "StoreComment" || interaction == "StoreModeratorLog") {
+    co_await ensureUser(session);
+    std::int64_t storyId = session.lastItemId;
+    if (storyId <= 0) storyId = ctx.rng.uniformInt(1, scale_.activeStories);
+    if (interaction == "StoreComment") {
+      std::vector<std::string> cols{"c_story_id", "c_author", "c_parent", "c_date",
+                                    "c_rating",   "c_subject", "c_body"};
+      (void)co_await em.create(
+          "comments", std::move(cols),
+          sqlArgs(storyId, session.userId, 0, 8000, 0,
+                  "re: " + ctx.rng.randomText(12), ctx.rng.randomText(60)));
+      auto story = co_await em.find("stories", db::Value(storyId));
+      if (story) {
+        const auto nb = co_await em.get(*story, "s_nb_comments");
+        co_await em.set(*story, "s_nb_comments", db::Value(nb.asInt() + 1));
+      }
+    } else {
+      auto comments = co_await em.finder(
+          "SELECT c_id FROM comments WHERE c_story_id = ? LIMIT 1", sqlArgs(storyId),
+          "comments");
+      if (!comments.empty()) {
+        const auto rating = co_await em.get(comments.front(), "c_rating");
+        co_await em.set(comments.front(), "c_rating", db::Value(rating.asInt() + 1));
+        std::vector<std::string> cols{"ml_moderator", "ml_comment_id", "ml_rating",
+                                      "ml_date"};
+        const auto commentId = co_await em.get(comments.front(), "c_id");
+        (void)co_await em.create("moderator_log", std::move(cols),
+                                 sqlArgs(session.userId, commentId.asInt(), 1, 8000));
+      }
+    }
+    co_return formPage();
+  }
+
+  throw std::runtime_error("bbs-ejb: unknown interaction " + std::string(interaction));
+}
+
+// -------------------------------------------------------------------- mixes
+
+wl::MixMatrix mixMatrix(Mix mix) {
+  const std::vector<std::string> states{
+      "StoriesOfTheDay", "BrowseCategories", "BrowseStoriesByCategory",
+      "OlderStories",    "ViewStory",        "ViewComment",
+      "Search",          "AboutMe",          "RegisterForm",
+      "RegisterUser",    "SubmitStoryForm",  "StoreStory",
+      "PostCommentForm", "StoreComment",     "ModerateCommentForm",
+      "StoreModeratorLog"};
+  std::vector<bool> readWrite(states.size(), false);
+  for (const char* w : {"RegisterUser", "StoreStory", "StoreComment",
+                        "StoreModeratorLog"}) {
+    readWrite[wl::MixBuilder("tmp", states, std::vector<double>(states.size(), 1.0),
+                             std::vector<bool>(states.size(), false))
+                  .index(w)] = true;
+  }
+
+  std::vector<double> weights;
+  std::string name;
+  if (mix == Mix::Browsing) {
+    name = "browsing";
+    weights = {18, 7, 16, 6, 30, 10, 6, 4, 0, 0, 0, 0, 0, 0, 0, 0};
+  } else {
+    name = "submission";
+    weights = {14, 5, 13, 4, 24, 7, 4, 3, 1.6, 1.3, 2.6, 2.0, 7.0, 5.6, 1.8, 1.4};
+  }
+
+  wl::MixBuilder builder(name, states, weights, readWrite);
+  builder.follow("BrowseCategories", "BrowseStoriesByCategory", 0.70)
+      .follow("BrowseStoriesByCategory", "ViewStory", 0.55)
+      .follow("StoriesOfTheDay", "ViewStory", 0.45);
+  if (mix == Mix::Submission) {
+    builder.follow("RegisterForm", "RegisterUser", 0.80)
+        .follow("SubmitStoryForm", "StoreStory", 0.70)
+        .follow("PostCommentForm", "StoreComment", 0.75)
+        .follow("ModerateCommentForm", "StoreModeratorLog", 0.75)
+        .follow("ViewStory", "PostCommentForm", 0.18);
+  }
+  return builder.build(/*initialState=*/0);
+}
+
+}  // namespace mwsim::apps::bbs

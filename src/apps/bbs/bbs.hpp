@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string_view>
+
+#include "apps/bbs/schema.hpp"
+#include "middleware/application.hpp"
+#include "middleware/ejb.hpp"
+#include "workload/mix.hpp"
+
+namespace mwsim::apps::bbs {
+
+/// Workload mixes per RUBBoS: a read-only browsing mix and a submission mix
+/// with ~10 % read-write interactions.
+enum class Mix { Browsing, Submission };
+
+wl::MixMatrix mixMatrix(Mix mix);
+
+/// The 15 bulletin-board interactions with explicit SQL (RUBBoS-style),
+/// shared between the PHP and servlet tiers.
+class BbsLogic final : public mw::SqlBusinessLogic {
+ public:
+  explicit BbsLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::AppContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  sim::Task<> ensureUser(mw::AppContext& ctx, mw::ClientSession& session);
+
+  Scale scale_;
+};
+
+/// Session-facade/CMP variant for the Ws-Servlet-EJB-DB configuration.
+class BbsEjbLogic final : public mw::EjbBusinessLogic {
+ public:
+  explicit BbsEjbLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::EjbContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  Scale scale_;
+};
+
+}  // namespace mwsim::apps::bbs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "sim/random.hpp"
+
+namespace mwsim::apps::bbs {
+
+/// Database scale for the bulletin-board site (RUBBoS-style, the third
+/// benchmark of the authors' WWC-5 paper; the Middleware'03 paper skips it
+/// predicting auction-like results — we implement it to test that claim).
+///
+/// Sizing follows RUBBoS: ~500k users, an active story window plus a large
+/// old-story archive, ~10 comments per story.
+struct Scale {
+  double historyScale = 1.0;
+  std::int64_t activeStories = 3'000;
+  int categories = 20;
+  int commentsPerStory = 10;
+  std::int64_t users() const {
+    return static_cast<std::int64_t>(500'000 * historyScale);
+  }
+  std::int64_t oldStories() const {
+    return static_cast<std::int64_t>(200'000 * historyScale);
+  }
+};
+
+/// Creates the tables: users, categories, stories, old_stories, comments,
+/// old_comments, submissions, moderator_log.
+void createSchema(db::Database& database);
+
+/// Populates the tables at the given scale. Deterministic for a fixed seed.
+void populate(db::Database& database, const Scale& scale, sim::Rng& rng);
+
+}  // namespace mwsim::apps::bbs

@@ -1,0 +1,568 @@
+#include "apps/bookstore/bookstore.hpp"
+
+#include <stdexcept>
+
+#include "middleware/db_session.hpp"
+
+namespace mwsim::apps::bookstore {
+
+using mw::AppContext;
+using mw::sqlArgs;
+using mw::ClientSession;
+using mw::lockSet;
+using mw::Page;
+using sim::Task;
+
+namespace {
+
+// ---- page-weight constants (bytes) ----------------------------------------
+// Calibrated so the average interaction moves ~45 KB on the wire, matching
+// the paper's observation of <3.5 Mb/s of mostly-image traffic at ~8.7
+// interactions/s (§5.1).
+constexpr std::size_t kTemplateHtml = 4200;  // banner, nav bar, footer markup
+constexpr std::size_t kRowHtml = 170;        // one result row in a listing
+constexpr std::size_t kFormHtml = 2600;      // search / order-inquiry forms
+constexpr int kNavImages = 7;                // buttons + logos on every page
+constexpr std::size_t kNavImageBytes = 7300;
+constexpr int kListThumbnails = 5;  // thumbnails shown on listing pages
+
+Page listPage(std::size_t rows, int extraImages, std::size_t extraImageBytes) {
+  Page page;
+  page.htmlBytes = kTemplateHtml + rows * kRowHtml;
+  page.imageCount = kNavImages + extraImages;
+  page.imageBytes = kNavImageBytes + extraImageBytes;
+  return page;
+}
+
+}  // namespace
+
+Task<Page> BookstoreLogic::invoke(std::string_view interaction, AppContext& ctx,
+                                  ClientSession& session) {
+  if (interaction == "Home") co_return co_await home(ctx, session);
+  if (interaction == "NewProducts") co_return co_await newProducts(ctx, session);
+  if (interaction == "BestSellers") co_return co_await bestSellers(ctx, session);
+  if (interaction == "ProductDetail") co_return co_await productDetail(ctx, session);
+  if (interaction == "SearchRequest") co_return co_await searchRequest(ctx, session);
+  if (interaction == "SearchResults") co_return co_await searchResults(ctx, session);
+  if (interaction == "ShoppingCart") co_return co_await shoppingCart(ctx, session);
+  if (interaction == "CustomerRegistration")
+    co_return co_await customerRegistration(ctx, session);
+  if (interaction == "BuyRequest") co_return co_await buyRequest(ctx, session);
+  if (interaction == "BuyConfirm") co_return co_await buyConfirm(ctx, session);
+  if (interaction == "OrderInquiry") co_return co_await orderInquiry(ctx, session);
+  if (interaction == "OrderDisplay") co_return co_await orderDisplay(ctx, session);
+  if (interaction == "AdminRequest") co_return co_await adminRequest(ctx, session);
+  if (interaction == "AdminConfirm") co_return co_await adminConfirm(ctx, session);
+  throw std::runtime_error("bookstore: unknown interaction " +
+                           std::string(interaction));
+}
+
+Task<> BookstoreLogic::ensureCustomer(AppContext& ctx, ClientSession& session) {
+  if (session.userId < 0) {
+    session.userId = ctx.rng.uniformInt(1, scale_.customers());
+  }
+  co_return;
+}
+
+void BookstoreLogic::ensureCartItem(AppContext& ctx, ClientSession& session) {
+  if (session.cart.empty()) {
+    session.cart.emplace_back(ctx.rng.uniformInt(1, scale_.items),
+                              static_cast<int>(ctx.rng.uniformInt(1, 3)));
+  }
+}
+
+// --------------------------------------------------------------------- Home
+
+Task<Page> BookstoreLogic::home(AppContext& ctx, ClientSession& session) {
+  co_await ensureCustomer(ctx, session);
+  // Multi-statement read: MyISAM consistency requires bracketing in
+  // LOCK TABLES (dropped entirely by the sync configurations).
+  auto cs = co_await ctx.enterCritical(lockSet().read("customers").read("items"));
+  co_await ctx.query("SELECT c_fname, c_lname FROM customers WHERE c_id = ?",
+                     sqlArgs(session.userId));
+
+  // Promotional area: the related items of a random item (TPC-W home page).
+  const std::int64_t anchor = ctx.rng.uniformInt(1, scale_.items);
+  auto related = co_await ctx.query(
+      "SELECT i_related1, i_related2, i_related3, i_related4 FROM items WHERE i_id = ?",
+      sqlArgs(anchor));
+  std::size_t promoThumbBytes = 0;
+  int promos = 0;
+  if (!related.resultSet.empty()) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::int64_t rel = related.resultSet.at(0, c).asInt();
+      auto item = co_await ctx.query(
+          "SELECT i_title, i_thumbnail_bytes FROM items WHERE i_id = ?", sqlArgs(rel));
+      if (!item.resultSet.empty()) {
+        promoThumbBytes +=
+            static_cast<std::size_t>(item.resultSet.intAt(0, "i_thumbnail_bytes"));
+        ++promos;
+      }
+    }
+  }
+  co_await ctx.leaveCritical(std::move(cs));
+  session.lastItemId = anchor;
+  Page page = listPage(4, promos, promoThumbBytes);
+  co_return page;
+}
+
+// ------------------------------------------------------------- New Products
+
+Task<Page> BookstoreLogic::newProducts(AppContext& ctx, ClientSession& session) {
+  const std::int64_t subject = ctx.rng.uniformInt(0, scale_.subjects - 1);
+  auto r = co_await ctx.query(
+      "SELECT i.i_id, i.i_title, i.i_pub_date, i.i_srp, i.i_thumbnail_bytes, "
+      "a.a_fname, a.a_lname "
+      "FROM items i JOIN authors a ON i.i_a_id = a.a_id "
+      "WHERE i.i_subject = ? ORDER BY i.i_pub_date DESC LIMIT 50",
+      sqlArgs(subject));
+  std::size_t thumbBytes = 0;
+  const std::size_t shown =
+      std::min<std::size_t>(kListThumbnails, r.resultSet.rowCount());
+  for (std::size_t i = 0; i < shown; ++i) {
+    thumbBytes += static_cast<std::size_t>(r.resultSet.intAt(i, "i_thumbnail_bytes"));
+  }
+  if (!r.resultSet.empty()) {
+    session.lastItemId = r.resultSet.intAt(
+        static_cast<std::size_t>(ctx.rng.uniformInt(0, static_cast<std::int64_t>(
+                                                           r.resultSet.rowCount() - 1))),
+        "i_id");
+  }
+  co_return listPage(r.resultSet.rowCount(), static_cast<int>(shown), thumbBytes);
+}
+
+// -------------------------------------------------------------- Best Sellers
+
+Task<Page> BookstoreLogic::bestSellers(AppContext& ctx, ClientSession& session) {
+  // TPC-W: best sellers among the most recent 3,333 orders.
+  auto maxOrder = co_await ctx.query("SELECT MAX(o_id) AS m FROM orders");
+  const std::int64_t horizon =
+      maxOrder.resultSet.empty() || maxOrder.resultSet.at(0, "m").isNull()
+          ? 0
+          : maxOrder.resultSet.intAt(0, "m") - 3333;
+  auto r = co_await ctx.query(
+      "SELECT ol.ol_i_id AS i_id, i.i_title AS i_title, a.a_fname AS a_fname, "
+      "a.a_lname AS a_lname, SUM(ol.ol_qty) AS total "
+      "FROM order_line ol JOIN items i ON ol.ol_i_id = i.i_id "
+      "JOIN authors a ON i.i_a_id = a.a_id "
+      "WHERE ol.ol_o_id >= ? GROUP BY ol.ol_i_id ORDER BY total DESC LIMIT 50",
+      sqlArgs(horizon));
+  if (!r.resultSet.empty()) {
+    session.lastItemId = r.resultSet.intAt(0, "i_id");
+  }
+  co_return listPage(r.resultSet.rowCount(), 0, 0);
+}
+
+// ------------------------------------------------------------ Product Detail
+
+Task<Page> BookstoreLogic::productDetail(AppContext& ctx, ClientSession& session) {
+  std::int64_t item = session.lastItemId;
+  if (item <= 0) item = ctx.rng.uniformInt(1, scale_.items);
+  auto r = co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+  if (r.resultSet.empty()) {
+    item = ctx.rng.uniformInt(1, scale_.items);
+    r = co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+  }
+  const std::int64_t author = r.resultSet.intAt(0, "i_a_id");
+  co_await ctx.query("SELECT a_fname, a_lname FROM authors WHERE a_id = ?", sqlArgs(author));
+  session.lastItemId = item;
+
+  Page page;
+  page.htmlBytes = kTemplateHtml + 1500;
+  page.imageCount = kNavImages + 1;
+  page.imageBytes = kNavImageBytes +
+                    static_cast<std::size_t>(r.resultSet.intAt(0, "i_image_bytes"));
+  co_return page;
+}
+
+// ------------------------------------------------------------ Search Request
+
+Task<Page> BookstoreLogic::searchRequest(AppContext&, ClientSession&) {
+  // Form only; no database access (the paper's one static-content
+  // interaction is the search form).
+  Page page;
+  page.htmlBytes = kFormHtml;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  co_return page;
+}
+
+// ------------------------------------------------------------ Search Results
+
+Task<Page> BookstoreLogic::searchResults(AppContext& ctx, ClientSession& session) {
+  const int kind = static_cast<int>(ctx.rng.uniformInt(0, 2));
+  db::ExecResult r;
+  if (kind == 0) {
+    // By author last-name prefix: the authors scan is the driving table.
+    const std::string prefix = ctx.rng.randomString(2) + "%";
+    r = co_await ctx.query(
+        "SELECT i.i_id, i.i_title, i.i_srp, a.a_fname, a.a_lname "
+        "FROM authors a JOIN items i ON i.i_a_id = a.a_id "
+        "WHERE a.a_lname LIKE ? ORDER BY i.i_title LIMIT 50",
+        sqlArgs(prefix));
+  } else if (kind == 1) {
+    // By title substring: full scan over items (the heavy search).
+    const std::string needle = "%" + ctx.rng.randomString(3) + "%";
+    r = co_await ctx.query(
+        "SELECT i.i_id, i.i_title, i.i_srp, a.a_fname, a.a_lname "
+        "FROM items i JOIN authors a ON i.i_a_id = a.a_id "
+        "WHERE i.i_title LIKE ? ORDER BY i.i_title LIMIT 50",
+        sqlArgs(needle));
+  } else {
+    // By subject: indexed.
+    const std::int64_t subject = ctx.rng.uniformInt(0, scale_.subjects - 1);
+    r = co_await ctx.query(
+        "SELECT i.i_id, i.i_title, i.i_srp, a.a_fname, a.a_lname "
+        "FROM items i JOIN authors a ON i.i_a_id = a.a_id "
+        "WHERE i.i_subject = ? ORDER BY i.i_title LIMIT 50",
+        sqlArgs(subject));
+  }
+  if (!r.resultSet.empty()) {
+    session.lastItemId = r.resultSet.intAt(0, "i_id");
+  }
+  co_return listPage(r.resultSet.rowCount(), 0, 0);
+}
+
+// ------------------------------------------------------------- Shopping Cart
+
+Task<Page> BookstoreLogic::shoppingCart(AppContext& ctx, ClientSession& session) {
+  // Mutate the session's view of the cart first.
+  bool adding = session.cart.empty() || ctx.rng.bernoulli(0.7);
+  std::int64_t item = 0;
+  int qty = 0;
+  if (adding) {
+    item = session.lastItemId > 0 ? session.lastItemId
+                                  : ctx.rng.uniformInt(1, scale_.items);
+    qty = static_cast<int>(ctx.rng.uniformInt(1, 3));
+    session.cart.emplace_back(item, qty);
+  } else {
+    item = session.cart.back().first;
+    qty = static_cast<int>(ctx.rng.uniformInt(1, 5));
+    session.cart.back().second = qty;
+  }
+  if (session.cart.size() > 8) session.cart.erase(session.cart.begin());
+
+  // TPC-W carts are persistent: create/update the cart rows and re-read
+  // price/stock for every line, atomically (write critical section — this
+  // is the highest-rate lock section in the shopping and ordering mixes).
+  auto cs = co_await ctx.enterCritical(lockSet()
+                                           .write("shopping_cart")
+                                           .write("shopping_cart_line")
+                                           .read("items"));
+  if (session.cartId < 0) {
+    auto cart = co_await ctx.query(
+        "INSERT INTO shopping_cart (sc_c_id, sc_date) VALUES (?, ?)",
+        sqlArgs(session.userId, 8000));
+    session.cartId = cart.lastInsertId;
+  }
+  if (adding) {
+    co_await ctx.query(
+        "INSERT INTO shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)",
+        sqlArgs(session.cartId, item, qty));
+  } else {
+    co_await ctx.query(
+        "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_sc_id = ? AND scl_i_id = ?",
+        sqlArgs(qty, session.cartId, item));
+  }
+  auto lines = co_await ctx.query(
+      "SELECT scl.scl_i_id, scl.scl_qty, i.i_title, i.i_cost, i.i_srp, i.i_stock, "
+      "i.i_thumbnail_bytes FROM shopping_cart_line scl "
+      "JOIN items i ON scl.scl_i_id = i.i_id WHERE scl.scl_sc_id = ?",
+      sqlArgs(session.cartId));
+  co_await ctx.leaveCritical(std::move(cs));
+
+  std::size_t thumbBytes = 0;
+  for (std::size_t i = 0; i < lines.resultSet.rowCount(); ++i) {
+    thumbBytes += static_cast<std::size_t>(lines.resultSet.intAt(i, "i_thumbnail_bytes"));
+  }
+  co_return listPage(lines.resultSet.rowCount(),
+                     static_cast<int>(lines.resultSet.rowCount()), thumbBytes);
+}
+
+// ---------------------------------------------------- Customer Registration
+
+Task<Page> BookstoreLogic::customerRegistration(AppContext& ctx, ClientSession& session) {
+  Page page;
+  if (ctx.rng.bernoulli(0.8)) {
+    // Returning customer: look up by user name.
+    const std::int64_t id = ctx.rng.uniformInt(1, scale_.customers());
+    auto r = co_await ctx.query("SELECT * FROM customers WHERE c_uname = ?",
+                                sqlArgs("user" + std::to_string(id)));
+    if (!r.resultSet.empty()) session.userId = r.resultSet.intAt(0, "c_id");
+  } else {
+    // New customer: insert address then customer.
+    auto addr = co_await ctx.query(
+        "INSERT INTO address (addr_street, addr_city, addr_state, addr_zip, addr_co_id) "
+        "VALUES (?, ?, ?, ?, ?)",
+        sqlArgs(ctx.rng.randomString(16), ctx.rng.randomString(10), ctx.rng.randomString(2),
+             std::to_string(ctx.rng.uniformInt(10000, 99999)),
+             ctx.rng.uniformInt(1, scale_.countries)));
+    const std::string uname = "newuser" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+    auto cust = co_await ctx.query(
+        "INSERT INTO customers (c_uname, c_passwd, c_fname, c_lname, c_email, c_since, "
+        "c_discount, c_addr_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        sqlArgs(uname, ctx.rng.randomString(8), ctx.rng.randomString(7),
+             ctx.rng.randomString(9), uname + "@example.com",
+             ctx.rng.uniformInt(4000, 4100), ctx.rng.uniformReal(0.0, 0.5),
+             addr.lastInsertId));
+    session.userId = cust.lastInsertId;
+  }
+  page.htmlBytes = kFormHtml + 900;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  co_return page;
+}
+
+// ---------------------------------------------------------------- Buy Request
+
+Task<Page> BookstoreLogic::buyRequest(AppContext& ctx, ClientSession& session) {
+  co_await ensureCustomer(ctx, session);
+  auto cs = co_await ctx.enterCritical(lockSet()
+                                           .read("customers")
+                                           .read("address")
+                                           .read("items")
+                                           .read("shopping_cart_line"));
+  auto cust = co_await ctx.query(
+      "SELECT c_fname, c_lname, c_discount, c_addr_id FROM customers WHERE c_id = ?",
+      sqlArgs(session.userId));
+  if (!cust.resultSet.empty()) {
+    co_await ctx.query("SELECT * FROM address WHERE addr_id = ?",
+                       sqlArgs(cust.resultSet.intAt(0, "c_addr_id")));
+  }
+  std::size_t rows = 0;
+  if (session.cartId >= 0) {
+    auto lines = co_await ctx.query(
+        "SELECT scl.scl_i_id, scl.scl_qty, i.i_title, i.i_cost FROM shopping_cart_line "
+        "scl JOIN items i ON scl.scl_i_id = i.i_id WHERE scl.scl_sc_id = ?",
+        sqlArgs(session.cartId));
+    rows = lines.resultSet.rowCount();
+  }
+  co_await ctx.leaveCritical(std::move(cs));
+  Page page = listPage(rows, 0, 0);
+  page.secure = true;
+  co_return page;
+}
+
+// ---------------------------------------------------------------- Buy Confirm
+
+Task<Page> BookstoreLogic::buyConfirm(AppContext& ctx, ClientSession& session) {
+  co_await ensureCustomer(ctx, session);
+  ensureCartItem(ctx, session);
+
+  // The purchase transaction. With MyISAM there are no transactions, so the
+  // implementation brackets the whole multi-statement sequence in
+  // LOCK TABLES ... WRITE (or Java monitors in the sync configurations).
+  // This is the paper's principal source of database lock contention.
+  auto cs = co_await ctx.enterCritical(lockSet()
+                                           .write("orders")
+                                           .write("order_line")
+                                           .write("credit_info")
+                                           .write("items")
+                                           .write("shopping_cart_line"));
+
+  // Read the cart with consistent prices and stock.
+  std::vector<std::pair<std::int64_t, int>> lines = session.cart;
+  if (session.cartId >= 0) {
+    auto cartRows = co_await ctx.query(
+        "SELECT scl_i_id, scl_qty FROM shopping_cart_line WHERE scl_sc_id = ?",
+        sqlArgs(session.cartId));
+    if (!cartRows.resultSet.empty()) {
+      lines.clear();
+      for (std::size_t i = 0; i < cartRows.resultSet.rowCount(); ++i) {
+        lines.emplace_back(cartRows.resultSet.intAt(i, "scl_i_id"),
+                           static_cast<int>(cartRows.resultSet.intAt(i, "scl_qty")));
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (const auto& [item, qty] : lines) {
+    auto r = co_await ctx.query("SELECT i_cost, i_stock FROM items WHERE i_id = ?",
+                                sqlArgs(item));
+    total += (r.resultSet.empty() ? 10.0 : r.resultSet.doubleAt(0, "i_cost")) * qty;
+  }
+
+  auto order = co_await ctx.query(
+      "INSERT INTO orders (o_c_id, o_date, o_total, o_ship_type, o_ship_date, o_status, "
+      "o_addr_id) VALUES (?, ?, ?, ?, ?, ?, ?)",
+      sqlArgs(session.userId, 8000, total, "AIR", 8003, "PENDING", session.userId));
+  const std::int64_t orderId = order.lastInsertId;
+
+  for (const auto& [item, qty] : lines) {
+    co_await ctx.query(
+        "INSERT INTO order_line (ol_o_id, ol_i_id, ol_qty, ol_discount) VALUES "
+        "(?, ?, ?, ?)",
+        sqlArgs(orderId, item, qty, 0.0));
+    co_await ctx.query(
+        "UPDATE items SET i_stock = i_stock - ? WHERE i_id = ? AND i_stock >= ?",
+        sqlArgs(qty, item, qty));
+  }
+
+  co_await ctx.query(
+      "INSERT INTO credit_info (ci_o_id, ci_type, ci_num, ci_expiry, ci_auth) VALUES "
+      "(?, ?, ?, ?, ?)",
+      sqlArgs(orderId, "VISA", std::to_string(4'000'000'000'000'000 + orderId), 6000,
+              ctx.rng.randomString(12)));
+
+  if (session.cartId >= 0) {
+    co_await ctx.query("DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+                       sqlArgs(session.cartId));
+  }
+
+  co_await ctx.leaveCritical(std::move(cs));
+
+  session.lastOrderId = orderId;
+  const std::size_t bought = lines.size();
+  session.cart.clear();
+  Page page = listPage(bought, 0, 0);
+  page.secure = true;
+  co_return page;
+}
+
+// -------------------------------------------------------------- Order Inquiry
+
+Task<Page> BookstoreLogic::orderInquiry(AppContext&, ClientSession&) {
+  Page page;
+  page.htmlBytes = kFormHtml;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  page.secure = true;
+  co_return page;
+}
+
+// -------------------------------------------------------------- Order Display
+
+Task<Page> BookstoreLogic::orderDisplay(AppContext& ctx, ClientSession& session) {
+  co_await ensureCustomer(ctx, session);
+  auto cs = co_await ctx.enterCritical(lockSet()
+                                           .read("orders")
+                                           .read("order_line")
+                                           .read("items")
+                                           .read("credit_info"));
+  auto order = co_await ctx.query(
+      "SELECT * FROM orders WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+      sqlArgs(session.userId));
+  std::size_t rows = 0;
+  if (!order.resultSet.empty()) {
+    const std::int64_t orderId = order.resultSet.intAt(0, "o_id");
+    auto lines = co_await ctx.query(
+        "SELECT ol.ol_i_id, ol.ol_qty, ol.ol_discount, i.i_title, i.i_cost "
+        "FROM order_line ol JOIN items i ON ol.ol_i_id = i.i_id WHERE ol.ol_o_id = ?",
+        sqlArgs(orderId));
+    rows = lines.resultSet.rowCount();
+    co_await ctx.query("SELECT ci_type, ci_expiry FROM credit_info WHERE ci_o_id = ?",
+                       sqlArgs(orderId));
+  }
+  co_await ctx.leaveCritical(std::move(cs));
+  Page page = listPage(rows, 0, 0);
+  page.secure = true;
+  co_return page;
+}
+
+// -------------------------------------------------------------- Admin Request
+
+Task<Page> BookstoreLogic::adminRequest(AppContext& ctx, ClientSession& session) {
+  std::int64_t item = session.lastItemId;
+  if (item <= 0) item = ctx.rng.uniformInt(1, scale_.items);
+  auto r = co_await ctx.query("SELECT * FROM items WHERE i_id = ?", sqlArgs(item));
+  session.lastItemId = item;
+  Page page;
+  page.htmlBytes = kFormHtml + 1200;
+  page.imageCount = kNavImages + 1;
+  page.imageBytes = kNavImageBytes +
+                    (r.resultSet.empty()
+                         ? 0
+                         : static_cast<std::size_t>(r.resultSet.intAt(0, "i_image_bytes")));
+  page.secure = true;
+  co_return page;
+}
+
+// -------------------------------------------------------------- Admin Confirm
+
+Task<Page> BookstoreLogic::adminConfirm(AppContext& ctx, ClientSession& session) {
+  std::int64_t item = session.lastItemId;
+  if (item <= 0) item = ctx.rng.uniformInt(1, scale_.items);
+
+  // TPC-W admin update: set new price/image and recompute the related-items
+  // list from recent purchase history. The recompute is a heavy read that
+  // runs inside the same critical section as the items update.
+  auto cs = co_await ctx.enterCritical(
+      lockSet().write("items").read("orders").read("order_line"));
+
+  auto maxOrder = co_await ctx.query("SELECT MAX(o_id) AS m FROM orders");
+  const std::int64_t horizon =
+      maxOrder.resultSet.empty() || maxOrder.resultSet.at(0, "m").isNull()
+          ? 0
+          : maxOrder.resultSet.intAt(0, "m") - 3333;
+  auto related = co_await ctx.query(
+      "SELECT ol.ol_i_id AS i_id, SUM(ol.ol_qty) AS total FROM order_line ol "
+      "WHERE ol.ol_o_id >= ? GROUP BY ol.ol_i_id ORDER BY total DESC LIMIT 4",
+      sqlArgs(horizon));
+  std::int64_t rel[4] = {1, 1, 1, 1};
+  for (std::size_t i = 0; i < related.resultSet.rowCount() && i < 4; ++i) {
+    rel[i] = related.resultSet.intAt(i, "i_id");
+  }
+  co_await ctx.query(
+      "UPDATE items SET i_cost = ?, i_related1 = ?, i_related2 = ?, i_related3 = ?, "
+      "i_related4 = ?, i_pub_date = ? WHERE i_id = ?",
+      sqlArgs(ctx.rng.uniformReal(5.0, 120.0), rel[0], rel[1], rel[2], rel[3], 8000, item));
+
+  co_await ctx.leaveCritical(std::move(cs));
+
+  Page page;
+  page.htmlBytes = kTemplateHtml + 1200;
+  page.imageCount = kNavImages;
+  page.imageBytes = kNavImageBytes;
+  page.secure = true;
+  co_return page;
+}
+
+// ------------------------------------------------------------------- Mixes
+
+wl::MixMatrix mixMatrix(Mix mix) {
+  const std::vector<std::string> states{
+      "Home",          "NewProducts",  "BestSellers",          "ProductDetail",
+      "SearchRequest", "SearchResults", "ShoppingCart",        "CustomerRegistration",
+      "BuyRequest",    "BuyConfirm",    "OrderInquiry",        "OrderDisplay",
+      "AdminRequest",  "AdminConfirm"};
+  // The paper's split (§3.1): six interactions are read-only (home, new
+  // products, best sellers, product detail, and the two search
+  // interactions); the other eight form the read-write/ordering class.
+  const std::vector<bool> readWrite{false, false, false, false, false, false, true,
+                                    true,  true,  true,  true,  true,  true,  true};
+
+  // Occurrence rates follow TPC-W's WIPSb (browsing), WIPS (shopping) and
+  // WIPSo (ordering) interaction frequencies.
+  std::vector<double> weights;
+  std::string name;
+  switch (mix) {
+    case Mix::Browsing:
+      name = "browsing";
+      weights = {29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00,
+                 0.82,  0.75,  0.69,  0.30,  0.25,  0.10,  0.09};
+      break;
+    case Mix::Shopping:
+      name = "shopping";
+      weights = {16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60,
+                 3.00,  2.60, 1.20, 0.75,  0.25,  0.10,  0.09};
+      break;
+    case Mix::Ordering:
+      name = "ordering";
+      weights = {9.12,  0.46,  0.46,  12.35, 14.53, 13.08, 13.53,
+                 12.86, 12.73, 10.18, 0.25,  0.22,  0.12,  0.11};
+      break;
+  }
+
+  wl::MixBuilder builder(name, states, weights, readWrite);
+  // Navigation structure: forms flow to their results, purchases flow
+  // through registration -> buy request -> buy confirm.
+  builder.follow("SearchRequest", "SearchResults", 0.85)
+      .follow("CustomerRegistration", "BuyRequest", 0.80)
+      .follow("BuyRequest", "BuyConfirm", 0.60)
+      .follow("OrderInquiry", "OrderDisplay", 0.60)
+      .follow("AdminRequest", "AdminConfirm", 0.75)
+      .follow("ShoppingCart", "CustomerRegistration", 0.25);
+  return builder.build(/*initialState=*/0);
+}
+
+}  // namespace mwsim::apps::bookstore

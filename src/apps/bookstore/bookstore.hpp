@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string_view>
+
+#include "apps/bookstore/schema.hpp"
+#include "middleware/application.hpp"
+#include "workload/mix.hpp"
+
+namespace mwsim::apps::bookstore {
+
+/// Workload mixes from TPC-W (paper §3.1): the browsing mix is 95 %
+/// read-only, shopping 80 %, ordering 50 %.
+enum class Mix { Browsing, Shopping, Ordering };
+
+/// Builds the Markov matrix for a mix. Occurrence rates follow the TPC-W
+/// WIPSb/WIPS/WIPSo interaction frequencies; navigation structure (search
+/// form -> results, buy request -> confirm, ...) is enforced with
+/// transition overrides. See DESIGN.md for the substitution note.
+wl::MixMatrix mixMatrix(Mix mix);
+
+/// The 14 TPC-W interactions implemented with explicit SQL — shared verbatim
+/// between the PHP and servlet tiers, as in the paper. Critical sections go
+/// through AppContext::enterCritical, so the same code runs with
+/// `LOCK TABLES` (PHP / non-sync servlets) or Java monitors (sync servlets).
+class BookstoreLogic final : public mw::SqlBusinessLogic {
+ public:
+  explicit BookstoreLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::AppContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  sim::Task<mw::Page> home(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> newProducts(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> bestSellers(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> productDetail(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> searchRequest(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> searchResults(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> shoppingCart(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> customerRegistration(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> buyRequest(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> buyConfirm(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> orderInquiry(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> orderDisplay(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> adminRequest(mw::AppContext& ctx, mw::ClientSession& session);
+  sim::Task<mw::Page> adminConfirm(mw::AppContext& ctx, mw::ClientSession& session);
+
+  sim::Task<> ensureCustomer(mw::AppContext& ctx, mw::ClientSession& session);
+  void ensureCartItem(mw::AppContext& ctx, mw::ClientSession& session);
+
+  Scale scale_;
+};
+
+}  // namespace mwsim::apps::bookstore

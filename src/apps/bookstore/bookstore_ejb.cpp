@@ -1,0 +1,397 @@
+#include "apps/bookstore/bookstore_ejb.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "middleware/db_session.hpp"
+
+namespace mwsim::apps::bookstore {
+
+using mw::sqlArgs;
+using mw::ClientSession;
+using mw::EjbContext;
+using mw::EntityManager;
+using mw::Page;
+using sim::Task;
+
+namespace {
+
+constexpr std::size_t kTemplateHtml = 4200;
+constexpr std::size_t kRowHtml = 170;
+constexpr std::size_t kFormHtml = 2600;
+constexpr int kNavImages = 7;
+constexpr std::size_t kNavImageBytes = 7300;
+
+Page listPage(std::size_t rows, int extraImages, std::size_t extraImageBytes) {
+  Page page;
+  page.htmlBytes = kTemplateHtml + rows * kRowHtml;
+  page.imageCount = kNavImages + extraImages;
+  page.imageBytes = kNavImageBytes + extraImageBytes;
+  return page;
+}
+
+Task<> ensureCustomer(EjbContext& ctx, ClientSession& session, const Scale& scale) {
+  if (session.userId < 0) {
+    session.userId = ctx.rng.uniformInt(1, scale.customers());
+  }
+  co_return;
+}
+
+/// Loads an item entity plus its author, reading the display fields — the
+/// standard per-row bean walk used by all listing facades.
+Task<std::size_t> showItem(EjbContext& ctx, EntityManager::Handle item) {
+  (void)co_await ctx.em.get(item, "i_title");
+  (void)co_await ctx.em.get(item, "i_srp");
+  const auto authorId = co_await ctx.em.get(item, "i_a_id");
+  auto author = co_await ctx.em.find("authors", authorId);
+  if (author) {
+    (void)co_await ctx.em.get(*author, "a_fname");
+    (void)co_await ctx.em.get(*author, "a_lname");
+  }
+  const auto thumb = co_await ctx.em.get(item, "i_thumbnail_bytes");
+  co_return static_cast<std::size_t>(thumb.asInt());
+}
+
+}  // namespace
+
+Task<Page> BookstoreEjbLogic::invoke(std::string_view interaction, EjbContext& ctx,
+                                     ClientSession& session) {
+  EntityManager& em = ctx.em;
+
+  if (interaction == "Home") {
+    co_await ensureCustomer(ctx, session, scale_);
+    auto customer = co_await em.find("customers", db::Value(session.userId));
+    if (customer) {
+      (void)co_await em.get(*customer, "c_fname");
+      (void)co_await em.get(*customer, "c_lname");
+    }
+    const std::int64_t anchorId = ctx.rng.uniformInt(1, scale_.items);
+    auto anchor = co_await em.find("items", db::Value(anchorId));
+    std::size_t thumbs = 0;
+    int promos = 0;
+    if (anchor) {
+      for (const char* field : {"i_related1", "i_related2", "i_related3", "i_related4"}) {
+        const auto rel = co_await em.get(*anchor, field);
+        auto relItem = co_await em.find("items", rel);
+        if (relItem) {
+          (void)co_await em.get(*relItem, "i_title");
+          thumbs += static_cast<std::size_t>(
+              (co_await em.get(*relItem, "i_thumbnail_bytes")).asInt());
+          ++promos;
+        }
+      }
+    }
+    session.lastItemId = anchorId;
+    co_return listPage(4, promos, thumbs);
+  }
+
+  if (interaction == "NewProducts") {
+    const std::int64_t subject = ctx.rng.uniformInt(0, scale_.subjects - 1);
+    auto items = co_await em.finder(
+        "SELECT i_id FROM items WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT 50",
+        sqlArgs(subject), "items");
+    std::size_t thumbs = 0;
+    int shown = 0;
+    for (auto h : items) {
+      const std::size_t t = co_await showItem(ctx, h);
+      if (shown < 5) {
+        thumbs += t;
+        ++shown;
+      }
+    }
+    if (!items.empty()) {
+      session.lastItemId = (co_await em.get(items.front(), "i_id")).asInt();
+    }
+    co_return listPage(items.size(), shown, thumbs);
+  }
+
+  if (interaction == "BestSellers") {
+    // CMP cannot aggregate; the facade walks recent order-line entities and
+    // aggregates in Java — the paper's "too many short queries" pathology.
+    auto maxOrder = co_await ctx.db.execute(
+        "SELECT MAX(o_id) AS m FROM orders");  // bean-managed helper read
+    const std::int64_t horizon =
+        maxOrder.resultSet.at(0, "m").isNull()
+            ? 0
+            : maxOrder.resultSet.intAt(0, "m") - kBestSellerWindow;
+    auto lines = co_await em.finder(
+        "SELECT ol_id FROM order_line WHERE ol_o_id >= ?", sqlArgs(horizon),
+        "order_line");
+    std::map<std::int64_t, std::int64_t> quantities;
+    for (auto h : lines) {
+      const auto item = co_await em.get(h, "ol_i_id");
+      const auto qty = co_await em.get(h, "ol_qty");
+      quantities[item.asInt()] += qty.asInt();
+    }
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranked(quantities.begin(),
+                                                              quantities.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (ranked.size() > 50) ranked.resize(50);
+    for (const auto& [itemId, qty] : ranked) {
+      (void)qty;
+      auto item = co_await em.find("items", db::Value(itemId));
+      if (item) (void)co_await showItem(ctx, *item);
+    }
+    if (!ranked.empty()) session.lastItemId = ranked.front().first;
+    co_return listPage(ranked.size(), 0, 0);
+  }
+
+  if (interaction == "ProductDetail" || interaction == "AdminRequest") {
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.items);
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (!item) {
+      itemId = ctx.rng.uniformInt(1, scale_.items);
+      item = co_await em.find("items", db::Value(itemId));
+    }
+    session.lastItemId = itemId;
+    std::size_t imageBytes = 0;
+    if (item) {
+      (void)co_await showItem(ctx, *item);
+      (void)co_await em.get(*item, "i_cost");
+      (void)co_await em.get(*item, "i_stock");
+      imageBytes = static_cast<std::size_t>(
+          (co_await em.get(*item, "i_image_bytes")).asInt());
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + 1500;
+    page.imageCount = kNavImages + 1;
+    page.imageBytes = kNavImageBytes + imageBytes;
+    page.secure = interaction == "AdminRequest";
+    co_return page;
+  }
+
+  if (interaction == "SearchRequest" || interaction == "OrderInquiry") {
+    Page page;
+    page.htmlBytes = kFormHtml;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    page.secure = interaction == "OrderInquiry";
+    co_return page;
+  }
+
+  if (interaction == "SearchResults") {
+    const int kind = static_cast<int>(ctx.rng.uniformInt(0, 2));
+    std::vector<EntityManager::Handle> items;
+    if (kind == 0) {
+      const std::string prefix = ctx.rng.randomString(2) + "%";
+      auto authors = co_await em.finder(
+          "SELECT a_id FROM authors WHERE a_lname LIKE ? LIMIT 10", sqlArgs(prefix),
+          "authors");
+      for (auto a : authors) {
+        const auto authorId = co_await em.get(a, "a_id");
+        auto byAuthor = co_await em.finder(
+            "SELECT i_id FROM items WHERE i_a_id = ? LIMIT 50", sqlArgs(authorId.asInt()),
+            "items");
+        items.insert(items.end(), byAuthor.begin(), byAuthor.end());
+      }
+    } else if (kind == 1) {
+      const std::string needle = "%" + ctx.rng.randomString(3) + "%";
+      items = co_await em.finder(
+          "SELECT i_id FROM items WHERE i_title LIKE ? LIMIT 50", sqlArgs(needle), "items");
+    } else {
+      const std::int64_t subject = ctx.rng.uniformInt(0, scale_.subjects - 1);
+      items = co_await em.finder(
+          "SELECT i_id FROM items WHERE i_subject = ? ORDER BY i_title LIMIT 50",
+          sqlArgs(subject), "items");
+    }
+    if (items.size() > 50) items.resize(50);
+    for (auto h : items) (void)co_await showItem(ctx, h);
+    if (!items.empty()) {
+      session.lastItemId = (co_await em.get(items.front(), "i_id")).asInt();
+    }
+    co_return listPage(items.size(), 0, 0);
+  }
+
+  if (interaction == "ShoppingCart") {
+    if (session.cart.empty() || ctx.rng.bernoulli(0.7)) {
+      std::int64_t itemId = session.lastItemId;
+      if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.items);
+      session.cart.emplace_back(itemId, static_cast<int>(ctx.rng.uniformInt(1, 3)));
+    } else {
+      session.cart.back().second = static_cast<int>(ctx.rng.uniformInt(1, 5));
+    }
+    if (session.cart.size() > 8) session.cart.erase(session.cart.begin());
+    std::size_t thumbs = 0;
+    for (const auto& [itemId, qty] : session.cart) {
+      (void)qty;
+      auto item = co_await em.find("items", db::Value(itemId));
+      if (item) thumbs += co_await showItem(ctx, *item);
+    }
+    co_return listPage(session.cart.size(), static_cast<int>(session.cart.size()),
+                       thumbs);
+  }
+
+  if (interaction == "CustomerRegistration") {
+    Page page;
+    if (ctx.rng.bernoulli(0.8)) {
+      const std::int64_t id = ctx.rng.uniformInt(1, scale_.customers());
+      auto found = co_await em.finder("SELECT c_id FROM customers WHERE c_uname = ?",
+                                      sqlArgs("user" + std::to_string(id)), "customers");
+      if (!found.empty()) {
+        session.userId = (co_await em.get(found.front(), "c_id")).asInt();
+      }
+    } else {
+      std::vector<std::string> addrCols{"addr_street", "addr_city", "addr_state",
+                                        "addr_zip", "addr_co_id"};
+      auto addr = co_await em.create(
+          "address", std::move(addrCols),
+          sqlArgs(ctx.rng.randomString(16), ctx.rng.randomString(10),
+               ctx.rng.randomString(2), std::to_string(ctx.rng.uniformInt(10000, 99999)),
+               ctx.rng.uniformInt(1, scale_.countries)));
+      const auto addrId = co_await em.get(addr, "addr_id");
+      const std::string uname =
+          "newuser" + std::to_string(ctx.rng.uniformInt(1, 1 << 30));
+      std::vector<std::string> custCols{"c_uname", "c_passwd",   "c_fname",
+                                        "c_lname", "c_email",    "c_since",
+                                        "c_discount", "c_addr_id"};
+      auto cust = co_await em.create(
+          "customers", std::move(custCols),
+          sqlArgs(uname, ctx.rng.randomString(8), ctx.rng.randomString(7),
+               ctx.rng.randomString(9), uname + "@example.com",
+               ctx.rng.uniformInt(4000, 4100), ctx.rng.uniformReal(0.0, 0.5),
+               addrId.asInt()));
+      session.userId = (co_await em.get(cust, "c_id")).asInt();
+    }
+    page.htmlBytes = kFormHtml + 900;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    co_return page;
+  }
+
+  if (interaction == "BuyRequest") {
+    co_await ensureCustomer(ctx, session, scale_);
+    if (session.cart.empty()) {
+      session.cart.emplace_back(ctx.rng.uniformInt(1, scale_.items),
+                                static_cast<int>(ctx.rng.uniformInt(1, 3)));
+    }
+    auto customer = co_await em.find("customers", db::Value(session.userId));
+    if (customer) {
+      (void)co_await em.get(*customer, "c_fname");
+      (void)co_await em.get(*customer, "c_discount");
+      const auto addrId = co_await em.get(*customer, "c_addr_id");
+      auto addr = co_await em.find("address", addrId);
+      if (addr) (void)co_await em.get(*addr, "addr_city");
+    }
+    for (const auto& [itemId, qty] : session.cart) {
+      (void)qty;
+      auto item = co_await em.find("items", db::Value(itemId));
+      if (item) (void)co_await em.get(*item, "i_cost");
+    }
+    Page page = listPage(session.cart.size(), 0, 0);
+    page.secure = true;
+    co_return page;
+  }
+
+  if (interaction == "BuyConfirm") {
+    co_await ensureCustomer(ctx, session, scale_);
+    if (session.cart.empty()) {
+      session.cart.emplace_back(ctx.rng.uniformInt(1, scale_.items),
+                                static_cast<int>(ctx.rng.uniformInt(1, 3)));
+    }
+    double total = 0.0;
+    for (const auto& [itemId, qty] : session.cart) {
+      auto item = co_await em.find("items", db::Value(itemId));
+      if (item) {
+        total += (co_await em.get(*item, "i_cost")).asDouble() * qty;
+        const auto stock = co_await em.get(*item, "i_stock");
+        co_await em.set(*item, "i_stock", db::Value(stock.asInt() - qty));
+      }
+    }
+    std::vector<std::string> orderCols{"o_c_id", "o_date",      "o_total", "o_ship_type",
+                                       "o_ship_date", "o_status", "o_addr_id"};
+    auto order = co_await em.create(
+        "orders", std::move(orderCols),
+        sqlArgs(session.userId, 8000, total, "AIR", 8003, "PENDING", session.userId));
+    const std::int64_t orderId = (co_await em.get(order, "o_id")).asInt();
+    for (const auto& [itemId, qty] : session.cart) {
+      std::vector<std::string> lineCols{"ol_o_id", "ol_i_id", "ol_qty", "ol_discount"};
+      (void)co_await em.create("order_line", std::move(lineCols),
+                               sqlArgs(orderId, itemId, qty, 0.0));
+    }
+    std::vector<std::string> ciCols{"ci_o_id", "ci_type", "ci_num", "ci_expiry",
+                                    "ci_auth"};
+    (void)co_await em.create(
+        "credit_info", std::move(ciCols),
+        sqlArgs(orderId, "VISA", std::to_string(4'000'000'000'000'000 + orderId), 6000,
+             ctx.rng.randomString(12)));
+    session.lastOrderId = orderId;
+    const std::size_t rows = session.cart.size();
+    session.cart.clear();
+    Page page = listPage(rows, 0, 0);
+    page.secure = true;
+    co_return page;
+  }
+
+  if (interaction == "OrderDisplay") {
+    co_await ensureCustomer(ctx, session, scale_);
+    auto orders = co_await em.finder(
+        "SELECT o_id FROM orders WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+        sqlArgs(session.userId), "orders");
+    std::size_t rows = 0;
+    if (!orders.empty()) {
+      const auto orderId = co_await em.get(orders.front(), "o_id");
+      auto lines = co_await em.finder("SELECT ol_id FROM order_line WHERE ol_o_id = ?",
+                                      sqlArgs(orderId.asInt()), "order_line");
+      rows = lines.size();
+      for (auto h : lines) {
+        const auto itemId = co_await em.get(h, "ol_i_id");
+        auto item = co_await em.find("items", itemId);
+        if (item) (void)co_await em.get(*item, "i_title");
+      }
+      auto credit = co_await em.finder("SELECT ci_id FROM credit_info WHERE ci_o_id = ?",
+                                       sqlArgs(orderId.asInt()), "credit_info");
+      if (!credit.empty()) (void)co_await em.get(credit.front(), "ci_type");
+    }
+    Page page = listPage(rows, 0, 0);
+    page.secure = true;
+    co_return page;
+  }
+
+  if (interaction == "AdminConfirm") {
+    std::int64_t itemId = session.lastItemId;
+    if (itemId <= 0) itemId = ctx.rng.uniformInt(1, scale_.items);
+    auto item = co_await em.find("items", db::Value(itemId));
+    if (item) {
+      auto maxOrder = co_await ctx.db.execute("SELECT MAX(o_id) AS m FROM orders");
+      const std::int64_t horizon =
+          maxOrder.resultSet.at(0, "m").isNull()
+              ? 0
+              : maxOrder.resultSet.intAt(0, "m") - kBestSellerWindow;
+      auto lines = co_await em.finder("SELECT ol_id FROM order_line WHERE ol_o_id >= ?",
+                                      sqlArgs(horizon), "order_line");
+      std::map<std::int64_t, std::int64_t> quantities;
+      for (auto h : lines) {
+        const auto lineItem = co_await em.get(h, "ol_i_id");
+        const auto qty = co_await em.get(h, "ol_qty");
+        quantities[lineItem.asInt()] += qty.asInt();
+      }
+      std::vector<std::pair<std::int64_t, std::int64_t>> ranked(quantities.begin(),
+                                                                quantities.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      const char* fields[4] = {"i_related1", "i_related2", "i_related3", "i_related4"};
+      for (int i = 0; i < 4; ++i) {
+        const std::int64_t rel = i < static_cast<int>(ranked.size())
+                                     ? ranked[static_cast<std::size_t>(i)].first
+                                     : 1;
+        co_await em.set(*item, fields[i], db::Value(rel));
+      }
+      co_await em.set(*item, "i_cost", db::Value(ctx.rng.uniformReal(5.0, 120.0)));
+      co_await em.set(*item, "i_pub_date", db::Value(std::int64_t{8000}));
+    }
+    Page page;
+    page.htmlBytes = kTemplateHtml + 1200;
+    page.imageCount = kNavImages;
+    page.imageBytes = kNavImageBytes;
+    page.secure = true;
+    co_return page;
+  }
+
+  throw std::runtime_error("bookstore-ejb: unknown interaction " +
+                           std::string(interaction));
+}
+
+}  // namespace mwsim::apps::bookstore

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string_view>
+
+#include "apps/bookstore/schema.hpp"
+#include "middleware/ejb.hpp"
+
+namespace mwsim::apps::bookstore {
+
+/// The bookstore's business logic as session-facade methods over CMP entity
+/// beans (paper Figure 3). Functionally equivalent to BookstoreLogic, but
+/// every row is reached through findByPrimaryKey/finder activations and
+/// every update flows through set()+commit — producing the flood of short
+/// queries the paper blames for the EJB configuration's low throughput.
+class BookstoreEjbLogic final : public mw::EjbBusinessLogic {
+ public:
+  explicit BookstoreEjbLogic(const Scale& scale) : scale_(scale) {}
+
+  sim::Task<mw::Page> invoke(std::string_view interaction, mw::EjbContext& ctx,
+                             mw::ClientSession& session) override;
+
+ private:
+  /// Pure-CMP aggregation is impractical; the facade walks the order lines
+  /// of this many recent orders, activating one entity bean per line (see
+  /// DESIGN.md).
+  static constexpr std::int64_t kBestSellerWindow = 2500;
+
+  Scale scale_;
+};
+
+}  // namespace mwsim::apps::bookstore

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "sim/random.hpp"
+
+namespace mwsim::apps::bookstore {
+
+/// Database scale for the online bookstore (paper §3.1: 10,000 items and
+/// 288,000 customers; ~350 MB). `scale` shrinks the customer/order history
+/// for faster benching without changing per-query work — items stay at
+/// 10,000 because they drive the scan-heavy queries (see DESIGN.md).
+struct Scale {
+  double scale = 1.0;
+  std::int64_t items = 10'000;
+  std::int64_t authors = 2'500;  // TPC-W: items / 4
+  std::int64_t customers() const { return static_cast<std::int64_t>(288'000 * scale); }
+  std::int64_t initialOrders() const {
+    return static_cast<std::int64_t>(0.9 * static_cast<double>(customers()));
+  }
+  std::int64_t countries = 92;
+  int subjects = 24;  // TPC-W subject categories
+};
+
+/// Creates the paper's eight tables: customers, address, orders,
+/// order_line, credit_info, items, authors, countries.
+void createSchema(db::Database& database);
+
+/// Populates the tables at the given scale. Deterministic for a fixed seed.
+void populate(db::Database& database, const Scale& scale, sim::Rng& rng);
+
+}  // namespace mwsim::apps::bookstore

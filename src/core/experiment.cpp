@@ -1,0 +1,239 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "apps/auction/auction.hpp"
+#include "apps/auction/auction_ejb.hpp"
+#include "apps/auction/schema.hpp"
+#include "apps/bbs/bbs.hpp"
+#include "apps/bbs/schema.hpp"
+#include "apps/bookstore/bookstore.hpp"
+#include "apps/bookstore/bookstore_ejb.hpp"
+#include "apps/bookstore/schema.hpp"
+#include "middleware/ejb.hpp"
+#include "middleware/php_module.hpp"
+#include "middleware/servlet_engine.hpp"
+#include "middleware/web_server.hpp"
+#include "workload/client.hpp"
+
+namespace mwsim::core {
+
+const char* configurationName(Configuration c) {
+  switch (c) {
+    case Configuration::WsPhpDb: return "WsPhp-DB";
+    case Configuration::WsServletDb: return "WsServlet-DB";
+    case Configuration::WsServletDbSync: return "WsServlet-DB(sync)";
+    case Configuration::WsServletSepDb: return "Ws-Servlet-DB";
+    case Configuration::WsServletSepDbSync: return "Ws-Servlet-DB(sync)";
+    case Configuration::WsServletEjbDb: return "Ws-Servlet-EJB-DB";
+  }
+  return "?";
+}
+
+std::vector<Configuration> allConfigurations() {
+  return {Configuration::WsPhpDb,          Configuration::WsServletDb,
+          Configuration::WsServletDbSync,  Configuration::WsServletSepDb,
+          Configuration::WsServletSepDbSync, Configuration::WsServletEjbDb};
+}
+
+const char* mixName(App app, int mix) {
+  switch (app) {
+    case App::Bookstore:
+      switch (mix) {
+        case 0: return "browsing";
+        case 1: return "shopping";
+        case 2: return "ordering";
+      }
+      break;
+    case App::Auction:
+      switch (mix) {
+        case 0: return "browsing";
+        case 1: return "bidding";
+      }
+      break;
+    case App::BulletinBoard:
+      switch (mix) {
+        case 0: return "browsing";
+        case 1: return "submission";
+      }
+      break;
+  }
+  return "?";
+}
+
+ExperimentResult runExperiment(const ExperimentParams& params) {
+  sim::Simulation simulation(params.seed);
+  net::Network network(simulation);
+
+  // Machines. The client farm gets an effectively infinite NIC — the paper
+  // uses "enough client emulation machines" that clients never bottleneck;
+  // traffic to clients still loads the web server's own NIC.
+  net::Machine clients(simulation, "clients", /*cores=*/64, /*nic=*/1e12);
+  net::Machine web(simulation, "WebServer");
+  net::Machine dbMachine(simulation, "Database");
+
+  const bool hasSeparateServlet = params.config == Configuration::WsServletSepDb ||
+                                  params.config == Configuration::WsServletSepDbSync ||
+                                  params.config == Configuration::WsServletEjbDb;
+  const bool hasEjb = params.config == Configuration::WsServletEjbDb;
+  const bool syncLocking = params.config == Configuration::WsServletDbSync ||
+                           params.config == Configuration::WsServletSepDbSync;
+
+  std::unique_ptr<net::Machine> servletMachine;
+  if (hasSeparateServlet) {
+    servletMachine = std::make_unique<net::Machine>(simulation, "Servlet Container");
+  }
+  std::unique_ptr<net::Machine> ejbMachine;
+  if (hasEjb) {
+    ejbMachine = std::make_unique<net::Machine>(simulation, "EJB Server");
+  }
+
+  // Database content.
+  db::Database database;
+  sim::Rng dataRng(sim::deriveSeed(params.seed, /*tag=*/0xDB));
+  apps::bookstore::Scale bookScale;
+  bookScale.scale = params.bookstoreScale;
+  apps::auction::Scale auctionScale;
+  auctionScale.historyScale = params.auctionHistoryScale;
+  apps::bbs::Scale bbsScale;
+  bbsScale.historyScale = params.bbsHistoryScale;
+  switch (params.app) {
+    case App::Bookstore:
+      apps::bookstore::createSchema(database);
+      apps::bookstore::populate(database, bookScale, dataRng);
+      break;
+    case App::Auction:
+      apps::auction::createSchema(database);
+      apps::auction::populate(database, auctionScale, dataRng);
+      break;
+    case App::BulletinBoard:
+      apps::bbs::createSchema(database);
+      apps::bbs::populate(database, bbsScale, dataRng);
+      break;
+  }
+  // Coarse memory accounting for the resource-usage reports (paper §5.1 /
+  // §6.1): the database holds the tables plus server overhead; the web
+  // server's processes plus the static-image buffer cache; JVM heaps for
+  // the servlet/EJB tiers.
+  dbMachine.addMemory(static_cast<std::int64_t>(database.approxBytes()) + 48'000'000);
+  web.addMemory(params.app == App::Bookstore ? 70'000'000 + 183'000'000
+                                             : 110'000'000);  // images live on disk
+  if (servletMachine) servletMachine->addMemory(95'000'000);
+  if (ejbMachine) ejbMachine->addMemory(190'000'000);
+
+  mw::DatabaseServer dbServer(simulation, dbMachine, database, params.cost);
+
+  // Business logic.
+  std::unique_ptr<mw::SqlBusinessLogic> sqlLogic;
+  std::unique_ptr<mw::EjbBusinessLogic> ejbLogic;
+  switch (params.app) {
+    case App::Bookstore:
+      if (hasEjb) ejbLogic = std::make_unique<apps::bookstore::BookstoreEjbLogic>(bookScale);
+      else sqlLogic = std::make_unique<apps::bookstore::BookstoreLogic>(bookScale);
+      break;
+    case App::Auction:
+      if (hasEjb) ejbLogic = std::make_unique<apps::auction::AuctionEjbLogic>(auctionScale);
+      else sqlLogic = std::make_unique<apps::auction::AuctionLogic>(auctionScale);
+      break;
+    case App::BulletinBoard:
+      if (hasEjb) ejbLogic = std::make_unique<apps::bbs::BbsEjbLogic>(bbsScale);
+      else sqlLogic = std::make_unique<apps::bbs::BbsLogic>(bbsScale);
+      break;
+  }
+
+  // Dynamic-content generator per configuration.
+  std::unique_ptr<mw::DynamicContentGenerator> generator;
+  switch (params.config) {
+    case Configuration::WsPhpDb:
+      generator = std::make_unique<mw::PhpModule>(simulation, network, web, dbServer,
+                                                  *sqlLogic, params.cost, params.seed);
+      break;
+    case Configuration::WsServletDb:
+    case Configuration::WsServletDbSync:
+      generator = std::make_unique<mw::ServletEngine>(simulation, network, web, web,
+                                                      dbServer, *sqlLogic, syncLocking,
+                                                      params.cost, params.seed);
+      break;
+    case Configuration::WsServletSepDb:
+    case Configuration::WsServletSepDbSync:
+      generator = std::make_unique<mw::ServletEngine>(
+          simulation, network, web, *servletMachine, dbServer, *sqlLogic, syncLocking,
+          params.cost, params.seed);
+      break;
+    case Configuration::WsServletEjbDb:
+      generator = std::make_unique<mw::EjbGenerator>(simulation, network, web,
+                                                     *servletMachine, *ejbMachine,
+                                                     dbServer, *ejbLogic, params.cost,
+                                                     params.seed);
+      break;
+  }
+
+  mw::WebServer webServer(simulation, web, network, clients, params.cost);
+  webServer.setGenerator(generator.get());
+
+  // Workload.
+  const wl::MixMatrix mix = [&] {
+    switch (params.app) {
+      case App::Bookstore:
+        return apps::bookstore::mixMatrix(static_cast<apps::bookstore::Mix>(params.mix));
+      case App::Auction:
+        return apps::auction::mixMatrix(static_cast<apps::auction::Mix>(params.mix));
+      default:
+        return apps::bbs::mixMatrix(static_cast<apps::bbs::Mix>(params.mix));
+    }
+  }();
+  wl::WorkloadStats stats;
+  wl::ClientFarm farm(simulation, webServer, mix, params.clients, stats, params.seed);
+  farm.start();
+
+  // Usage metering, in the paper's figure order.
+  stats::UsageWindow usage;
+  usage.addMachine(&web);
+  usage.addMachine(&dbMachine);
+  if (servletMachine) usage.addMachine(servletMachine.get());
+  if (ejbMachine) usage.addMachine(ejbMachine.get());
+
+  // Phases: ramp-up, measurement, ramp-down (paper §4.5).
+  simulation.runUntil(params.rampUp);
+  stats.measuring = true;
+  usage.start(simulation.now());
+  simulation.runUntil(params.rampUp + params.measure);
+  stats.measuring = false;
+  usage.stop(simulation.now());
+  simulation.runUntil(params.rampUp + params.measure + params.rampDown);
+  // Tear down all client processes while every referenced object is alive.
+  simulation.shutdown();
+
+  ExperimentResult result;
+  const double minutes = sim::toSeconds(params.measure) / 60.0;
+  result.interactions = stats.completedInteractions;
+  result.readWriteInteractions = stats.completedReadWrite;
+  result.queries = stats.totalQueries;
+  result.throughputIpm = static_cast<double>(stats.completedInteractions) / minutes;
+  result.meanResponseSeconds = stats.responseSeconds.mean();
+  result.p90ResponseSeconds = stats.responseSeconds.percentile(90);
+  result.usage = usage.usage();
+  for (const auto& [key, traffic] : network.matrix()) result.traffic[key] = traffic;
+  for (const auto& [table, lock] : dbServer.tableLocks()) {
+    (void)table;
+    result.lockAcquisitions += lock->readAcquisitions() + lock->writeAcquisitions();
+    result.contendedLockAcquisitions += lock->contendedAcquisitions();
+    result.lockWaitSeconds += sim::toSeconds(lock->totalWait());
+  }
+  result.databaseBytes = database.approxBytes();
+  return result;
+}
+
+std::vector<ExperimentResult> sweepClients(ExperimentParams params,
+                                           const std::vector<int>& clientCounts) {
+  std::vector<ExperimentResult> out;
+  out.reserve(clientCounts.size());
+  for (int clients : clientCounts) {
+    params.clients = clients;
+    out.push_back(runExperiment(params));
+  }
+  return out;
+}
+
+}  // namespace mwsim::core

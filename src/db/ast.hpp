@@ -1,0 +1,201 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace mwsim::db {
+
+/// Abstract syntax for the SQL subset the engine executes.
+///
+/// Supported statements: SELECT (single table or one-level equi-joins,
+/// WHERE with AND/OR, GROUP BY, aggregates, ORDER BY, LIMIT/OFFSET),
+/// INSERT, UPDATE, DELETE, LOCK TABLES, UNLOCK TABLES.
+
+enum class BinOp {
+  Eq, Ne, Lt, Le, Gt, Ge,  // comparisons
+  And, Or,
+  Add, Sub, Mul, Div,
+  Like,
+};
+
+enum class AggFunc { None, Count, Sum, Min, Max, Avg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Literal, Column, Param, Binary, Aggregate, Star, In, IsNull, Not };
+
+  Kind kind = Kind::Literal;
+  /// IsNull: true for IS NOT NULL.
+  bool negated = false;
+
+  // Literal
+  Value literal;
+
+  // Column: optional table qualifier + column name
+  std::string tableQualifier;
+  std::string column;
+
+  // Param: 1-based ? placeholder index
+  std::size_t paramIndex = 0;
+
+  // Binary
+  BinOp op = BinOp::Eq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // Aggregate: func(arg) — arg may be Star for COUNT(*)
+  AggFunc agg = AggFunc::None;
+  ExprPtr aggArg;
+
+  // In: lhs IN (list...)
+  std::vector<ExprPtr> list;
+
+  static ExprPtr makeLiteral(Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Literal;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr makeColumn(std::string qualifier, std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Column;
+    e->tableQualifier = std::move(qualifier);
+    e->column = std::move(name);
+    return e;
+  }
+  static ExprPtr makeParam(std::size_t index) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Param;
+    e->paramIndex = index;
+    return e;
+  }
+  static ExprPtr makeBinary(BinOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Binary;
+    e->op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+  }
+  static ExprPtr makeAggregate(AggFunc f, ExprPtr arg) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Aggregate;
+    e->agg = f;
+    e->aggArg = std::move(arg);
+    return e;
+  }
+  static ExprPtr makeStar() {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Star;
+    return e;
+  }
+  static ExprPtr makeIn(ExprPtr needle, std::vector<ExprPtr> haystack) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::In;
+    e->lhs = std::move(needle);
+    e->list = std::move(haystack);
+    return e;
+  }
+  static ExprPtr makeIsNull(ExprPtr inner, bool negated) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::IsNull;
+    e->lhs = std::move(inner);
+    e->negated = negated;
+    return e;
+  }
+  static ExprPtr makeNot(ExprPtr inner) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Not;
+    e->lhs = std::move(inner);
+    return e;
+  }
+};
+
+struct SelectItem {
+  ExprPtr expr;  // Star for `*`
+  std::string alias;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+struct JoinClause {
+  TableRef table;
+  // Equi-join condition: left.col = right.col
+  ExprPtr leftColumn;
+  ExprPtr rightColumn;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> groupBy;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> orderBy;
+  std::optional<std::int64_t> limit;
+  std::int64_t offset = 0;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty => full-row order
+  std::vector<ExprPtr> values;
+};
+
+struct Assignment {
+  std::string column;
+  ExprPtr value;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<Assignment> sets;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct LockTablesStmt {
+  struct Item {
+    std::string table;
+    bool write = false;
+  };
+  std::vector<Item> items;
+};
+
+struct UnlockTablesStmt {};
+
+struct Statement {
+  enum class Kind { Select, Insert, Update, Delete, LockTables, UnlockTables };
+  Kind kind = Kind::Select;
+  SelectStmt select;
+  InsertStmt insert;
+  UpdateStmt update;
+  DeleteStmt del;
+  LockTablesStmt lockTables;
+  /// Number of ? placeholders in the statement.
+  std::size_t paramCount = 0;
+  /// Original SQL text (for diagnostics).
+  std::string text;
+};
+
+}  // namespace mwsim::db

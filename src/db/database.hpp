@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.hpp"
+
+namespace mwsim::db {
+
+/// Catalog of tables — the storage engine under one database server.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Table& createTable(TableSchema schema) {
+    const std::string name = schema.name;
+    auto [it, inserted] = tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+    if (!inserted) throw std::runtime_error("table already exists: " + name);
+    names_.push_back(name);
+    return *it->second;
+  }
+
+  Table& table(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) throw std::runtime_error("no such table: " + name);
+    return *it->second;
+  }
+  const Table& table(const std::string& name) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) throw std::runtime_error("no such table: " + name);
+    return *it->second;
+  }
+  bool hasTable(const std::string& name) const { return tables_.contains(name); }
+
+  const std::vector<std::string>& tableNames() const noexcept { return names_; }
+
+  /// Approximate bytes of live data across all tables.
+  std::size_t approxBytes() const {
+    std::size_t n = 0;
+    for (const auto& [_, t] : tables_) n += t->approxBytes();
+    return n;
+  }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mwsim::db

@@ -1,0 +1,1226 @@
+#include "db/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "db/parser.hpp"
+
+namespace mwsim::db {
+
+bool valueIsTrue(const Value& v) {
+  if (v.isNull()) return false;
+  if (v.isInt()) return v.asInt() != 0;
+  if (v.isDouble()) return v.asDouble() != 0.0;
+  return !v.asString().empty();
+}
+
+bool likeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking over the last '%'.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t starP = std::string::npos;
+  std::size_t starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      starP = p++;
+      starT = t;
+    } else if (starP != std::string::npos) {
+      p = starP + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+struct BoundTable {
+  std::string alias;
+  const Table* table;
+};
+
+// One candidate output row: one RowId per bound table.
+using Binding = std::vector<RowId>;
+
+struct ColumnRef {
+  std::size_t tableIdx;
+  std::size_t columnIdx;
+};
+
+class SelectRunner {
+ public:
+  SelectRunner(Database& db, const SelectStmt& stmt, std::span<const Value> params,
+               ExecStats& stats)
+      : db_(db), stmt_(stmt), params_(params), stats_(stats) {}
+
+  ResultSet run();
+
+ private:
+  // ----- name resolution -----
+  ColumnRef resolve(const std::string& qualifier, const std::string& column) const {
+    if (!qualifier.empty()) {
+      for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (tables_[i].alias == qualifier) {
+          auto c = tables_[i].table->schema().columnIndex(column);
+          if (!c) {
+            throw std::runtime_error("no column " + column + " in " + qualifier);
+          }
+          return {i, *c};
+        }
+      }
+      throw std::runtime_error("unknown table alias: " + qualifier);
+    }
+    std::optional<ColumnRef> found;
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (auto c = tables_[i].table->schema().columnIndex(column)) {
+        if (found) throw std::runtime_error("ambiguous column: " + column);
+        found = ColumnRef{i, *c};
+      }
+    }
+    if (!found) throw std::runtime_error("unknown column: " + column);
+    return *found;
+  }
+
+  // ----- expression evaluation over one binding -----
+  Value evalBinary(BinOp op, const Value& a, const Value& b) const {
+    switch (op) {
+      case BinOp::And:
+        return Value(static_cast<std::int64_t>(valueIsTrue(a) && valueIsTrue(b)));
+      case BinOp::Or:
+        return Value(static_cast<std::int64_t>(valueIsTrue(a) || valueIsTrue(b)));
+      case BinOp::Like:
+        if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+        return Value(static_cast<std::int64_t>(likeMatch(a.toDisplayString(), b.asString())));
+      case BinOp::Eq:
+      case BinOp::Ne:
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge: {
+        if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+        const int c = a.compare(b);
+        bool r = false;
+        switch (op) {
+          case BinOp::Eq: r = c == 0; break;
+          case BinOp::Ne: r = c != 0; break;
+          case BinOp::Lt: r = c < 0; break;
+          case BinOp::Le: r = c <= 0; break;
+          case BinOp::Gt: r = c > 0; break;
+          default: r = c >= 0; break;
+        }
+        return Value(static_cast<std::int64_t>(r));
+      }
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div: {
+        if (a.isNull() || b.isNull()) return Value();
+        if (a.isInt() && b.isInt() && op != BinOp::Div) {
+          const auto x = a.asInt();
+          const auto y = b.asInt();
+          switch (op) {
+            case BinOp::Add: return Value(x + y);
+            case BinOp::Sub: return Value(x - y);
+            default: return Value(x * y);
+          }
+        }
+        const double x = a.asDouble();
+        const double y = b.asDouble();
+        switch (op) {
+          case BinOp::Add: return Value(x + y);
+          case BinOp::Sub: return Value(x - y);
+          case BinOp::Mul: return Value(x * y);
+          default:
+            if (y == 0.0) return Value();
+            return Value(x / y);
+        }
+      }
+    }
+    throw std::runtime_error("unhandled binary op");
+  }
+
+  Value eval(const Expr& e, const Binding& binding) const {
+    switch (e.kind) {
+      case Expr::Kind::Literal:
+        return e.literal;
+      case Expr::Kind::Param:
+        if (e.paramIndex > params_.size()) {
+          throw std::runtime_error("missing bind parameter " + std::to_string(e.paramIndex));
+        }
+        return params_[e.paramIndex - 1];
+      case Expr::Kind::Column: {
+        const ColumnRef ref = resolve(e.tableQualifier, e.column);
+        return tables_[ref.tableIdx].table->row(binding[ref.tableIdx])[ref.columnIdx];
+      }
+      case Expr::Kind::Binary:
+        return evalBinary(e.op, eval(*e.lhs, binding), eval(*e.rhs, binding));
+      case Expr::Kind::In: {
+        const Value needle = eval(*e.lhs, binding);
+        if (needle.isNull()) return Value(std::int64_t{0});
+        for (const auto& item : e.list) {
+          if (needle.compare(eval(*item, binding)) == 0) return Value(std::int64_t{1});
+        }
+        return Value(std::int64_t{0});
+      }
+      case Expr::Kind::IsNull: {
+        const bool isNull = eval(*e.lhs, binding).isNull();
+        return Value(static_cast<std::int64_t>(isNull != e.negated));
+      }
+      case Expr::Kind::Not:
+        return Value(static_cast<std::int64_t>(!valueIsTrue(eval(*e.lhs, binding))));
+      case Expr::Kind::Aggregate:
+        throw std::runtime_error("aggregate in row context");
+      case Expr::Kind::Star:
+        throw std::runtime_error("* in scalar context");
+    }
+    throw std::runtime_error("unhandled expr kind");
+  }
+
+  Value evalAggregate(const Expr& e, const std::vector<const Binding*>& group) const {
+    assert(e.kind == Expr::Kind::Aggregate);
+    if (e.agg == AggFunc::Count && e.aggArg->kind == Expr::Kind::Star) {
+      return Value(static_cast<std::int64_t>(group.size()));
+    }
+    std::int64_t count = 0;
+    double sum = 0.0;
+    bool allInt = true;
+    std::int64_t isum = 0;
+    std::optional<Value> minV;
+    std::optional<Value> maxV;
+    for (const Binding* b : group) {
+      const Value v = eval(*e.aggArg, *b);
+      if (v.isNull()) continue;
+      ++count;
+      if (v.isNumeric()) {
+        sum += v.asDouble();
+        if (v.isInt()) isum += v.asInt();
+        else allInt = false;
+      } else {
+        allInt = false;
+      }
+      if (!minV || v < *minV) minV = v;
+      if (!maxV || v > *maxV) maxV = v;
+    }
+    switch (e.agg) {
+      case AggFunc::Count:
+        return Value(count);
+      case AggFunc::Sum:
+        if (count == 0) return Value();
+        return allInt ? Value(isum) : Value(sum);
+      case AggFunc::Avg:
+        if (count == 0) return Value();
+        return Value(sum / static_cast<double>(count));
+      case AggFunc::Min:
+        return minV.value_or(Value());
+      case AggFunc::Max:
+        return maxV.value_or(Value());
+      case AggFunc::None:
+        break;
+    }
+    throw std::runtime_error("unhandled aggregate");
+  }
+
+  // Evaluate an expression in group context: aggregates consume the group,
+  // everything else is taken from the group's first row (valid for group
+  // keys, which is all the apps use).
+  Value evalGrouped(const Expr& e, const std::vector<const Binding*>& group) const {
+    switch (e.kind) {
+      case Expr::Kind::Aggregate:
+        return evalAggregate(e, group);
+      case Expr::Kind::Binary: {
+        if (containsAggregate(e)) {
+          return evalBinary(e.op, evalGrouped(*e.lhs, group), evalGrouped(*e.rhs, group));
+        }
+        return eval(e, *group.front());
+      }
+      case Expr::Kind::Not:
+        if (containsAggregate(e)) {
+          return Value(
+              static_cast<std::int64_t>(!valueIsTrue(evalGrouped(*e.lhs, group))));
+        }
+        return eval(e, *group.front());
+      case Expr::Kind::In:
+        if (containsAggregate(e)) {
+          const Value needle = evalGrouped(*e.lhs, group);
+          if (needle.isNull()) return Value(std::int64_t{0});
+          for (const auto& item : e.list) {
+            if (needle.compare(evalGrouped(*item, group)) == 0) {
+              return Value(std::int64_t{1});
+            }
+          }
+          return Value(std::int64_t{0});
+        }
+        return eval(e, *group.front());
+      default:
+        return eval(e, *group.front());
+    }
+  }
+
+  static bool containsAggregate(const Expr& e) {
+    if (e.kind == Expr::Kind::Aggregate) return true;
+    if (e.kind == Expr::Kind::Binary) {
+      return containsAggregate(*e.lhs) || containsAggregate(*e.rhs);
+    }
+    if (e.kind == Expr::Kind::Not || e.kind == Expr::Kind::IsNull) {
+      return containsAggregate(*e.lhs);
+    }
+    if (e.kind == Expr::Kind::In) {
+      if (containsAggregate(*e.lhs)) return true;
+      for (const auto& item : e.list) {
+        if (containsAggregate(*item)) return true;
+      }
+    }
+    return false;
+  }
+
+  // ----- WHERE decomposition -----
+  static void splitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
+    if (e == nullptr) return;
+    if (e->kind == Expr::Kind::Binary && e->op == BinOp::And) {
+      splitConjuncts(e->lhs.get(), out);
+      splitConjuncts(e->rhs.get(), out);
+    } else {
+      out.push_back(e);
+    }
+  }
+
+  static bool exprIsRowFree(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Column:
+      case Expr::Kind::Star:
+      case Expr::Kind::Aggregate:
+        return false;
+      case Expr::Kind::Binary:
+        return exprIsRowFree(*e.lhs) && exprIsRowFree(*e.rhs);
+      case Expr::Kind::Not:
+      case Expr::Kind::IsNull:
+        return exprIsRowFree(*e.lhs);
+      case Expr::Kind::In: {
+        if (!exprIsRowFree(*e.lhs)) return false;
+        for (const auto& item : e.list) {
+          if (!exprIsRowFree(*item)) return false;
+        }
+        return true;
+      }
+      default:
+        return true;
+    }
+  }
+
+  Value evalRowFree(const Expr& e) const {
+    static const Binding kEmpty;
+    return eval(e, kEmpty);
+  }
+
+  // True if every column reference in `e` resolves to table `tableIdx`.
+  bool referencesOnlyTable(const Expr& e, std::size_t tableIdx) const {
+    switch (e.kind) {
+      case Expr::Kind::Column:
+        return resolve(e.tableQualifier, e.column).tableIdx == tableIdx;
+      case Expr::Kind::Binary:
+        return referencesOnlyTable(*e.lhs, tableIdx) &&
+               referencesOnlyTable(*e.rhs, tableIdx);
+      case Expr::Kind::Not:
+      case Expr::Kind::IsNull:
+        return referencesOnlyTable(*e.lhs, tableIdx);
+      case Expr::Kind::In: {
+        if (!referencesOnlyTable(*e.lhs, tableIdx)) return false;
+        for (const auto& item : e.list) {
+          if (!referencesOnlyTable(*item, tableIdx)) return false;
+        }
+        return true;
+      }
+      case Expr::Kind::Aggregate:
+      case Expr::Kind::Star:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  // Does this column expression refer to table `tableIdx`?
+  std::optional<std::size_t> columnOf(const Expr& e, std::size_t tableIdx) const {
+    if (e.kind != Expr::Kind::Column) return std::nullopt;
+    const ColumnRef ref = resolve(e.tableQualifier, e.column);
+    if (ref.tableIdx != tableIdx) return std::nullopt;
+    return ref.columnIdx;
+  }
+
+  // ----- access paths -----
+  std::vector<RowId> baseTableCandidates(const std::vector<const Expr*>& conjuncts);
+  void joinTable(std::size_t newIdx, const JoinClause* join,
+                 const std::vector<const Expr*>& conjuncts,
+                 std::vector<Binding>& bindings);
+
+  ResultSet project(const std::vector<Binding>& bindings);
+
+  Database& db_;
+  const SelectStmt& stmt_;
+  std::span<const Value> params_;
+  ExecStats& stats_;
+  std::vector<BoundTable> tables_;
+};
+
+std::vector<RowId> SelectRunner::baseTableCandidates(
+    const std::vector<const Expr*>& conjuncts) {
+  const Table& table = *tables_[0].table;
+  // Equality on primary key or an indexed column.
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
+    for (const auto& [colSide, valSide] :
+         {std::pair{c->lhs.get(), c->rhs.get()}, std::pair{c->rhs.get(), c->lhs.get()}}) {
+      if (!exprIsRowFree(*valSide)) continue;
+      auto col = columnOf(*colSide, 0);
+      if (!col) continue;
+      const Value key = evalRowFree(*valSide);
+      if (table.isPrimaryKeyColumn(*col)) {
+        stats_.usedIndex = true;
+        auto id = table.findByPk(key);
+        std::vector<RowId> out;
+        if (id) {
+          out.push_back(*id);
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += table.avgRowBytes();
+        }
+        return out;
+      }
+      if (table.hasIndexOn(*col)) {
+        stats_.usedIndex = true;
+        auto out = table.findByIndex(*col, key);
+        stats_.rowsExamined += out.size();
+        stats_.bytesExamined += out.size() * table.avgRowBytes();
+        return out;
+      }
+    }
+  }
+  // IN over the primary key or an indexed column: multi-point lookup.
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::In) continue;
+    auto col = columnOf(*c->lhs, 0);
+    if (!col) continue;
+    bool allFree = true;
+    for (const auto& item : c->list) {
+      if (!exprIsRowFree(*item)) {
+        allFree = false;
+        break;
+      }
+    }
+    if (!allFree) continue;
+    const bool viaPk = table.isPrimaryKeyColumn(*col);
+    if (!viaPk && !table.hasIndexOn(*col)) continue;
+    stats_.usedIndex = true;
+    std::vector<RowId> out;
+    for (const auto& item : c->list) {
+      const Value key = evalRowFree(*item);
+      if (viaPk) {
+        if (auto id = table.findByPk(key)) {
+          out.push_back(*id);
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += table.avgRowBytes();
+        }
+      } else {
+        for (RowId id : table.findByIndex(*col, key)) {
+          out.push_back(id);
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += table.avgRowBytes();
+        }
+      }
+    }
+    return out;
+  }
+
+  // Range over an indexed column: gather bounds per column.
+  struct Bounds {
+    std::optional<Value> lo;
+    bool loInc = true;
+    std::optional<Value> hi;
+    bool hiInc = true;
+  };
+  std::map<std::size_t, Bounds> bounds;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::Binary) continue;
+    const BinOp op = c->op;
+    if (op != BinOp::Lt && op != BinOp::Le && op != BinOp::Gt && op != BinOp::Ge) continue;
+    for (bool flipped : {false, true}) {
+      const Expr* colSide = flipped ? c->rhs.get() : c->lhs.get();
+      const Expr* valSide = flipped ? c->lhs.get() : c->rhs.get();
+      if (!exprIsRowFree(*valSide)) continue;
+      auto col = columnOf(*colSide, 0);
+      if (!col || !table.hasIndexOn(*col)) continue;
+      const Value v = evalRowFree(*valSide);
+      // Normalize to col <op> v.
+      BinOp effective = op;
+      if (flipped) {
+        switch (op) {
+          case BinOp::Lt: effective = BinOp::Gt; break;
+          case BinOp::Le: effective = BinOp::Ge; break;
+          case BinOp::Gt: effective = BinOp::Lt; break;
+          case BinOp::Ge: effective = BinOp::Le; break;
+          default: break;
+        }
+      }
+      Bounds& b = bounds[*col];
+      if (effective == BinOp::Lt || effective == BinOp::Le) {
+        if (!b.hi || v < *b.hi) {
+          b.hi = v;
+          b.hiInc = effective == BinOp::Le;
+        }
+      } else {
+        if (!b.lo || v > *b.lo) {
+          b.lo = v;
+          b.loInc = effective == BinOp::Ge;
+        }
+      }
+      break;
+    }
+  }
+  if (!bounds.empty()) {
+    const auto& [col, b] = *bounds.begin();
+    stats_.usedIndex = true;
+    auto out = table.findRangeByIndex(col, b.lo, b.loInc, b.hi, b.hiInc);
+    stats_.rowsExamined += out.size();
+    stats_.bytesExamined += out.size() * table.avgRowBytes();
+    return out;
+  }
+  // Full scan.
+  std::vector<RowId> out;
+  out.reserve(table.size());
+  table.forEachRow([&](RowId id) { out.push_back(id); });
+  stats_.rowsExamined += out.size();
+  stats_.bytesExamined += out.size() * table.avgRowBytes();
+  return out;
+}
+
+void SelectRunner::joinTable(std::size_t newIdx, const JoinClause* join,
+                             const std::vector<const Expr*>& conjuncts,
+                             std::vector<Binding>& bindings) {
+  const Table& inner = *tables_[newIdx].table;
+
+  // Find an equi-condition linking the new table to an already-bound one:
+  // prefer the explicit ON clause, else scan WHERE conjuncts.
+  const Expr* outerExpr = nullptr;
+  std::optional<std::size_t> innerCol;
+  if (join != nullptr && join->leftColumn) {
+    for (const auto& [a, b] : {std::pair{join->leftColumn.get(), join->rightColumn.get()},
+                               std::pair{join->rightColumn.get(), join->leftColumn.get()}}) {
+      if (auto c = columnOf(*a, newIdx)) {
+        innerCol = c;
+        outerExpr = b;
+        break;
+      }
+    }
+  }
+  if (!innerCol) {
+    for (const Expr* c : conjuncts) {
+      if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
+      if (c->lhs->kind != Expr::Kind::Column || c->rhs->kind != Expr::Kind::Column) continue;
+      for (const auto& [a, b] : {std::pair{c->lhs.get(), c->rhs.get()},
+                                 std::pair{c->rhs.get(), c->lhs.get()}}) {
+        auto ic = columnOf(*a, newIdx);
+        if (!ic) continue;
+        const ColumnRef other = resolve(b->tableQualifier, b->column);
+        if (other.tableIdx < newIdx) {  // refers to an already-bound table
+          innerCol = ic;
+          outerExpr = b;
+          break;
+        }
+      }
+      if (innerCol) break;
+    }
+  }
+
+  std::vector<Binding> next;
+  if (innerCol) {
+    const bool viaPk = inner.isPrimaryKeyColumn(*innerCol);
+    const bool viaIndex = inner.hasIndexOn(*innerCol);
+    for (Binding& binding : bindings) {
+      const Value key = eval(*outerExpr, binding);
+      if (viaPk) {
+        stats_.usedIndex = true;
+        if (auto id = inner.findByPk(key)) {
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += inner.avgRowBytes();
+          Binding b = binding;
+          b.push_back(*id);
+          next.push_back(std::move(b));
+        }
+      } else if (viaIndex) {
+        stats_.usedIndex = true;
+        for (RowId id : inner.findByIndex(*innerCol, key)) {
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += inner.avgRowBytes();
+          Binding b = binding;
+          b.push_back(id);
+          next.push_back(std::move(b));
+        }
+      } else {
+        inner.forEachRow([&](RowId id) {
+          ++stats_.rowsExamined;
+          stats_.bytesExamined += inner.avgRowBytes();
+          if (inner.row(id)[*innerCol] == key) {
+            Binding b = binding;
+            b.push_back(id);
+            next.push_back(std::move(b));
+          }
+        });
+      }
+    }
+  } else {
+    // Cross product (filtered later by WHERE).
+    for (const Binding& binding : bindings) {
+      inner.forEachRow([&](RowId id) {
+        ++stats_.rowsExamined;
+        stats_.bytesExamined += inner.avgRowBytes();
+        Binding b = binding;
+        b.push_back(id);
+        next.push_back(std::move(b));
+      });
+    }
+  }
+  bindings = std::move(next);
+}
+
+ResultSet SelectRunner::project(const std::vector<Binding>& bindings) {
+  ResultSet rs;
+
+  // Expand the select list; Star becomes every column of every table.
+  struct OutItem {
+    const Expr* expr = nullptr;  // null for star-expanded plain column
+    std::string name;
+    std::optional<ColumnRef> starRef;
+  };
+  std::vector<OutItem> outItems;
+  for (const SelectItem& item : stmt_.items) {
+    if (item.expr->kind == Expr::Kind::Star) {
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const auto& cols = tables_[t].table->schema().columns;
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+          outItems.push_back({nullptr, cols[c].name, ColumnRef{t, c}});
+        }
+      }
+    } else {
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
+      }
+      outItems.push_back({item.expr.get(), std::move(name), std::nullopt});
+    }
+  }
+  for (const auto& it : outItems) rs.columns.push_back(it.name);
+
+  const bool grouped = !stmt_.groupBy.empty() ||
+                       std::any_of(stmt_.items.begin(), stmt_.items.end(), [](const auto& i) {
+                         return i.expr->kind != Expr::Kind::Star && containsAggregate(*i.expr);
+                       });
+
+  // Sort keys are computed per output row; ORDER BY may reference a select
+  // alias/output column (required for grouped queries) or any row expression.
+  struct SortableRow {
+    Row out;
+    std::vector<Value> keys;
+  };
+  std::vector<SortableRow> rows;
+
+  auto orderKeyFromOutput = [&](const OrderItem& o, const Row& out) -> std::optional<Value> {
+    if (o.expr->kind != Expr::Kind::Column || !o.expr->tableQualifier.empty()) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < outItems.size(); ++i) {
+      if (outItems[i].name == o.expr->column) return out[i];
+    }
+    return std::nullopt;
+  };
+
+  if (grouped) {
+    // Group bindings by the GROUP BY key (single group when absent).
+    std::map<std::vector<Value>, std::vector<const Binding*>> groups;
+    for (const Binding& b : bindings) {
+      std::vector<Value> key;
+      key.reserve(stmt_.groupBy.size());
+      for (const auto& g : stmt_.groupBy) key.push_back(eval(*g, b));
+      groups[std::move(key)].push_back(&b);
+    }
+    if (groups.empty() && stmt_.groupBy.empty()) {
+      groups[{}] = {};  // aggregates over an empty input produce one row
+    }
+    stats_.aggregatedGroups += groups.size();
+    for (auto& [key, group] : groups) {
+      if (group.empty() && !stmt_.groupBy.empty()) continue;
+      if (stmt_.having && !group.empty() &&
+          !valueIsTrue(evalGrouped(*stmt_.having, group))) {
+        continue;
+      }
+      SortableRow r;
+      for (const auto& item : outItems) {
+        if (item.starRef) {
+          if (group.empty()) {
+            r.out.push_back(Value());
+          } else {
+            r.out.push_back(tables_[item.starRef->tableIdx].table->row(
+                (*group.front())[item.starRef->tableIdx])[item.starRef->columnIdx]);
+          }
+        } else if (group.empty()) {
+          // COUNT(*) over empty input is 0; other aggregates are NULL.
+          if (item.expr->kind == Expr::Kind::Aggregate && item.expr->agg == AggFunc::Count) {
+            r.out.push_back(Value(std::int64_t{0}));
+          } else {
+            r.out.push_back(Value());
+          }
+        } else {
+          r.out.push_back(evalGrouped(*item.expr, group));
+        }
+      }
+      for (const OrderItem& o : stmt_.orderBy) {
+        if (auto k = orderKeyFromOutput(o, r.out)) {
+          r.keys.push_back(std::move(*k));
+        } else if (!group.empty()) {
+          r.keys.push_back(evalGrouped(*o.expr, group));
+        } else {
+          r.keys.push_back(Value());
+        }
+      }
+      rows.push_back(std::move(r));
+    }
+  } else {
+    for (const Binding& b : bindings) {
+      SortableRow r;
+      for (const auto& item : outItems) {
+        if (item.starRef) {
+          r.out.push_back(
+              tables_[item.starRef->tableIdx].table->row(b[item.starRef->tableIdx])
+                  [item.starRef->columnIdx]);
+        } else {
+          r.out.push_back(eval(*item.expr, b));
+        }
+      }
+      for (const OrderItem& o : stmt_.orderBy) {
+        if (auto k = orderKeyFromOutput(o, r.out)) r.keys.push_back(std::move(*k));
+        else r.keys.push_back(eval(*o.expr, b));
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+
+  if (stmt_.distinct) {
+    // Keep the first occurrence of each distinct output row (SQL DISTINCT
+    // applies to the projected values).
+    std::vector<SortableRow> unique;
+    unique.reserve(rows.size());
+    for (auto& row : rows) {
+      bool seen = false;
+      for (const auto& kept : unique) {
+        bool equal = kept.out.size() == row.out.size();
+        for (std::size_t i = 0; equal && i < kept.out.size(); ++i) {
+          equal = kept.out[i].compare(row.out[i]) == 0;
+        }
+        if (equal) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) unique.push_back(std::move(row));
+    }
+    rows = std::move(unique);
+  }
+
+  if (!stmt_.orderBy.empty()) {
+    stats_.rowsSorted += rows.size();
+    std::stable_sort(rows.begin(), rows.end(), [&](const SortableRow& a, const SortableRow& b) {
+      for (std::size_t i = 0; i < stmt_.orderBy.size(); ++i) {
+        const int c = a.keys[i].compare(b.keys[i]);
+        if (c != 0) return stmt_.orderBy[i].descending ? c > 0 : c < 0;
+      }
+      return false;
+    });
+  }
+
+  // OFFSET / LIMIT.
+  std::size_t begin = std::min<std::size_t>(rows.size(), static_cast<std::size_t>(stmt_.offset));
+  std::size_t end = rows.size();
+  if (stmt_.limit) end = std::min(end, begin + static_cast<std::size_t>(*stmt_.limit));
+  for (std::size_t i = begin; i < end; ++i) rs.rows.push_back(std::move(rows[i].out));
+
+  stats_.rowsReturned += rs.rows.size();
+  stats_.resultBytes += rs.byteSize();
+  return rs;
+}
+
+}  // namespace
+
+ExecResult Executor::execute(const Statement& stmt, std::span<const Value> params) {
+  if (params.size() < stmt.paramCount) {
+    throw std::runtime_error("statement needs " + std::to_string(stmt.paramCount) +
+                             " parameters, got " + std::to_string(params.size()) +
+                             ": " + stmt.text);
+  }
+  switch (stmt.kind) {
+    case Statement::Kind::Select:
+      return executeSelect(stmt.select, params);
+    case Statement::Kind::Insert:
+      return executeInsert(stmt.insert, params);
+    case Statement::Kind::Update:
+      return executeUpdate(stmt.update, params);
+    case Statement::Kind::Delete:
+      return executeDelete(stmt.del, params);
+    case Statement::Kind::LockTables:
+    case Statement::Kind::UnlockTables:
+      // Lock statements are handled by the DatabaseServer; executing them
+      // against the bare engine is a no-op.
+      return {};
+  }
+  throw std::runtime_error("unhandled statement kind");
+}
+
+ExecResult Executor::query(std::string_view sql, std::span<const Value> params) {
+  return execute(*parseSql(sql), params);
+}
+
+namespace {
+
+/// O(1) fast path for `SELECT MAX(col)/MIN(col)/COUNT(*) FROM t` with no
+/// WHERE/JOIN/GROUP — MySQL answers these from index metadata.
+std::optional<ResultSet> aggregateFastPath(Database& db, const SelectStmt& s) {
+  if (!s.joins.empty() || s.where || !s.groupBy.empty() || s.items.size() != 1) {
+    return std::nullopt;
+  }
+  const Expr& e = *s.items[0].expr;
+  if (e.kind != Expr::Kind::Aggregate) return std::nullopt;
+  const Table& table = db.table(s.from.table);
+  ResultSet rs;
+  rs.columns.push_back(s.items[0].alias.empty() ? "agg" : s.items[0].alias);
+
+  if (e.agg == AggFunc::Count && e.aggArg->kind == Expr::Kind::Star) {
+    rs.rows.push_back({Value(static_cast<std::int64_t>(table.size()))});
+    return rs;
+  }
+  if ((e.agg == AggFunc::Max || e.agg == AggFunc::Min) &&
+      e.aggArg->kind == Expr::Kind::Column) {
+    auto col = table.schema().columnIndex(e.aggArg->column);
+    if (!col) return std::nullopt;
+    if (table.size() == 0) {
+      rs.rows.push_back({Value()});
+      return rs;
+    }
+    if (e.agg == AggFunc::Max && table.isPrimaryKeyColumn(*col) &&
+        table.schema().autoIncrement) {
+      rs.rows.push_back({Value(table.maxAssignedId())});
+      return rs;
+    }
+    auto v = e.agg == AggFunc::Max ? table.indexMax(*col) : table.indexMin(*col);
+    if (v) {
+      rs.rows.push_back({*v});
+      return rs;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExecResult Executor::executeSelect(const SelectStmt& s, std::span<const Value> params) {
+  ExecResult result;
+  if (auto fast = aggregateFastPath(db_, s)) {
+    result.resultSet = std::move(*fast);
+    result.stats.usedIndex = true;
+    result.stats.rowsExamined = 1;
+    result.stats.rowsReturned = 1;
+    result.stats.resultBytes = result.resultSet.byteSize();
+    return result;
+  }
+  SelectRunner runner(db_, s, params, result.stats);
+  result.resultSet = runner.run();
+  return result;
+}
+
+namespace {
+
+// Helper shared by UPDATE/DELETE: find matching row ids in one table.
+std::vector<RowId> findMatches(Database& db, const std::string& tableName, const Expr* where,
+                               std::span<const Value> params, ExecStats& stats) {
+  Table& table = db.table(tableName);
+  std::vector<RowId> out;
+
+  // Split top-level AND conjuncts and look for an equality on the primary
+  // key or an indexed column; remaining conjuncts are verified on the
+  // candidates (e.g. `WHERE i_id = ? AND i_stock >= ?`).
+  std::vector<const Expr*> conjuncts;
+  const Expr* needVerify = where;  // full predicate re-checked on candidates
+  {
+    std::vector<const Expr*> stack;
+    if (where != nullptr) stack.push_back(where);
+    while (!stack.empty()) {
+      const Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == Expr::Kind::Binary && e->op == BinOp::And) {
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+      } else {
+        conjuncts.push_back(e);
+      }
+    }
+  }
+  std::optional<std::vector<RowId>> candidates;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
+    for (const auto& [colSide, valSide] :
+         {std::pair{c->lhs.get(), c->rhs.get()}, std::pair{c->rhs.get(), c->lhs.get()}}) {
+      if (colSide->kind != Expr::Kind::Column) continue;
+      auto col = table.schema().columnIndex(colSide->column);
+      if (!col) continue;
+      Value key;
+      if (valSide->kind == Expr::Kind::Literal) key = valSide->literal;
+      else if (valSide->kind == Expr::Kind::Param) key = params[valSide->paramIndex - 1];
+      else continue;
+      if (table.isPrimaryKeyColumn(*col)) {
+        stats.usedIndex = true;
+        candidates.emplace();
+        if (auto id = table.findByPk(key)) candidates->push_back(*id);
+        break;
+      }
+      if (table.hasIndexOn(*col)) {
+        stats.usedIndex = true;
+        candidates = table.findByIndex(*col, key);
+        break;
+      }
+    }
+    if (candidates) break;
+  }
+
+  // General path: scan and evaluate.
+  struct RowEval {
+    const Table& table;
+    std::span<const Value> params;
+
+    Value eval(const Expr& e, const Row& row) const {
+      switch (e.kind) {
+        case Expr::Kind::Literal:
+          return e.literal;
+        case Expr::Kind::Param:
+          return params[e.paramIndex - 1];
+        case Expr::Kind::Column: {
+          auto c = table.schema().columnIndex(e.column);
+          if (!c) throw std::runtime_error("unknown column: " + e.column);
+          return row[*c];
+        }
+        case Expr::Kind::Binary: {
+          const Value a = eval(*e.lhs, row);
+          const Value b = eval(*e.rhs, row);
+          switch (e.op) {
+            case BinOp::And:
+              return Value(static_cast<std::int64_t>(valueIsTrue(a) && valueIsTrue(b)));
+            case BinOp::Or:
+              return Value(static_cast<std::int64_t>(valueIsTrue(a) || valueIsTrue(b)));
+            case BinOp::Like:
+              if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+              return Value(static_cast<std::int64_t>(
+                  likeMatch(a.toDisplayString(), b.asString())));
+            case BinOp::Add:
+              return Value(a.asDouble() + b.asDouble());
+            case BinOp::Sub:
+              return Value(a.asDouble() - b.asDouble());
+            case BinOp::Mul:
+              return Value(a.asDouble() * b.asDouble());
+            case BinOp::Div:
+              return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
+            default: {
+              if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+              const int c = a.compare(b);
+              bool r = false;
+              switch (e.op) {
+                case BinOp::Eq: r = c == 0; break;
+                case BinOp::Ne: r = c != 0; break;
+                case BinOp::Lt: r = c < 0; break;
+                case BinOp::Le: r = c <= 0; break;
+                case BinOp::Gt: r = c > 0; break;
+                default: r = c >= 0; break;
+              }
+              return Value(static_cast<std::int64_t>(r));
+            }
+          }
+        }
+        case Expr::Kind::In: {
+          const Value needle = eval(*e.lhs, row);
+          if (needle.isNull()) return Value(std::int64_t{0});
+          for (const auto& item : e.list) {
+            if (needle.compare(eval(*item, row)) == 0) return Value(std::int64_t{1});
+          }
+          return Value(std::int64_t{0});
+        }
+        case Expr::Kind::IsNull: {
+          const bool isNull = eval(*e.lhs, row).isNull();
+          return Value(static_cast<std::int64_t>(isNull != e.negated));
+        }
+        case Expr::Kind::Not:
+          return Value(static_cast<std::int64_t>(!valueIsTrue(eval(*e.lhs, row))));
+        default:
+          throw std::runtime_error("unsupported expression in UPDATE/DELETE");
+      }
+    }
+  };
+  RowEval ev{table, params};
+  if (candidates) {
+    for (RowId id : *candidates) {
+      ++stats.rowsExamined;
+      stats.bytesExamined += table.avgRowBytes();
+      if (needVerify == nullptr || valueIsTrue(ev.eval(*needVerify, table.row(id)))) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+  table.forEachRow([&](RowId id) {
+    ++stats.rowsExamined;
+    stats.bytesExamined += table.avgRowBytes();
+    if (where == nullptr || valueIsTrue(ev.eval(*where, table.row(id)))) {
+      out.push_back(id);
+    }
+  });
+  return out;
+}
+
+Value coerce(const Value& v, ColumnType type) {
+  if (v.isNull()) return v;
+  switch (type) {
+    case ColumnType::Int:
+      if (v.isDouble()) return Value(v.asInt());
+      return v;
+    case ColumnType::Double:
+      if (v.isInt()) return Value(v.asDouble());
+      return v;
+    case ColumnType::String:
+      return v;
+  }
+  return v;
+}
+
+Value evalStandalone(const Expr& e, std::span<const Value> params) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.literal;
+    case Expr::Kind::Param:
+      if (e.paramIndex > params.size()) {
+        throw std::runtime_error("missing bind parameter");
+      }
+      return params[e.paramIndex - 1];
+    case Expr::Kind::Binary: {
+      const Value a = evalStandalone(*e.lhs, params);
+      const Value b = evalStandalone(*e.rhs, params);
+      if (a.isNull() || b.isNull()) return Value();
+      switch (e.op) {
+        case BinOp::Add:
+          return (a.isInt() && b.isInt()) ? Value(a.asInt() + b.asInt())
+                                          : Value(a.asDouble() + b.asDouble());
+        case BinOp::Sub:
+          return (a.isInt() && b.isInt()) ? Value(a.asInt() - b.asInt())
+                                          : Value(a.asDouble() - b.asDouble());
+        case BinOp::Mul:
+          return (a.isInt() && b.isInt()) ? Value(a.asInt() * b.asInt())
+                                          : Value(a.asDouble() * b.asDouble());
+        case BinOp::Div:
+          return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
+        default:
+          throw std::runtime_error("unsupported operator in value expression");
+      }
+    }
+    default:
+      throw std::runtime_error("column reference in value-only expression");
+  }
+}
+
+}  // namespace
+
+ExecResult Executor::executeInsert(const InsertStmt& s, std::span<const Value> params) {
+  ExecResult result;
+  Table& table = db_.table(s.table);
+  const auto& schema = table.schema();
+  Row row(schema.columns.size());  // default NULLs
+
+  if (s.columns.empty()) {
+    if (s.values.size() != schema.columns.size()) {
+      throw std::runtime_error("INSERT value count mismatch for " + s.table);
+    }
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      row[i] = coerce(evalStandalone(*s.values[i], params), schema.columns[i].type);
+    }
+  } else {
+    if (s.columns.size() != s.values.size()) {
+      throw std::runtime_error("INSERT column/value count mismatch for " + s.table);
+    }
+    for (std::size_t i = 0; i < s.columns.size(); ++i) {
+      auto c = schema.columnIndex(s.columns[i]);
+      if (!c) throw std::runtime_error("unknown column in INSERT: " + s.columns[i]);
+      row[*c] = coerce(evalStandalone(*s.values[i], params), schema.columns[*c].type);
+    }
+  }
+  result.lastInsertId = table.insert(std::move(row));
+  result.affectedRows = 1;
+  result.stats.rowsModified = 1;
+  return result;
+}
+
+ExecResult Executor::executeUpdate(const UpdateStmt& s, std::span<const Value> params) {
+  ExecResult result;
+  Table& table = db_.table(s.table);
+  const auto& schema = table.schema();
+  const auto matches = findMatches(db_, s.table, s.where.get(), params, result.stats);
+
+  // Pre-resolve assignment targets.
+  struct Target {
+    std::size_t column;
+    const Expr* value;
+  };
+  std::vector<Target> targets;
+  for (const auto& a : s.sets) {
+    auto c = schema.columnIndex(a.column);
+    if (!c) throw std::runtime_error("unknown column in UPDATE: " + a.column);
+    targets.push_back({*c, a.value.get()});
+  }
+
+  // Row-context evaluator (assignments may reference current values,
+  // e.g. SET qty = qty + 1).
+  struct RowEval {
+    const Table& table;
+    std::span<const Value> params;
+    Value eval(const Expr& e, const Row& row) const {
+      switch (e.kind) {
+        case Expr::Kind::Literal:
+          return e.literal;
+        case Expr::Kind::Param:
+          return params[e.paramIndex - 1];
+        case Expr::Kind::Column: {
+          auto c = table.schema().columnIndex(e.column);
+          if (!c) throw std::runtime_error("unknown column: " + e.column);
+          return row[*c];
+        }
+        case Expr::Kind::Binary: {
+          const Value a = eval(*e.lhs, row);
+          const Value b = eval(*e.rhs, row);
+          if (a.isNull() || b.isNull()) return Value();
+          switch (e.op) {
+            case BinOp::Add:
+              return (a.isInt() && b.isInt()) ? Value(a.asInt() + b.asInt())
+                                              : Value(a.asDouble() + b.asDouble());
+            case BinOp::Sub:
+              return (a.isInt() && b.isInt()) ? Value(a.asInt() - b.asInt())
+                                              : Value(a.asDouble() - b.asDouble());
+            case BinOp::Mul:
+              return (a.isInt() && b.isInt()) ? Value(a.asInt() * b.asInt())
+                                              : Value(a.asDouble() * b.asDouble());
+            case BinOp::Div:
+              return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
+            default:
+              throw std::runtime_error("unsupported operator in SET expression");
+          }
+        }
+        default:
+          throw std::runtime_error("unsupported expression in SET");
+      }
+    }
+  };
+  RowEval ev{table, params};
+
+  for (RowId id : matches) {
+    // Evaluate all assignments against the pre-update row, then apply.
+    std::vector<Value> newValues;
+    newValues.reserve(targets.size());
+    for (const Target& t : targets) {
+      newValues.push_back(
+          coerce(ev.eval(*t.value, table.row(id)), schema.columns[t.column].type));
+    }
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      table.updateCell(id, targets[i].column, std::move(newValues[i]));
+    }
+  }
+  result.affectedRows = matches.size();
+  result.stats.rowsModified = matches.size();
+  return result;
+}
+
+ExecResult Executor::executeDelete(const DeleteStmt& s, std::span<const Value> params) {
+  ExecResult result;
+  Table& table = db_.table(s.table);
+  const auto matches = findMatches(db_, s.table, s.where.get(), params, result.stats);
+  for (RowId id : matches) table.erase(id);
+  result.affectedRows = matches.size();
+  result.stats.rowsModified = matches.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SelectRunner::run — the SELECT pipeline: access path, joins, residual
+// filter, then projection/grouping/order/limit.
+
+namespace {
+
+ResultSet SelectRunner::run() {
+  tables_.clear();
+  tables_.push_back({stmt_.from.alias, &db_.table(stmt_.from.table)});
+  for (const auto& j : stmt_.joins) {
+    tables_.push_back({j.table.alias, &db_.table(j.table.table)});
+  }
+
+  std::vector<const Expr*> conjuncts;
+  splitConjuncts(stmt_.where.get(), conjuncts);
+
+  // Base table access.
+  std::vector<Binding> bindings;
+  {
+    auto baseRows = baseTableCandidates(conjuncts);
+    bindings.reserve(baseRows.size());
+    for (RowId id : baseRows) bindings.push_back(Binding{id});
+  }
+
+  // Push down conjuncts that reference only the base table before joining,
+  // so selective filters (e.g. LIKE on the driving table) do not fan out
+  // through the joins first.
+  if (!stmt_.joins.empty() && !conjuncts.empty() && !bindings.empty()) {
+    std::vector<const Expr*> baseOnly;
+    for (const Expr* c : conjuncts) {
+      if (referencesOnlyTable(*c, 0)) baseOnly.push_back(c);
+    }
+    if (!baseOnly.empty()) {
+      std::vector<Binding> kept;
+      kept.reserve(bindings.size());
+      for (Binding& b : bindings) {
+        bool pass = true;
+        for (const Expr* c : baseOnly) {
+          if (!valueIsTrue(eval(*c, b))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(std::move(b));
+      }
+      bindings = std::move(kept);
+    }
+  }
+
+  // Joins.
+  for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
+    joinTable(j + 1, &stmt_.joins[j], conjuncts, bindings);
+  }
+
+  // Residual WHERE filter.
+  if (stmt_.where) {
+    std::vector<Binding> filtered;
+    filtered.reserve(bindings.size());
+    for (Binding& b : bindings) {
+      if (valueIsTrue(eval(*stmt_.where, b))) filtered.push_back(std::move(b));
+    }
+    bindings = std::move(filtered);
+  }
+
+  return project(bindings);
+}
+
+}  // namespace
+
+}  // namespace mwsim::db

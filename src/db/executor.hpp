@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "db/ast.hpp"
+#include "db/database.hpp"
+#include "db/result.hpp"
+
+namespace mwsim::db {
+
+/// Executes parsed statements against a Database.
+///
+/// The executor is synchronous and instantaneous (no simulated time); the
+/// simulated DatabaseServer charges CPU time from the ExecStats it returns.
+class Executor {
+ public:
+  explicit Executor(Database& db) : db_(db) {}
+
+  /// Executes a statement with bound parameters (one Value per `?`).
+  ExecResult execute(const Statement& stmt, std::span<const Value> params = {});
+
+  /// Convenience: parse + execute in one step (tests, data loading).
+  ExecResult query(std::string_view sql, std::span<const Value> params = {});
+
+ private:
+  ExecResult executeSelect(const SelectStmt& s, std::span<const Value> params);
+  ExecResult executeInsert(const InsertStmt& s, std::span<const Value> params);
+  ExecResult executeUpdate(const UpdateStmt& s, std::span<const Value> params);
+  ExecResult executeDelete(const DeleteStmt& s, std::span<const Value> params);
+
+  Database& db_;
+};
+
+/// True when a Value is "truthy" in a WHERE context (non-NULL, non-zero).
+bool valueIsTrue(const Value& v);
+
+/// SQL LIKE with % (any run) and _ (single char) wildcards.
+bool likeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace mwsim::db

@@ -1,0 +1,137 @@
+#include "db/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace mwsim::db {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view sql, std::size_t pos, const std::string& what) {
+  throw std::runtime_error("SQL lex error at offset " + std::to_string(pos) + ": " + what +
+                           " in \"" + std::string(sql) + "\"");
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (isIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && isIdentChar(sql[j])) ++j;
+      t.type = TokenType::Identifier;
+      t.text.assign(sql.substr(i, j - i));
+      t.upperText = t.text;
+      for (char& ch : t.upperText) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t j = i;
+      bool isFloat = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) || sql[j] == '.')) {
+        if (sql[j] == '.') isFloat = true;
+        ++j;
+      }
+      const std::string num(sql.substr(i, j - i));
+      if (isFloat) {
+        t.type = TokenType::Float;
+        t.floatValue = std::stod(num);
+      } else {
+        t.type = TokenType::Integer;
+        auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), t.intValue);
+        if (ec != std::errc{}) fail(sql, i, "bad integer literal");
+      }
+      i = j;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string body;
+      for (;;) {
+        if (j >= n) fail(sql, i, "unterminated string literal");
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            body.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        body.push_back(sql[j]);
+        ++j;
+      }
+      t.type = TokenType::String;
+      t.text = std::move(body);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case '?': t.type = TokenType::Param; ++i; break;
+        case '*': t.type = TokenType::Star; ++i; break;
+        case ',': t.type = TokenType::Comma; ++i; break;
+        case '.': t.type = TokenType::Dot; ++i; break;
+        case '(': t.type = TokenType::LParen; ++i; break;
+        case ')': t.type = TokenType::RParen; ++i; break;
+        case '+': t.type = TokenType::Plus; ++i; break;
+        case '-': t.type = TokenType::Minus; ++i; break;
+        case '/': t.type = TokenType::Slash; ++i; break;
+        case ';': t.type = TokenType::Semicolon; ++i; break;
+        case '=': t.type = TokenType::Eq; ++i; break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::Ne;
+            i += 2;
+          } else {
+            fail(sql, i, "unexpected '!'");
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::Le;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            t.type = TokenType::Ne;
+            i += 2;
+          } else {
+            t.type = TokenType::Lt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.type = TokenType::Ge;
+            i += 2;
+          } else {
+            t.type = TokenType::Gt;
+            ++i;
+          }
+          break;
+        default:
+          fail(sql, i, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::End;
+  end.pos = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace mwsim::db

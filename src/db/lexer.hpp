@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace mwsim::db {
+
+enum class TokenType {
+  Identifier,  // table / column names; keywords are uppercased identifiers
+  Integer,
+  Float,
+  String,
+  Param,   // ?
+  Star,    // *
+  Comma,
+  Dot,
+  LParen,
+  RParen,
+  Plus,
+  Minus,
+  Slash,
+  Eq,      // =
+  Ne,      // != or <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Semicolon,
+  End,
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;       // identifier (original case) or string literal body
+  std::string upperText;  // identifier, uppercased (for keyword checks)
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  std::size_t pos = 0;  // byte offset in the source, for error messages
+};
+
+/// Tokenizes a SQL string. Throws std::runtime_error on malformed input.
+std::vector<Token> lex(std::string_view sql);
+
+}  // namespace mwsim::db

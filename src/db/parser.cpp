@@ -1,0 +1,447 @@
+#include "db/parser.hpp"
+
+#include <stdexcept>
+
+#include "db/lexer.hpp"
+
+namespace mwsim::db {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : sql_(sql), tokens_(lex(sql)) {}
+
+  std::shared_ptr<const Statement> parse() {
+    auto stmt = std::make_shared<Statement>();
+    stmt->text.assign(sql_);
+    const Token& first = peek();
+    if (first.type != TokenType::Identifier) fail("expected statement keyword");
+    const std::string& kw = first.upperText;
+    if (kw == "SELECT") {
+      stmt->kind = Statement::Kind::Select;
+      stmt->select = parseSelect();
+    } else if (kw == "INSERT") {
+      stmt->kind = Statement::Kind::Insert;
+      stmt->insert = parseInsert();
+    } else if (kw == "UPDATE") {
+      stmt->kind = Statement::Kind::Update;
+      stmt->update = parseUpdate();
+    } else if (kw == "DELETE") {
+      stmt->kind = Statement::Kind::Delete;
+      stmt->del = parseDelete();
+    } else if (kw == "LOCK") {
+      stmt->kind = Statement::Kind::LockTables;
+      stmt->lockTables = parseLockTables();
+    } else if (kw == "UNLOCK") {
+      stmt->kind = Statement::Kind::UnlockTables;
+      advance();
+      expectKeyword("TABLES");
+    } else {
+      fail("unknown statement: " + kw);
+    }
+    if (peek().type == TokenType::Semicolon) advance();
+    if (peek().type != TokenType::End) fail("trailing tokens after statement");
+    stmt->paramCount = paramCount_;
+    return stmt;
+  }
+
+ private:
+  // ----- token plumbing -----
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool check(TokenType t) const { return peek().type == t; }
+  bool accept(TokenType t) {
+    if (check(t)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(TokenType t, const char* what) {
+    if (!accept(t)) fail(std::string("expected ") + what);
+  }
+  bool checkKeyword(const char* kw) const {
+    return peek().type == TokenType::Identifier && peek().upperText == kw;
+  }
+  bool acceptKeyword(const char* kw) {
+    if (checkKeyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expectKeyword(const char* kw) {
+    if (!acceptKeyword(kw)) fail(std::string("expected ") + kw);
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("SQL parse error at offset " + std::to_string(peek().pos) +
+                             ": " + what + " in \"" + std::string(sql_) + "\"");
+  }
+
+  std::string expectIdentifier(const char* what) {
+    if (!check(TokenType::Identifier)) fail(std::string("expected ") + what);
+    return advance().text;
+  }
+
+  // ----- statements -----
+  SelectStmt parseSelect() {
+    expectKeyword("SELECT");
+    SelectStmt s;
+    s.distinct = acceptKeyword("DISTINCT");
+    do {
+      SelectItem item;
+      if (accept(TokenType::Star)) {
+        item.expr = Expr::makeStar();
+      } else {
+        item.expr = parseExpr();
+        if (acceptKeyword("AS")) item.alias = expectIdentifier("alias");
+      }
+      s.items.push_back(std::move(item));
+    } while (accept(TokenType::Comma));
+
+    expectKeyword("FROM");
+    s.from = parseTableRef();
+    while (checkKeyword("JOIN") || checkKeyword("INNER") || accept(TokenType::Comma)) {
+      // `FROM a, b WHERE a.x = b.y` is normalized by the executor; here we
+      // treat a comma like an inner join with the condition left in WHERE.
+      if (acceptKeyword("INNER")) expectKeyword("JOIN");
+      else acceptKeyword("JOIN");
+      JoinClause join;
+      join.table = parseTableRef();
+      if (acceptKeyword("ON")) {
+        ExprPtr l = parsePrimary();
+        expect(TokenType::Eq, "'=' in join condition");
+        ExprPtr r = parsePrimary();
+        if (l->kind != Expr::Kind::Column || r->kind != Expr::Kind::Column) {
+          fail("join conditions must be column = column");
+        }
+        join.leftColumn = std::move(l);
+        join.rightColumn = std::move(r);
+      }
+      s.joins.push_back(std::move(join));
+    }
+    if (acceptKeyword("WHERE")) s.where = parseExpr();
+    if (acceptKeyword("GROUP")) {
+      expectKeyword("BY");
+      do {
+        s.groupBy.push_back(parseExpr());
+      } while (accept(TokenType::Comma));
+      if (acceptKeyword("HAVING")) s.having = parseExpr();
+    }
+    if (acceptKeyword("ORDER")) {
+      expectKeyword("BY");
+      do {
+        OrderItem item;
+        item.expr = parseExpr();
+        if (acceptKeyword("DESC")) item.descending = true;
+        else acceptKeyword("ASC");
+        s.orderBy.push_back(std::move(item));
+      } while (accept(TokenType::Comma));
+    }
+    if (acceptKeyword("LIMIT")) {
+      const Token& t = advance();
+      if (t.type != TokenType::Integer) fail("LIMIT expects an integer literal");
+      s.limit = t.intValue;
+      if (acceptKeyword("OFFSET")) {
+        const Token& o = advance();
+        if (o.type != TokenType::Integer) fail("OFFSET expects an integer literal");
+        s.offset = o.intValue;
+      }
+    }
+    acceptKeyword("FOR") && (expectKeyword("UPDATE"), true);  // parsed, ignored
+    return s;
+  }
+
+  TableRef parseTableRef() {
+    TableRef ref;
+    ref.table = expectIdentifier("table name");
+    if (check(TokenType::Identifier) && !isClauseKeyword(peek().upperText)) {
+      ref.alias = advance().text;
+    } else {
+      ref.alias = ref.table;
+    }
+    return ref;
+  }
+
+  static bool isClauseKeyword(const std::string& kw) {
+    return kw == "WHERE" || kw == "GROUP" || kw == "ORDER" || kw == "LIMIT" ||
+           kw == "JOIN" || kw == "INNER" || kw == "ON" || kw == "SET" ||
+           kw == "VALUES" || kw == "AS" || kw == "FOR" || kw == "READ" ||
+           kw == "WRITE" || kw == "DESC" || kw == "ASC" || kw == "OFFSET" ||
+           kw == "HAVING";
+  }
+
+  InsertStmt parseInsert() {
+    expectKeyword("INSERT");
+    expectKeyword("INTO");
+    InsertStmt s;
+    s.table = expectIdentifier("table name");
+    if (accept(TokenType::LParen)) {
+      do {
+        s.columns.push_back(expectIdentifier("column name"));
+      } while (accept(TokenType::Comma));
+      expect(TokenType::RParen, "')'");
+    }
+    expectKeyword("VALUES");
+    expect(TokenType::LParen, "'('");
+    do {
+      s.values.push_back(parseExpr());
+    } while (accept(TokenType::Comma));
+    expect(TokenType::RParen, "')'");
+    return s;
+  }
+
+  UpdateStmt parseUpdate() {
+    expectKeyword("UPDATE");
+    UpdateStmt s;
+    s.table = expectIdentifier("table name");
+    expectKeyword("SET");
+    do {
+      Assignment a;
+      a.column = expectIdentifier("column name");
+      expect(TokenType::Eq, "'='");
+      a.value = parseExpr();
+      s.sets.push_back(std::move(a));
+    } while (accept(TokenType::Comma));
+    if (acceptKeyword("WHERE")) s.where = parseExpr();
+    return s;
+  }
+
+  DeleteStmt parseDelete() {
+    expectKeyword("DELETE");
+    expectKeyword("FROM");
+    DeleteStmt s;
+    s.table = expectIdentifier("table name");
+    if (acceptKeyword("WHERE")) s.where = parseExpr();
+    return s;
+  }
+
+  LockTablesStmt parseLockTables() {
+    expectKeyword("LOCK");
+    expectKeyword("TABLES");
+    LockTablesStmt s;
+    do {
+      LockTablesStmt::Item item;
+      item.table = expectIdentifier("table name");
+      if (acceptKeyword("WRITE")) item.write = true;
+      else if (acceptKeyword("READ")) item.write = false;
+      else fail("expected READ or WRITE");
+      s.items.push_back(std::move(item));
+    } while (accept(TokenType::Comma));
+    return s;
+  }
+
+  // ----- expressions (precedence climbing) -----
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr e = parseAnd();
+    while (acceptKeyword("OR")) {
+      e = Expr::makeBinary(BinOp::Or, std::move(e), parseAnd());
+    }
+    return e;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr e = parseComparison();
+    while (acceptKeyword("AND")) {
+      e = Expr::makeBinary(BinOp::And, std::move(e), parseComparison());
+    }
+    return e;
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr e = parseAdditive();
+    for (;;) {
+      // Postfix predicate forms first: IN, NOT IN, BETWEEN, IS [NOT] NULL.
+      if (checkKeyword("NOT") && peek(1).type == TokenType::Identifier &&
+          (peek(1).upperText == "IN" || peek(1).upperText == "BETWEEN" ||
+           peek(1).upperText == "LIKE")) {
+        advance();  // NOT
+        if (acceptKeyword("IN")) {
+          e = Expr::makeNot(parseInList(std::move(e)));
+        } else if (acceptKeyword("BETWEEN")) {
+          e = Expr::makeNot(parseBetween(std::move(e)));
+        } else {
+          expectKeyword("LIKE");
+          e = Expr::makeNot(
+              Expr::makeBinary(BinOp::Like, std::move(e), parseAdditive()));
+        }
+        continue;
+      }
+      if (acceptKeyword("IN")) {
+        e = parseInList(std::move(e));
+        continue;
+      }
+      if (acceptKeyword("BETWEEN")) {
+        e = parseBetween(std::move(e));
+        continue;
+      }
+      if (acceptKeyword("IS")) {
+        const bool negated = acceptKeyword("NOT");
+        expectKeyword("NULL");
+        e = Expr::makeIsNull(std::move(e), negated);
+        continue;
+      }
+      BinOp op;
+      if (accept(TokenType::Eq)) op = BinOp::Eq;
+      else if (accept(TokenType::Ne)) op = BinOp::Ne;
+      else if (accept(TokenType::Lt)) op = BinOp::Lt;
+      else if (accept(TokenType::Le)) op = BinOp::Le;
+      else if (accept(TokenType::Gt)) op = BinOp::Gt;
+      else if (accept(TokenType::Ge)) op = BinOp::Ge;
+      else if (acceptKeyword("LIKE")) op = BinOp::Like;
+      else break;
+      e = Expr::makeBinary(op, std::move(e), parseAdditive());
+    }
+    return e;
+  }
+
+  ExprPtr parseInList(ExprPtr needle) {
+    expect(TokenType::LParen, "'(' after IN");
+    std::vector<ExprPtr> values;
+    do {
+      values.push_back(parseExpr());
+    } while (accept(TokenType::Comma));
+    expect(TokenType::RParen, "')'");
+    return Expr::makeIn(std::move(needle), std::move(values));
+  }
+
+  // x BETWEEN a AND b  ==  x >= a AND x <= b (x evaluated twice; columns
+  // are cheap and the apps only use column operands).
+  ExprPtr parseBetween(ExprPtr operand) {
+    ExprPtr lo = parseAdditive();
+    expectKeyword("AND");
+    ExprPtr hi = parseAdditive();
+    ExprPtr copy = cloneExpr(*operand);
+    return Expr::makeBinary(
+        BinOp::And, Expr::makeBinary(BinOp::Ge, std::move(operand), std::move(lo)),
+        Expr::makeBinary(BinOp::Le, std::move(copy), std::move(hi)));
+  }
+
+  static ExprPtr cloneExpr(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->negated = e.negated;
+    out->literal = e.literal;
+    out->tableQualifier = e.tableQualifier;
+    out->column = e.column;
+    out->paramIndex = e.paramIndex;
+    out->op = e.op;
+    out->agg = e.agg;
+    if (e.lhs) out->lhs = cloneExpr(*e.lhs);
+    if (e.rhs) out->rhs = cloneExpr(*e.rhs);
+    if (e.aggArg) out->aggArg = cloneExpr(*e.aggArg);
+    for (const auto& item : e.list) out->list.push_back(cloneExpr(*item));
+    return out;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr e = parseMultiplicative();
+    for (;;) {
+      BinOp op;
+      if (accept(TokenType::Plus)) op = BinOp::Add;
+      else if (accept(TokenType::Minus)) op = BinOp::Sub;
+      else break;
+      e = Expr::makeBinary(op, std::move(e), parseMultiplicative());
+    }
+    return e;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr e = parsePrimary();
+    for (;;) {
+      BinOp op;
+      if (accept(TokenType::Star)) op = BinOp::Mul;
+      else if (accept(TokenType::Slash)) op = BinOp::Div;
+      else break;
+      e = Expr::makeBinary(op, std::move(e), parsePrimary());
+    }
+    return e;
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = peek();
+    switch (t.type) {
+      case TokenType::Integer:
+        advance();
+        return Expr::makeLiteral(Value(t.intValue));
+      case TokenType::Float:
+        advance();
+        return Expr::makeLiteral(Value(t.floatValue));
+      case TokenType::String:
+        advance();
+        return Expr::makeLiteral(Value(t.text));
+      case TokenType::Param:
+        advance();
+        return Expr::makeParam(++paramCount_);
+      case TokenType::Minus: {
+        advance();
+        ExprPtr inner = parsePrimary();
+        return Expr::makeBinary(BinOp::Sub, Expr::makeLiteral(Value(std::int64_t{0})),
+                                std::move(inner));
+      }
+      case TokenType::LParen: {
+        advance();
+        ExprPtr e = parseExpr();
+        expect(TokenType::RParen, "')'");
+        return e;
+      }
+      case TokenType::Identifier: {
+        // NOT, NULL literal, aggregate function, or column reference.
+        if (t.upperText == "NOT") {
+          advance();
+          return Expr::makeNot(parsePrimary());
+        }
+        if (t.upperText == "NULL") {
+          advance();
+          return Expr::makeLiteral(Value());
+        }
+        const AggFunc agg = aggFromName(t.upperText);
+        if (agg != AggFunc::None && peek(1).type == TokenType::LParen) {
+          advance();  // function name
+          advance();  // (
+          ExprPtr arg;
+          if (accept(TokenType::Star)) arg = Expr::makeStar();
+          else arg = parseExpr();
+          expect(TokenType::RParen, "')'");
+          return Expr::makeAggregate(agg, std::move(arg));
+        }
+        std::string first = advance().text;
+        if (accept(TokenType::Dot)) {
+          std::string col = expectIdentifier("column name");
+          return Expr::makeColumn(std::move(first), std::move(col));
+        }
+        return Expr::makeColumn(std::string(), std::move(first));
+      }
+      default:
+        fail("unexpected token in expression");
+    }
+  }
+
+  static AggFunc aggFromName(const std::string& name) {
+    if (name == "COUNT") return AggFunc::Count;
+    if (name == "SUM") return AggFunc::Sum;
+    if (name == "MIN") return AggFunc::Min;
+    if (name == "MAX") return AggFunc::Max;
+    if (name == "AVG") return AggFunc::Avg;
+    return AggFunc::None;
+  }
+
+  std::string_view sql_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t paramCount_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const Statement> parseSql(std::string_view sql) {
+  return Parser(sql).parse();
+}
+
+}  // namespace mwsim::db

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "db/ast.hpp"
+
+namespace mwsim::db {
+
+/// Parses one SQL statement. Throws std::runtime_error with a message that
+/// includes the offending SQL on syntax errors.
+std::shared_ptr<const Statement> parseSql(std::string_view sql);
+
+}  // namespace mwsim::db

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+#include "db/value.hpp"
+
+namespace mwsim::db {
+
+/// Materialized result of a SELECT.
+class ResultSet {
+ public:
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  bool empty() const noexcept { return rows.empty(); }
+  std::size_t rowCount() const noexcept { return rows.size(); }
+
+  std::size_t columnIndex(const std::string& name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return i;
+    }
+    throw std::runtime_error("no such result column: " + name);
+  }
+
+  const Value& at(std::size_t row, const std::string& column) const {
+    return rows.at(row)[columnIndex(column)];
+  }
+  const Value& at(std::size_t row, std::size_t column) const {
+    return rows.at(row).at(column);
+  }
+  std::int64_t intAt(std::size_t row, const std::string& column) const {
+    return at(row, column).asInt();
+  }
+  double doubleAt(std::size_t row, const std::string& column) const {
+    return at(row, column).asDouble();
+  }
+  const std::string& stringAt(std::size_t row, const std::string& column) const {
+    return at(row, column).asString();
+  }
+
+  /// Approximate wire size of the result, for transfer costing.
+  std::size_t byteSize() const {
+    std::size_t n = 0;
+    for (const auto& c : columns) n += c.size();
+    for (const auto& r : rows) {
+      for (const auto& v : r) n += v.byteSize() + 4;
+    }
+    return n;
+  }
+};
+
+/// Statistics from executing one statement — the inputs to the database
+/// CPU cost model.
+struct ExecStats {
+  std::uint64_t rowsExamined = 0;  // rows touched by scans and lookups
+  std::uint64_t bytesExamined = 0;  // approx row bytes touched (avg width)
+  std::uint64_t rowsReturned = 0;
+  std::uint64_t rowsModified = 0;
+  std::uint64_t rowsSorted = 0;  // rows that passed through a sort
+  std::uint64_t aggregatedGroups = 0;
+  bool usedIndex = false;
+  std::uint64_t resultBytes = 0;
+};
+
+struct ExecResult {
+  ResultSet resultSet;
+  std::uint64_t affectedRows = 0;
+  std::int64_t lastInsertId = 0;
+  ExecStats stats;
+};
+
+}  // namespace mwsim::db

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mwsim::db {
+
+enum class ColumnType { Int, Double, String };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::Int;
+};
+
+/// Declarative table schema: columns, optional auto-increment integer
+/// primary key, and secondary indexes (single-column).
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  /// Index into `columns` of the primary key, if any. Primary keys are
+  /// unique; inserting a duplicate is an error.
+  std::optional<std::size_t> primaryKey;
+  /// True if the primary key auto-increments when inserted as NULL.
+  bool autoIncrement = false;
+  /// Indices into `columns` that carry secondary (non-unique) indexes.
+  std::vector<std::size_t> secondaryIndexes;
+
+  std::optional<std::size_t> columnIndex(const std::string& column) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column) return i;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Fluent helper for building schemas.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string name) { schema_.name = std::move(name); }
+
+  SchemaBuilder& col(std::string name, ColumnType type) {
+    schema_.columns.push_back({std::move(name), type});
+    return *this;
+  }
+  SchemaBuilder& intCol(std::string name) { return col(std::move(name), ColumnType::Int); }
+  SchemaBuilder& doubleCol(std::string name) { return col(std::move(name), ColumnType::Double); }
+  SchemaBuilder& stringCol(std::string name) { return col(std::move(name), ColumnType::String); }
+
+  /// Marks the most recently added column as the primary key.
+  SchemaBuilder& primaryKey(bool autoIncrement = false) {
+    schema_.primaryKey = schema_.columns.size() - 1;
+    schema_.autoIncrement = autoIncrement;
+    return *this;
+  }
+
+  /// Adds a secondary index on the most recently added column.
+  SchemaBuilder& indexed() {
+    schema_.secondaryIndexes.push_back(schema_.columns.size() - 1);
+    return *this;
+  }
+
+  TableSchema build() { return std::move(schema_); }
+
+ private:
+  TableSchema schema_;
+};
+
+}  // namespace mwsim::db

@@ -1,0 +1,146 @@
+#include "db/table.hpp"
+
+#include <stdexcept>
+
+namespace mwsim::db {
+
+namespace {
+std::size_t rowBytes(const Row& row) {
+  std::size_t n = 0;
+  for (const Value& v : row) n += v.byteSize() + 8;
+  return n;
+}
+}  // namespace
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  for (std::size_t c : schema_.secondaryIndexes) {
+    secondary_.emplace(c, std::multimap<Value, RowId>{});
+  }
+}
+
+std::int64_t Table::insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    throw std::runtime_error("INSERT into " + schema_.name + ": expected " +
+                             std::to_string(schema_.columns.size()) + " values, got " +
+                             std::to_string(row.size()));
+  }
+  std::int64_t keyOut = 0;
+  if (schema_.primaryKey) {
+    Value& key = row[*schema_.primaryKey];
+    if (key.isNull()) {
+      if (!schema_.autoIncrement) {
+        throw std::runtime_error("NULL primary key in " + schema_.name);
+      }
+      key = Value(nextAutoId_++);
+    } else if (key.isInt() && key.asInt() >= nextAutoId_) {
+      nextAutoId_ = key.asInt() + 1;
+    }
+    if (pkIndex_.contains(key)) {
+      throw std::runtime_error("duplicate primary key in " + schema_.name + ": " +
+                               key.toDisplayString());
+    }
+    keyOut = key.isInt() ? key.asInt() : 0;
+    lastInsertId_ = keyOut;
+  }
+  const RowId id = static_cast<RowId>(rows_.size());
+  approxBytes_ += rowBytes(row);
+  rows_.push_back(std::move(row));
+  tombstone_.push_back(false);
+  ++liveRows_;
+  indexInsert(id);
+  return keyOut;
+}
+
+std::optional<RowId> Table::findByPk(const Value& key) const {
+  if (!schema_.primaryKey) return std::nullopt;
+  auto it = pkIndex_.find(key);
+  if (it == pkIndex_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RowId> Table::findByIndex(std::size_t column, const Value& key) const {
+  std::vector<RowId> out;
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) throw std::runtime_error("no index on column");
+  auto [lo, hi] = it->second.equal_range(key);
+  for (auto i = lo; i != hi; ++i) out.push_back(i->second);
+  return out;
+}
+
+std::vector<RowId> Table::findRangeByIndex(std::size_t column,
+                                           const std::optional<Value>& lo, bool loInclusive,
+                                           const std::optional<Value>& hi,
+                                           bool hiInclusive) const {
+  std::vector<RowId> out;
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) throw std::runtime_error("no index on column");
+  const auto& index = it->second;
+  auto begin = lo ? (loInclusive ? index.lower_bound(*lo) : index.upper_bound(*lo))
+                  : index.begin();
+  auto end = hi ? (hiInclusive ? index.upper_bound(*hi) : index.lower_bound(*hi))
+                : index.end();
+  for (auto i = begin; i != end; ++i) out.push_back(i->second);
+  return out;
+}
+
+bool Table::hasIndexOn(std::size_t column) const {
+  return secondary_.contains(column);
+}
+
+void Table::updateCell(RowId id, std::size_t column, Value v) {
+  if (!isLive(id)) throw std::runtime_error("update of dead row");
+  Row& row = rows_[id];
+  const bool pkCol = isPrimaryKeyColumn(column);
+  if (pkCol) {
+    if (row[column] == v) return;
+    if (pkIndex_.contains(v)) {
+      throw std::runtime_error("duplicate primary key on update in " + schema_.name);
+    }
+    pkIndex_.erase(row[column]);
+    pkIndex_.emplace(v, id);
+  }
+  auto sec = secondary_.find(column);
+  if (sec != secondary_.end()) {
+    auto [lo, hi] = sec->second.equal_range(row[column]);
+    for (auto i = lo; i != hi; ++i) {
+      if (i->second == id) {
+        sec->second.erase(i);
+        break;
+      }
+    }
+    sec->second.emplace(v, id);
+  }
+  approxBytes_ -= row[column].byteSize();
+  approxBytes_ += v.byteSize();
+  row[column] = std::move(v);
+}
+
+void Table::erase(RowId id) {
+  if (!isLive(id)) return;
+  indexErase(id);
+  approxBytes_ -= rowBytes(rows_[id]);
+  tombstone_[id] = true;
+  --liveRows_;
+}
+
+void Table::indexInsert(RowId id) {
+  const Row& row = rows_[id];
+  if (schema_.primaryKey) pkIndex_.emplace(row[*schema_.primaryKey], id);
+  for (auto& [col, index] : secondary_) index.emplace(row[col], id);
+}
+
+void Table::indexErase(RowId id) {
+  const Row& row = rows_[id];
+  if (schema_.primaryKey) pkIndex_.erase(row[*schema_.primaryKey]);
+  for (auto& [col, index] : secondary_) {
+    auto [lo, hi] = index.equal_range(row[col]);
+    for (auto i = lo; i != hi; ++i) {
+      if (i->second == id) {
+        index.erase(i);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mwsim::db

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "db/value.hpp"
+
+namespace mwsim::db {
+
+using Row = std::vector<Value>;
+using RowId = std::uint32_t;
+
+/// Heap-organized table with a unique hash index on the primary key and
+/// ordered secondary indexes (std::multimap) for range scans.
+///
+/// Rows are stored in a stable vector; deletes tombstone the slot. RowIds
+/// are stable for the lifetime of the row.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const noexcept { return schema_; }
+  const std::string& name() const noexcept { return schema_.name; }
+
+  /// Number of live rows.
+  std::size_t size() const noexcept { return liveRows_; }
+
+  /// Inserts a row. If the table has an auto-increment key and the key slot
+  /// is NULL, a fresh id is assigned. Returns the id of the inserted row's
+  /// primary key (or 0 when the table has none).
+  std::int64_t insert(Row row);
+
+  /// Looks up by primary key. Returns nullopt if absent.
+  std::optional<RowId> findByPk(const Value& key) const;
+
+  /// Row ids whose indexed column equals `key` (secondary index required).
+  std::vector<RowId> findByIndex(std::size_t column, const Value& key) const;
+
+  /// Row ids whose indexed column is within [lo, hi] (either bound may be
+  /// omitted). Results come back in index order.
+  std::vector<RowId> findRangeByIndex(std::size_t column,
+                                      const std::optional<Value>& lo, bool loInclusive,
+                                      const std::optional<Value>& hi, bool hiInclusive) const;
+
+  bool hasIndexOn(std::size_t column) const;
+  bool isPrimaryKeyColumn(std::size_t column) const {
+    return schema_.primaryKey && *schema_.primaryKey == column;
+  }
+
+  const Row& row(RowId id) const { return rows_[id]; }
+  bool isLive(RowId id) const { return id < rows_.size() && !tombstone_[id]; }
+
+  /// Updates one column of one row, maintaining indexes.
+  void updateCell(RowId id, std::size_t column, Value v);
+
+  /// Tombstones a row and removes it from all indexes.
+  void erase(RowId id);
+
+  /// Visits every live row id in storage order.
+  template <typename Fn>
+  void forEachRow(Fn&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!tombstone_[id]) fn(id);
+    }
+  }
+
+  std::int64_t lastInsertId() const noexcept { return lastInsertId_; }
+
+  /// Approximate bytes held by live rows (for the resource-usage benches).
+  std::size_t approxBytes() const noexcept { return approxBytes_; }
+
+  /// Average live-row width in bytes (for scan costing).
+  std::size_t avgRowBytes() const noexcept {
+    return liveRows_ ? approxBytes_ / liveRows_ : 0;
+  }
+
+  /// Largest auto-increment key handed out so far (0 if none). Used for the
+  /// O(1) MAX(pk) fast path, mirroring MySQL's index-based MIN/MAX.
+  std::int64_t maxAssignedId() const noexcept { return nextAutoId_ - 1; }
+
+  /// Smallest/largest value in a secondary index (nullopt when empty or no
+  /// index exists on the column).
+  std::optional<Value> indexMin(std::size_t column) const {
+    auto it = secondary_.find(column);
+    if (it == secondary_.end() || it->second.empty()) return std::nullopt;
+    return it->second.begin()->first;
+  }
+  std::optional<Value> indexMax(std::size_t column) const {
+    auto it = secondary_.find(column);
+    if (it == secondary_.end() || it->second.empty()) return std::nullopt;
+    return it->second.rbegin()->first;
+  }
+
+ private:
+  void indexInsert(RowId id);
+  void indexErase(RowId id);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> tombstone_;
+  std::size_t liveRows_ = 0;
+  std::size_t approxBytes_ = 0;
+
+  std::unordered_map<Value, RowId, ValueHash> pkIndex_;
+  // column index -> ordered multimap value -> row id
+  std::map<std::size_t, std::multimap<Value, RowId>> secondary_;
+  std::int64_t nextAutoId_ = 1;
+  std::int64_t lastInsertId_ = 0;
+};
+
+}  // namespace mwsim::db

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "middleware/db_session.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+
+namespace mwsim::mw {
+
+/// How the application serializes multi-statement critical sections.
+enum class LockStrategy {
+  /// Issue `LOCK TABLES` / `UNLOCK TABLES` to the database (PHP, and
+  /// servlets in the non-sync configurations).
+  DatabaseLocks,
+  /// Hold Java `synchronized` monitors in the servlet engine; individual
+  /// statements still take MyISAM's short implicit locks (sync configs).
+  AppSync,
+};
+
+/// One table the critical section must cover, with its lock mode.
+struct TableLockSpec {
+  std::string table;
+  bool write = false;
+};
+
+/// Fluent builder for lock sets. Prefer this over braced-init-lists inside
+/// co_await expressions (GCC 12 coroutine bug — see bind() in
+/// db_session.hpp):
+///   co_await ctx.enterCritical(lockSet().write("items").read("authors"));
+class LockSet {
+ public:
+  LockSet&& write(std::string table) && {
+    specs_.push_back({std::move(table), true});
+    return std::move(*this);
+  }
+  LockSet&& read(std::string table) && {
+    specs_.push_back({std::move(table), false});
+    return std::move(*this);
+  }
+  std::vector<TableLockSpec> take() && { return std::move(specs_); }
+
+ private:
+  std::vector<TableLockSpec> specs_;
+};
+
+inline LockSet lockSet() { return {}; }
+
+/// A held critical section. Must be released with `co_await cs.release(ctx)`
+/// on the success path; the destructor drops any still-held locks without
+/// charging simulated time (exception/teardown safety net).
+class [[nodiscard]] CriticalSection {
+ public:
+  CriticalSection() = default;
+  CriticalSection(CriticalSection&&) = default;
+  CriticalSection& operator=(CriticalSection&&) = default;
+
+  bool active() const noexcept { return viaDatabase_ || !monitors_.empty(); }
+
+ private:
+  friend struct AppContext;
+  bool viaDatabase_ = false;
+  DbSession* db_ = nullptr;  // for emergency release only
+  std::vector<sim::ResourceHold> monitors_;
+};
+
+/// Everything an application interaction needs to run inside the dynamic
+/// content generator: the host machine (whose CPU the business logic
+/// burns), a database session, the configured locking strategy, and a
+/// deterministic random source for picking items/users/parameters.
+struct AppContext {
+  sim::Simulation& sim;
+  net::Machine& host;
+  DbSession& db;
+  LockStrategy lockStrategy = LockStrategy::DatabaseLocks;
+  sim::NamedMutexSet* appMonitors = nullptr;  // required for AppSync
+  sim::Rng& rng;
+  const CostModel& cost;
+
+  /// Convenience passthrough to the database session.
+  sim::Task<db::ExecResult> query(std::string_view sql, std::vector<db::Value> params = {}) {
+    return db.execute(sql, std::move(params));
+  }
+
+  /// Enters a critical section covering `specs`.
+  ///
+  /// DatabaseLocks: issues one `LOCK TABLES ...` statement (a full
+  /// client-database round trip) and holds writer-priority table locks in
+  /// the server until release().
+  ///
+  /// AppSync: acquires named monitors in the servlet engine's JVM, in
+  /// sorted order; the database sees only per-statement implicit locks.
+  sim::Task<CriticalSection> enterCritical(LockSet set) {
+    return enterCritical(std::move(set).take());
+  }
+
+  sim::Task<CriticalSection> enterCritical(std::vector<TableLockSpec> specs) {
+    CriticalSection cs;
+    std::sort(specs.begin(), specs.end(),
+              [](const TableLockSpec& a, const TableLockSpec& b) { return a.table < b.table; });
+    if (lockStrategy == LockStrategy::DatabaseLocks) {
+      std::string sql = "LOCK TABLES ";
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i) sql += ", ";
+        sql += specs[i].table;
+        sql += specs[i].write ? " WRITE" : " READ";
+      }
+      co_await db.execute(sql);
+      cs.viaDatabase_ = true;
+      cs.db_ = &db;
+    } else {
+      // The Java implementations only synchronize writers; read-only
+      // sections that PHP brackets in LOCK TABLES for MyISAM consistency
+      // simply drop the statements (paper §4.2: "we remove some LOCK
+      // TABLES and UNLOCK TABLES SQL statements").
+      for (const auto& spec : specs) {
+        if (!spec.write) continue;
+        co_await host.compute(sim::fromMicros(cost.javaSyncUs));
+        cs.monitors_.push_back(co_await appMonitors->get(spec.table).acquire());
+      }
+    }
+    co_return cs;
+  }
+
+  /// Leaves a critical section (issues `UNLOCK TABLES` for DatabaseLocks).
+  sim::Task<> leaveCritical(CriticalSection cs) {
+    if (cs.viaDatabase_) {
+      cs.viaDatabase_ = false;
+      co_await db.execute("UNLOCK TABLES");
+    }
+    cs.monitors_.clear();
+  }
+
+  /// Charges business-logic CPU on the host machine.
+  sim::Task<> compute(double micros) { return host.compute(sim::fromMicros(micros)); }
+};
+
+}  // namespace mwsim::mw

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "middleware/app_context.hpp"
+#include "middleware/http.hpp"
+#include "sim/task.hpp"
+
+namespace mwsim::mw {
+
+/// Per-client-session application state, held where the real systems hold
+/// it (PHP session store / servlet HttpSession): user identity, navigation
+/// context, and the bookstore's shopping cart.
+struct ClientSession {
+  std::int64_t userId = -1;
+  std::int64_t lastItemId = 0;
+  std::int64_t lastCategoryId = 0;
+  std::int64_t lastRegionId = 0;
+  std::int64_t lastOrderId = 0;
+  std::string lastSearch;
+  /// Shopping cart id in the database (TPC-W persistent carts).
+  std::int64_t cartId = -1;
+  /// In-session mirror of the cart: (item id, quantity).
+  std::vector<std::pair<std::int64_t, int>> cart;
+};
+
+/// Business logic written against explicit SQL — the shared implementation
+/// used by the PHP and servlet tiers (the paper keeps the queries identical
+/// across both).
+class SqlBusinessLogic {
+ public:
+  virtual ~SqlBusinessLogic() = default;
+
+  /// Runs one interaction and returns the generated page.
+  virtual sim::Task<Page> invoke(std::string_view interaction, AppContext& ctx,
+                                 ClientSession& session) = 0;
+};
+
+/// A tier that turns a request into a page (PHP module, servlet engine, or
+/// servlet+EJB pipeline).
+class DynamicContentGenerator {
+ public:
+  virtual ~DynamicContentGenerator() = default;
+  virtual sim::Task<Page> generate(const Request& request) = 0;
+};
+
+}  // namespace mwsim::mw

@@ -1,0 +1,127 @@
+#include "middleware/database_server.hpp"
+
+#include <algorithm>
+
+namespace mwsim::mw {
+
+namespace {
+
+/// Tables a statement touches, with the lock mode it needs.
+struct TableLockNeed {
+  std::string table;
+  bool write;
+};
+
+std::vector<TableLockNeed> locksNeeded(const db::Statement& stmt) {
+  std::vector<TableLockNeed> out;
+  switch (stmt.kind) {
+    case db::Statement::Kind::Select:
+      out.push_back({stmt.select.from.table, false});
+      for (const auto& j : stmt.select.joins) out.push_back({j.table.table, false});
+      break;
+    case db::Statement::Kind::Insert:
+      out.push_back({stmt.insert.table, true});
+      break;
+    case db::Statement::Kind::Update:
+      out.push_back({stmt.update.table, true});
+      break;
+    case db::Statement::Kind::Delete:
+      out.push_back({stmt.del.table, true});
+      break;
+    default:
+      break;
+  }
+  // Deterministic (sorted) acquisition order; deduplicate keeping the
+  // strongest mode.
+  std::sort(out.begin(), out.end(),
+            [](const TableLockNeed& a, const TableLockNeed& b) { return a.table < b.table; });
+  std::vector<TableLockNeed> dedup;
+  for (auto& need : out) {
+    if (!dedup.empty() && dedup.back().table == need.table) {
+      dedup.back().write = dedup.back().write || need.write;
+    } else {
+      dedup.push_back(std::move(need));
+    }
+  }
+  return dedup;
+}
+
+}  // namespace
+
+sim::Task<db::ExecResult> DatabaseServer::Connection::process(
+    std::shared_ptr<const db::Statement> stmt, std::vector<db::Value> params) {
+  DatabaseServer& srv = server_;
+  ++srv.statements_;
+
+  if (stmt->kind == db::Statement::Kind::LockTables) {
+    co_await srv.machine_.compute(sim::fromMicros(
+        srv.cost_.dbLockStatementUs +
+        srv.cost_.dbLockPerTableUs * static_cast<double>(stmt->lockTables.items.size())));
+    // MySQL releases any previously held explicit locks when a new
+    // LOCK TABLES statement runs.
+    explicitLocks_.clear();
+    // The whole multi-table acquisition happens under the server's global
+    // lock-manager mutex: until every requested lock is granted, no other
+    // statement enters the server.
+    sim::ResourceHold lockManagerGate = co_await srv.lockManager_.acquire();
+    // Sort the requested tables so every connection acquires in the same
+    // order (std::map gives us that for free).
+    std::map<std::string, bool> wanted;
+    for (const auto& item : stmt->lockTables.items) {
+      bool& w = wanted[item.table];
+      w = w || item.write;
+    }
+    for (const auto& [table, write] : wanted) {
+      sim::RwLock& lock = srv.tableLock(table);
+      // Keep each co_await as a standalone statement: GCC 12 miscompiles
+      // co_await inside conditional expressions (the coroutine suspends and
+      // is never resumed).
+      sim::LockHold hold;
+      if (write) {
+        hold = co_await lock.lockWrite();
+      } else {
+        hold = co_await lock.lockRead();
+      }
+      explicitLocks_.emplace(table, std::move(hold));
+    }
+    co_return db::ExecResult{};
+  }
+
+  if (stmt->kind == db::Statement::Kind::UnlockTables) {
+    co_await srv.machine_.compute(sim::fromMicros(
+        srv.cost_.dbLockStatementUs +
+        srv.cost_.dbLockPerTableUs * static_cast<double>(explicitLocks_.size())));
+    explicitLocks_.clear();
+    co_return db::ExecResult{};
+  }
+
+  // Every ordinary statement passes briefly through the global lock
+  // manager; it queues here whenever a LOCK TABLES acquisition is draining.
+  // Connections already under LOCK TABLES own their locks and bypass the
+  // manager (otherwise a draining acquisition would deadlock against the
+  // very section it waits for).
+  if (explicitLocks_.empty()) {
+    (void)co_await srv.lockManager_.acquire();  // released immediately
+  }
+
+  // Implicit per-statement locks for tables not covered by explicit locks.
+  std::vector<sim::LockHold> implicit;
+  for (const auto& need : locksNeeded(*stmt)) {
+    if (explicitLocks_.contains(need.table)) continue;
+    sim::RwLock& lock = srv.tableLock(need.table);
+    if (need.write) {
+      implicit.push_back(co_await lock.lockWrite());
+    } else {
+      implicit.push_back(co_await lock.lockRead());
+    }
+  }
+
+  // Execute against the real engine (instantaneous), then charge the CPU
+  // demand the execution statistics imply, holding the locks throughout.
+  db::ExecResult result = srv.executor_.execute(*stmt, params);
+  co_await srv.machine_.compute(srv.queryCpuCost(result.stats));
+  co_return result;
+  // `implicit` holds release here.
+}
+
+}  // namespace mwsim::mw

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "db/parser.hpp"
+#include "middleware/cost_model.hpp"
+#include "middleware/database_server.hpp"
+#include "net/network.hpp"
+
+namespace mwsim::mw {
+
+/// Process-wide prepared-statement cache: every distinct SQL string is
+/// parsed once (matching how the real drivers cache prepared statements).
+class StatementCache {
+ public:
+  std::shared_ptr<const db::Statement> get(std::string_view sql) {
+    auto it = cache_.find(sql);
+    if (it != cache_.end()) return it->second;
+    auto stmt = db::parseSql(sql);
+    cache_.emplace(std::string(sql), stmt);
+    return stmt;
+  }
+
+  static StatementCache& global() {
+    static StatementCache instance;
+    return instance;
+  }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+  std::unordered_map<std::string, std::shared_ptr<const db::Statement>, Hash, Eq> cache_;
+};
+
+/// Builds a parameter vector for execute()/query().
+///
+/// Prefer this over a braced-init-list inside co_await expressions: GCC 12
+/// miscompiles list-initialized temporaries in coroutine frames ("array
+/// used as initializer"). Named sqlArgs (not `bind`) so ADL on std::string
+/// arguments cannot drag in std::bind.
+template <typename... Args>
+std::vector<db::Value> sqlArgs(Args&&... args) {
+  std::vector<db::Value> out;
+  out.reserve(sizeof...(args));
+  (out.emplace_back(std::forward<Args>(args)), ...);
+  return out;
+}
+
+/// Which client library talks to the database.
+enum class DriverKind {
+  NativeMySql,  // PHP's ad hoc native driver: cheap
+  Jdbc,         // type 4 JDBC driver, interpreted Java: dearer
+};
+
+/// One client-side database session: a driver plus a server connection.
+///
+/// execute() models the full round trip: driver CPU on the host machine,
+/// request over the LAN, server-side locking/CPU/execution, response over
+/// the LAN, and driver decode CPU.
+class DbSession {
+ public:
+  DbSession(sim::Simulation& simulation, net::Network& network, net::Machine& host,
+            DatabaseServer& server, DriverKind driver, const CostModel& cost)
+      : sim_(simulation), net_(network), host_(host), server_(server), driver_(driver),
+        cost_(cost), conn_(server.connect()) {}
+  DbSession(DbSession&&) = default;
+  DbSession(const DbSession&) = delete;
+  DbSession& operator=(const DbSession&) = delete;
+  ~DbSession() {
+    // Teardown safety net: never leave table locks dangling.
+    if (conn_) conn_->releaseExplicitLocks();
+  }
+
+  sim::Task<db::ExecResult> execute(std::string_view sql,
+                                    std::vector<db::Value> params = {}) {
+    auto stmt = StatementCache::global().get(sql);
+    const double perQueryUs =
+        driver_ == DriverKind::Jdbc ? cost_.jdbcPerQueryUs : cost_.phpDriverPerQueryUs;
+    const double perByteUs =
+        driver_ == DriverKind::Jdbc ? cost_.jdbcPerByteUs : cost_.phpDriverPerByteUs;
+
+    co_await host_.compute(sim::fromMicros(perQueryUs));
+    co_await sim_.delay(sim::fromMicros(cost_.clientTurnaroundUs));
+    co_await net_.send(host_, server_.machine(), cost_.dbRequestBytes + sql.size());
+    db::ExecResult result = co_await conn_->process(std::move(stmt), std::move(params));
+    co_await net_.send(server_.machine(), host_,
+                       cost_.dbResponseBytes + result.stats.resultBytes);
+    co_await host_.compute(
+        sim::fromMicros(perByteUs * static_cast<double>(result.stats.resultBytes)));
+    ++statements_;
+    resultBytes_ += result.stats.resultBytes;
+    co_return result;
+  }
+
+  net::Machine& host() noexcept { return host_; }
+  DatabaseServer& server() noexcept { return server_; }
+
+  /// Statements issued through this session (fills Page::queryCount).
+  std::uint64_t statements() const noexcept { return statements_; }
+  /// Result bytes received through this session (fills Page::dataBytes).
+  std::size_t resultBytes() const noexcept { return resultBytes_; }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::Machine& host_;
+  DatabaseServer& server_;
+  DriverKind driver_;
+  const CostModel& cost_;
+  std::unique_ptr<DatabaseServer::Connection> conn_;
+  std::uint64_t statements_ = 0;
+  std::size_t resultBytes_ = 0;
+};
+
+}  // namespace mwsim::mw

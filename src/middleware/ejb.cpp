@@ -1,0 +1,192 @@
+#include "middleware/ejb.hpp"
+
+#include <stdexcept>
+
+namespace mwsim::mw {
+
+const std::string& EntityManager::pkColumn(const std::string& table) const {
+  const db::TableSchema& schema = db_.server().database().table(table).schema();
+  if (!schema.primaryKey) {
+    throw std::runtime_error("entity table has no primary key: " + table);
+  }
+  return schema.columns[*schema.primaryKey].name;
+}
+
+std::size_t EntityManager::columnIndex(const Entity& e, const std::string& column) const {
+  for (std::size_t i = 0; i < e.columns.size(); ++i) {
+    if (e.columns[i] == column) return i;
+  }
+  throw std::runtime_error("entity " + e.table + " has no field " + column);
+}
+
+sim::Task<std::optional<EntityManager::Handle>> EntityManager::activate(
+    const std::string& table, db::Value pk) {
+  const auto key = std::make_pair(table, pk.toDisplayString());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) co_return it->second;
+
+  const std::string sql = "SELECT * FROM " + table + " WHERE " + pkColumn(table) + " = ?";
+  // Note: GCC 12 miscompiles braced-init-list arguments inside co_await
+  // expressions ("array used as initializer"); build vectors explicitly.
+  std::vector<db::Value> args;
+  args.push_back(pk);
+  db::ExecResult r = co_await cmpQuery(sql, std::move(args));
+  if (r.resultSet.empty()) co_return std::nullopt;
+
+  Entity e;
+  e.table = table;
+  e.pk = std::move(pk);
+  e.columns = r.resultSet.columns;
+  e.values = std::move(r.resultSet.rows.front());
+  e.dirty.assign(e.columns.size(), false);
+  entities_.push_back(std::move(e));
+  const Handle h = entities_.size() - 1;
+  cache_.emplace(key, h);
+  co_return h;
+}
+
+sim::Task<std::optional<EntityManager::Handle>> EntityManager::find(const std::string& table,
+                                                                    db::Value pk) {
+  co_await chargeBeanOp();
+  co_return co_await activate(table, std::move(pk));
+}
+
+sim::Task<std::vector<EntityManager::Handle>> EntityManager::finder(
+    std::string_view finderSql, std::vector<db::Value> params, const std::string& table) {
+  co_await chargeBeanOp();
+  db::ExecResult keys = co_await cmpQuery(finderSql, std::move(params));
+  std::vector<Handle> out;
+  out.reserve(keys.resultSet.rowCount());
+  for (const db::Row& row : keys.resultSet.rows) {
+    if (row.empty()) continue;
+    // One activation SELECT per entity — the CMP N+1 pattern.
+    auto h = co_await activate(table, row.front());
+    if (h) out.push_back(*h);
+  }
+  co_return out;
+}
+
+sim::Task<db::Value> EntityManager::get(Handle h, const std::string& column) {
+  co_await chargeBeanOp();
+  const Entity& e = entities_.at(h);
+  co_return e.values[columnIndex(e, column)];
+}
+
+sim::Task<> EntityManager::set(Handle h, const std::string& column, db::Value v) {
+  co_await chargeBeanOp();
+  Entity& e = entities_.at(h);
+  const std::size_t c = columnIndex(e, column);
+  e.values[c] = std::move(v);
+  e.dirty[c] = true;
+}
+
+sim::Task<EntityManager::Handle> EntityManager::create(const std::string& table,
+                                                       std::vector<std::string> columns,
+                                                       std::vector<db::Value> values) {
+  co_await chargeBeanOp();
+  std::string sql = "INSERT INTO " + table + " (";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) sql += ", ";
+    sql += columns[i];
+  }
+  sql += ") VALUES (";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) sql += ", ";
+    sql += '?';
+  }
+  sql += ')';
+  db::ExecResult r = co_await cmpQuery(sql, values);
+
+  // Activate the new entity so subsequent accessors see it; the insert
+  // assigned the auto-increment key when the pk was omitted.
+  const std::string& pkCol = pkColumn(table);
+  db::Value pk;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == pkCol) pk = values[i];
+  }
+  if (pk.isNull()) pk = db::Value(r.lastInsertId);
+  auto h = co_await activate(table, std::move(pk));
+  if (!h) throw std::runtime_error("ejbCreate failed to activate " + table);
+  co_return *h;
+}
+
+sim::Task<> EntityManager::remove(Handle h) {
+  co_await chargeBeanOp();
+  Entity& e = entities_.at(h);
+  e.removed = true;
+  const std::string sql = "DELETE FROM " + e.table + " WHERE " + pkColumn(e.table) + " = ?";
+  std::vector<db::Value> args;
+  args.push_back(e.pk);
+  co_await cmpQuery(sql, std::move(args));
+}
+
+sim::Task<> EntityManager::commit() {
+  for (Entity& e : entities_) {
+    if (e.removed) continue;
+    std::vector<std::string> dirtyCols;
+    std::vector<db::Value> params;
+    for (std::size_t i = 0; i < e.columns.size(); ++i) {
+      if (e.dirty[i]) {
+        dirtyCols.push_back(e.columns[i]);
+        params.push_back(e.values[i]);
+      }
+    }
+    if (dirtyCols.empty()) continue;
+    std::string sql = "UPDATE " + e.table + " SET ";
+    for (std::size_t i = 0; i < dirtyCols.size(); ++i) {
+      if (i) sql += ", ";
+      sql += dirtyCols[i] + " = ?";
+    }
+    sql += " WHERE " + pkColumn(e.table) + " = ?";
+    params.push_back(e.pk);
+    co_await cmpQuery(sql, std::move(params));
+    std::fill(e.dirty.begin(), e.dirty.end(), false);
+  }
+}
+
+sim::Task<Page> EjbGenerator::generate(const Request& request) {
+  // Web server -> servlet engine over AJP12 (always separate machines in
+  // the Ws-Servlet-EJB-DB configuration).
+  co_await web_.compute(sim::fromMicros(cost_.ajpPerRequestUs));
+  if (&web_ != &servlet_) co_await net_.send(web_, servlet_, cost_.ajpRequestBytes);
+  co_await servlet_.compute(
+      sim::fromMicros(cost_.ajpPerRequestUs + cost_.servletRequestUs));
+
+  // Servlet -> EJB session facade over RMI (one coarse-grained call).
+  co_await servlet_.compute(sim::fromMicros(cost_.rmiClientPerCallUs));
+  co_await net_.send(servlet_, ejb_, cost_.rmiRequestBytes);
+  co_await ejb_.compute(
+      sim::fromMicros(cost_.rmiServerPerCallUs + cost_.ejbBeanOpUs));  // facade bean
+
+  // The facade method runs on the EJB machine with container-managed
+  // persistence through the container's own JDBC connection.
+  DbSession db(sim_, net_, ejb_, dbServer_, DriverKind::Jdbc, cost_);
+  EntityManager em(ejb_, db, cost_);
+  EjbContext ctx{sim_, ejb_, em, db, rng_, cost_};
+  Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
+  co_await em.commit();
+  page.queryCount += static_cast<int>(em.statementsIssued());
+  page.dataBytes += em.dataBytes();
+
+  // Marshal the reply value graph back to the servlet.
+  const std::size_t payload = cost_.rmiRequestBytes + page.dataBytes;
+  co_await ejb_.compute(
+      sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
+  co_await net_.send(ejb_, servlet_, payload);
+  co_await servlet_.compute(
+      sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
+
+  // Presentation: the servlet renders HTML from the returned data, then
+  // relays it to the web server over AJP.
+  co_await servlet_.compute(sim::fromMicros(
+      (cost_.servletPerHtmlByteUs + cost_.ajpPerByteUs) *
+      static_cast<double>(page.htmlBytes)));
+  if (&web_ != &servlet_) {
+    co_await net_.send(servlet_, web_, page.htmlBytes + cost_.ajpRequestBytes);
+  }
+  co_await web_.compute(
+      sim::fromMicros(cost_.ajpPerByteUs * static_cast<double>(page.htmlBytes)));
+  co_return page;
+}
+
+}  // namespace mwsim::mw

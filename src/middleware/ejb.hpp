@@ -1,0 +1,153 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "middleware/application.hpp"
+#include "middleware/db_session.hpp"
+
+namespace mwsim::mw {
+
+/// Container-managed persistence for one facade-call transaction.
+///
+/// Reproduces what a 2002-vintage CMP engine (JOnAS 2.5) does:
+///  * findByPrimaryKey -> `SELECT * FROM t WHERE pk = ?`, cached per tx;
+///  * multi-row finders -> one query selecting primary keys, then one
+///    activation SELECT **per entity** (the classic N+1 pattern);
+///  * every accessor goes through container interposition (CPU on the EJB
+///    machine);
+///  * dirty entities are written back with one UPDATE per entity at commit.
+///
+/// This is the mechanism behind both EJB pathologies the paper reports: a
+/// flood of short queries into the database (bookstore) and a saturated
+/// EJB-server CPU (auction site).
+class EntityManager {
+ public:
+  using Handle = std::size_t;
+
+  EntityManager(net::Machine& ejbMachine, DbSession& db, const CostModel& cost)
+      : machine_(ejbMachine), db_(db), cost_(cost) {}
+  EntityManager(const EntityManager&) = delete;
+  EntityManager& operator=(const EntityManager&) = delete;
+
+  /// findByPrimaryKey. Returns nullopt when the row does not exist.
+  sim::Task<std::optional<Handle>> find(const std::string& table, db::Value pk);
+
+  /// Multi-row finder: `finderSql` must select exactly the primary-key
+  /// column. Each returned key is then activated with its own SELECT.
+  sim::Task<std::vector<Handle>> finder(std::string_view finderSql,
+                                        std::vector<db::Value> params,
+                                        const std::string& table);
+
+  /// CMP field accessor (data is local after activation; cost is container
+  /// interposition on the EJB machine).
+  sim::Task<db::Value> get(Handle h, const std::string& column);
+
+  /// CMP field mutator; the row is written back at commit().
+  sim::Task<> set(Handle h, const std::string& column, db::Value v);
+
+  /// ejbCreate: inserts immediately, returns the new entity (with its
+  /// auto-increment key filled in when `columns` omits the primary key).
+  sim::Task<Handle> create(const std::string& table, std::vector<std::string> columns,
+                           std::vector<db::Value> values);
+
+  /// Removes an entity (DELETE) — ejbRemove.
+  sim::Task<> remove(Handle h);
+
+  /// Container commit: one UPDATE per dirty entity.
+  sim::Task<> commit();
+
+  /// Result-set bytes pulled from the database in this transaction (sizes
+  /// the RMI reply payload).
+  std::size_t dataBytes() const noexcept { return dataBytes_; }
+  std::uint64_t beanOps() const noexcept { return beanOps_; }
+  std::uint64_t statementsIssued() const noexcept { return statements_; }
+
+ private:
+  struct Entity {
+    std::string table;
+    db::Value pk;
+    std::vector<std::string> columns;
+    std::vector<db::Value> values;
+    std::vector<bool> dirty;
+    bool removed = false;
+  };
+
+  sim::Task<> chargeBeanOp() {
+    ++beanOps_;
+    co_await machine_.compute(sim::fromMicros(cost_.ejbBeanOpUs));
+  }
+  sim::Task<db::ExecResult> cmpQuery(std::string_view sql, std::vector<db::Value> params) {
+    ++statements_;
+    co_await machine_.compute(sim::fromMicros(cost_.ejbCmpStatementUs));
+    db::ExecResult r = co_await db_.execute(sql, std::move(params));
+    dataBytes_ += r.stats.resultBytes;
+    co_return r;
+  }
+
+  const std::string& pkColumn(const std::string& table) const;
+  std::size_t columnIndex(const Entity& e, const std::string& column) const;
+  sim::Task<std::optional<Handle>> activate(const std::string& table, db::Value pk);
+
+  net::Machine& machine_;
+  DbSession& db_;
+  const CostModel& cost_;
+  std::vector<Entity> entities_;
+  // (table, pk) -> handle: per-transaction identity cache.
+  std::map<std::pair<std::string, std::string>, Handle> cache_;
+  std::size_t dataBytes_ = 0;
+  std::uint64_t beanOps_ = 0;
+  std::uint64_t statements_ = 0;
+};
+
+/// Everything a session-facade method gets from the container.
+struct EjbContext {
+  sim::Simulation& sim;
+  net::Machine& host;  // the EJB server machine
+  EntityManager& em;
+  DbSession& db;  // bean-managed escape hatch (rare)
+  sim::Rng& rng;
+  const CostModel& cost;
+
+  sim::Task<> compute(double micros) { return host.compute(sim::fromMicros(micros)); }
+};
+
+/// Business logic written as session-facade methods over entity beans.
+class EjbBusinessLogic {
+ public:
+  virtual ~EjbBusinessLogic() = default;
+  virtual sim::Task<Page> invoke(std::string_view interaction, EjbContext& ctx,
+                                 ClientSession& session) = 0;
+};
+
+/// The paper's Ws-Servlet-EJB-DB pipeline: web server --AJP--> servlet
+/// (presentation) --RMI--> EJB server (session facade + CMP entity beans)
+/// --JDBC--> database. One coarse-grained facade call per interaction
+/// (session facade pattern, paper Figure 3).
+class EjbGenerator final : public DynamicContentGenerator {
+ public:
+  EjbGenerator(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
+               net::Machine& servletMachine, net::Machine& ejbMachine, DatabaseServer& dbServer,
+               EjbBusinessLogic& logic, const CostModel& cost, std::uint64_t seed)
+      : sim_(simulation), net_(network), web_(webMachine), servlet_(servletMachine),
+        ejb_(ejbMachine), dbServer_(dbServer), logic_(logic), cost_(cost),
+        rng_(sim::deriveSeed(seed, /*tag=*/0xe1b)) {}
+
+  sim::Task<Page> generate(const Request& request) override;
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::Machine& web_;
+  net::Machine& servlet_;
+  net::Machine& ejb_;
+  DatabaseServer& dbServer_;
+  EjbBusinessLogic& logic_;
+  const CostModel& cost_;
+  sim::Rng rng_;
+};
+
+}  // namespace mwsim::mw

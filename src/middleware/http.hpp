@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mwsim::mw {
+
+struct ClientSession;
+
+/// One dynamic-content HTTP request as seen by the web server.
+struct Request {
+  std::string interaction;
+  ClientSession* session = nullptr;
+};
+
+/// The page produced by the dynamic content generator.
+struct Page {
+  /// Bytes of generated dynamic HTML.
+  std::size_t htmlBytes = 0;
+  /// Embedded images the client fetches with the page (thumbnails, buttons).
+  int imageCount = 0;
+  /// Total bytes of those images, served statically by the web server.
+  std::size_t imageBytes = 0;
+  /// Raw result-data bytes the business tier produced (used to size the
+  /// RMI payload between EJB server and servlet).
+  std::size_t dataBytes = 0;
+  /// True for interactions served over SSL (purchases).
+  bool secure = false;
+  /// Number of database statements the interaction issued.
+  int queryCount = 0;
+  /// True when the generator failed and this is the web server's error page.
+  bool error = false;
+};
+
+/// Outcome of one complete interaction, as observed by the client emulator.
+struct InteractionResult {
+  Page page;
+  std::size_t totalResponseBytes = 0;
+};
+
+}  // namespace mwsim::mw

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "middleware/application.hpp"
+#include "middleware/db_session.hpp"
+
+namespace mwsim::mw {
+
+/// PHP interpreter running as a module inside the web server process:
+/// no IPC with the web server, a cheap native database driver, and the
+/// script's CPU burned on the web server machine. Critical sections use
+/// LOCK TABLES (PHP has no portable cross-process locking; see paper §2.2
+/// footnote 2).
+class PhpModule final : public DynamicContentGenerator {
+ public:
+  PhpModule(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
+            DatabaseServer& dbServer, SqlBusinessLogic& logic, const CostModel& cost,
+            std::uint64_t seed)
+      : sim_(simulation), net_(network), web_(webMachine), dbServer_(dbServer), logic_(logic),
+        cost_(cost), rng_(sim::deriveSeed(seed, /*tag=*/0x9a9)) {}
+
+  sim::Task<Page> generate(const Request& request) override {
+    co_await web_.compute(sim::fromMicros(cost_.phpRequestUs));
+
+    // Each Apache process has its own persistent database connection; a
+    // fresh session per request models the same isolation.
+    DbSession db(sim_, net_, web_, dbServer_, DriverKind::NativeMySql, cost_);
+    AppContext ctx{sim_, web_, db, LockStrategy::DatabaseLocks,
+                   /*appMonitors=*/nullptr, rng_, cost_};
+    Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
+    page.queryCount += static_cast<int>(db.statements());
+    page.dataBytes += db.resultBytes();
+
+    // Interpreting the generation loop: cost proportional to emitted HTML.
+    co_await web_.compute(sim::fromMicros(
+        cost_.phpPerHtmlByteUs * static_cast<double>(page.htmlBytes)));
+    co_return page;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::Machine& web_;
+  DatabaseServer& dbServer_;
+  SqlBusinessLogic& logic_;
+  const CostModel& cost_;
+  sim::Rng rng_;
+};
+
+}  // namespace mwsim::mw

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "middleware/application.hpp"
+#include "middleware/db_session.hpp"
+
+namespace mwsim::mw {
+
+/// Tomcat-style servlet engine reached from the web server over AJP12.
+///
+/// The engine may run on the web server machine (separate JVM process,
+/// same CPU) or on a dedicated machine (AJP crosses the LAN). With
+/// `syncLocking` enabled the application's critical sections hold Java
+/// monitors in this JVM instead of issuing LOCK TABLES — the paper's
+/// "(sync)" configurations.
+class ServletEngine final : public DynamicContentGenerator {
+ public:
+  ServletEngine(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
+                net::Machine& engineMachine, DatabaseServer& dbServer, SqlBusinessLogic& logic,
+                bool syncLocking, const CostModel& cost, std::uint64_t seed)
+      : sim_(simulation), net_(network), web_(webMachine), engine_(engineMachine),
+        dbServer_(dbServer), logic_(logic), syncLocking_(syncLocking), cost_(cost),
+        monitors_(simulation), rng_(sim::deriveSeed(seed, /*tag=*/0x70a)) {}
+
+  sim::Task<Page> generate(const Request& request) override {
+    const bool remote = &engine_ != &web_;
+
+    // Web server side of the AJP12 dispatch.
+    co_await web_.compute(sim::fromMicros(cost_.ajpPerRequestUs));
+    if (remote) co_await net_.send(web_, engine_, cost_.ajpRequestBytes);
+
+    // Servlet container side.
+    co_await engine_.compute(
+        sim::fromMicros(cost_.ajpPerRequestUs + cost_.servletRequestUs));
+
+    DbSession db(sim_, net_, engine_, dbServer_, DriverKind::Jdbc, cost_);
+    AppContext ctx{sim_, engine_, db,
+                   syncLocking_ ? LockStrategy::AppSync : LockStrategy::DatabaseLocks,
+                   &monitors_, rng_, cost_};
+    Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
+    page.queryCount += static_cast<int>(db.statements());
+    page.dataBytes += db.resultBytes();
+
+    // Page generation in the JVM plus the engine's side of relaying the
+    // dynamic content back over AJP.
+    co_await engine_.compute(sim::fromMicros(
+        (cost_.servletPerHtmlByteUs + cost_.ajpPerByteUs) *
+        static_cast<double>(page.htmlBytes)));
+    if (remote) co_await net_.send(engine_, web_, page.htmlBytes + cost_.ajpRequestBytes);
+    // Web server's side of consuming the AJP stream.
+    co_await web_.compute(sim::fromMicros(
+        cost_.ajpPerByteUs * static_cast<double>(page.htmlBytes)));
+    co_return page;
+  }
+
+  sim::NamedMutexSet& monitors() noexcept { return monitors_; }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::Machine& web_;
+  net::Machine& engine_;
+  DatabaseServer& dbServer_;
+  SqlBusinessLogic& logic_;
+  bool syncLocking_;
+  const CostModel& cost_;
+  sim::NamedMutexSet monitors_;
+  sim::Rng rng_;
+};
+
+}  // namespace mwsim::mw

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cassert>
+
+#include "middleware/application.hpp"
+#include "middleware/cost_model.hpp"
+#include "net/network.hpp"
+#include "sim/resource.hpp"
+
+namespace mwsim::mw {
+
+/// Apache-style web server: a bounded process pool, static image serving,
+/// and a pluggable dynamic-content generator.
+///
+/// serve() models one complete client interaction over a persistent HTTP
+/// connection: request upload, dynamic generation, embedded-image fetches,
+/// and response download. The process slot is held for the whole
+/// interaction (keep-alive semantics).
+class WebServer {
+ public:
+  WebServer(sim::Simulation& simulation, net::Machine& machine, net::Network& network,
+            net::Machine& clientFarm, const CostModel& cost)
+      : sim_(simulation), machine_(machine), net_(network), clients_(clientFarm), cost_(cost),
+        processPool_(simulation, cost.webProcessLimit, machine.name() + ".httpd") {}
+
+  void setGenerator(DynamicContentGenerator* generator) { generator_ = generator; }
+
+  net::Machine& machine() noexcept { return machine_; }
+  const sim::Resource& processPool() const noexcept { return processPool_; }
+
+  /// Dynamic-content requests that failed and were answered with an error
+  /// page.
+  std::uint64_t errorCount() const noexcept { return errors_; }
+
+  /// Serves one interaction. `request` must stay alive until the returned
+  /// task completes (callers co_await immediately; do not pass a temporary
+  /// — GCC 12 miscompiles by-value coroutine parameters initialized from
+  /// braced temporaries).
+  sim::Task<InteractionResult> serve(const Request& request) {
+    assert(generator_ != nullptr);
+    co_await net_.send(clients_, machine_, cost_.httpRequestBytes);
+
+    sim::ResourceHold process = co_await processPool_.acquire();
+    co_await machine_.compute(sim::fromMicros(
+        cost_.webRequestUs + cost_.webPerActiveProcessUs * processPool_.inUse()));
+
+    Page page;
+    try {
+      page = co_await generator_->generate(request);
+    } catch (const std::exception&) {
+      // A failed script/servlet produces a 500 error page; the server (and
+      // the client's session) keeps going — one bad interaction must not
+      // take the site down.
+      ++errors_;
+      page = Page{};
+      page.htmlBytes = 600;  // terse error body
+      page.error = true;
+    }
+
+    if (page.secure) {
+      co_await machine_.compute(sim::fromMicros(cost_.webSslUs));
+    }
+
+    // Embedded images: served from the buffer cache over the same
+    // connection (one request's worth of CPU per image).
+    if (page.imageCount > 0) {
+      co_await machine_.compute(
+          sim::fromMicros(cost_.webStaticImageUs * page.imageCount));
+    }
+
+    const std::size_t bodyBytes = page.htmlBytes + page.imageBytes;
+    co_await machine_.compute(
+        sim::fromMicros(cost_.webPerResponseByteUs * static_cast<double>(bodyBytes)));
+
+    const std::size_t wireBytes =
+        bodyBytes + cost_.httpResponseHeaderBytes * (1 + static_cast<std::size_t>(page.imageCount));
+    co_await net_.send(machine_, clients_, wireBytes);
+
+    co_return InteractionResult{page, wireBytes};
+  }
+
+ private:
+  sim::Simulation& sim_;
+  net::Machine& machine_;
+  net::Network& net_;
+  net::Machine& clients_;
+  const CostModel& cost_;
+  sim::Resource processPool_;
+  DynamicContentGenerator* generator_ = nullptr;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace mwsim::mw

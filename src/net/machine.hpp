@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/cpu.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::net {
+
+/// Network interface modeled as a FIFO serialization link.
+///
+/// One queue carries both inbound and outbound traffic, matching how the
+/// paper reports NIC load (combined Mb/s on a switched 100 Mb/s port). A
+/// message occupies the link for bytes*8/bandwidth seconds.
+class Nic {
+ public:
+  Nic(sim::Simulation& simulation, double bitsPerSecond, std::string name)
+      : sim_(simulation),
+        link_(simulation, 1, name + ".nic"),
+        bitsPerSecond_(bitsPerSecond) {}
+
+  /// Occupies the link long enough to serialize `bytes`.
+  sim::Task<> transfer(std::size_t bytes) {
+    sim::ResourceHold hold = co_await link_.acquire();
+    co_await sim_.delay(serializationTime(bytes));
+    bytes_ += bytes;
+    packets_ += packetsFor(bytes);
+  }
+
+  sim::Duration serializationTime(std::size_t bytes) const {
+    return sim::fromSeconds(static_cast<double>(bytes) * 8.0 / bitsPerSecond_);
+  }
+
+  /// Ethernet-frame count for a payload (1460-byte MSS + at least 1 packet).
+  static std::uint64_t packetsFor(std::size_t bytes) {
+    return bytes == 0 ? 1 : (bytes + 1459) / 1460;
+  }
+
+  std::uint64_t bytesTransferred() const noexcept { return bytes_; }
+  std::uint64_t packetsTransferred() const noexcept { return packets_; }
+  double busySeconds() const noexcept { return link_.busyUnitSeconds(); }
+  double bandwidthBitsPerSecond() const noexcept { return bitsPerSecond_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Resource link_;
+  double bitsPerSecond_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+/// One server machine: a processor-sharing CPU and a NIC, plus a coarse
+/// memory gauge used by the resource-usage reports.
+class Machine {
+ public:
+  /// `cpuScale` scales CPU demands charged to this machine: 1.0 is the
+  /// paper's 1.33 GHz Athlon server.
+  Machine(sim::Simulation& simulation, std::string name, int cores = 1,
+          double nicBitsPerSecond = 100e6, double cpuScale = 1.0)
+      : name_(std::move(name)),
+        cpu_(simulation, cores, name_ + ".cpu"),
+        nic_(simulation, nicBitsPerSecond, name_),
+        cpuScale_(cpuScale) {}
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  sim::CpuResource& cpu() noexcept { return cpu_; }
+  const sim::CpuResource& cpu() const noexcept { return cpu_; }
+  Nic& nic() noexcept { return nic_; }
+  const Nic& nic() const noexcept { return nic_; }
+
+  /// Charges `work` ns of CPU demand, scaled by this machine's speed.
+  sim::Task<> compute(sim::Duration work) {
+    co_await cpu_.consume(static_cast<sim::Duration>(work / cpuScale_));
+  }
+
+  void addMemory(std::int64_t bytes) noexcept { memoryBytes_ += bytes; }
+  std::int64_t memoryBytes() const noexcept { return memoryBytes_; }
+
+ private:
+  std::string name_;
+  sim::CpuResource cpu_;
+  Nic nic_;
+  double cpuScale_;
+  std::int64_t memoryBytes_ = 0;
+};
+
+}  // namespace mwsim::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::net {
+
+/// Per-link traffic counters (messages, bytes, Ethernet frames).
+struct LinkTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// Switched LAN connecting the server machines and the client farm.
+///
+/// A transfer serializes through the sender's NIC, crosses the switch
+/// (fixed propagation latency), and serializes through the receiver's NIC.
+/// The traffic matrix records per-(src,dst) byte/packet counts for the
+/// paper's resource-usage observations (e.g. EJB<->DB packet rates).
+class Network {
+ public:
+  explicit Network(sim::Simulation& simulation,
+                   sim::Duration propagation = sim::fromMicros(100))
+      : sim_(simulation), propagation_(propagation) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends `bytes` from one machine to another, blocking the caller for the
+  /// full transfer time (the middleware tiers exchange synchronous
+  /// request/response messages).
+  sim::Task<> send(Machine& from, Machine& to, std::size_t bytes) {
+    auto& traffic = matrix_[{from.name(), to.name()}];
+    ++traffic.messages;
+    traffic.bytes += bytes;
+    traffic.packets += Nic::packetsFor(bytes);
+    co_await from.nic().transfer(bytes);
+    co_await sim_.delay(propagation_);
+    co_await to.nic().transfer(bytes);
+  }
+
+  const LinkTraffic& traffic(const Machine& from, const Machine& to) const {
+    static const LinkTraffic kEmpty;
+    auto it = matrix_.find({from.name(), to.name()});
+    return it == matrix_.end() ? kEmpty : it->second;
+  }
+
+  /// Combined traffic in both directions between two machines.
+  LinkTraffic trafficBetween(const Machine& a, const Machine& b) const {
+    const LinkTraffic& ab = traffic(a, b);
+    const LinkTraffic& ba = traffic(b, a);
+    return {ab.messages + ba.messages, ab.bytes + ba.bytes, ab.packets + ba.packets};
+  }
+
+  const std::map<std::pair<std::string, std::string>, LinkTraffic>& matrix() const {
+    return matrix_;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Duration propagation_;
+  std::map<std::pair<std::string, std::string>, LinkTraffic> matrix_;
+};
+
+}  // namespace mwsim::net

@@ -1,0 +1,67 @@
+#include "sim/cpu.hpp"
+
+#include <vector>
+
+namespace mwsim::sim {
+
+namespace {
+// Tolerance when comparing virtual times: one simulated nanosecond of
+// service at full rate.
+constexpr double kVEpsilon = 2e-9;
+}  // namespace
+
+void CpuResource::advance() noexcept {
+  const SimTime now = sim_.now();
+  busyCoreSeconds();  // folds busy time up to now into the integral
+  const double dt = toSeconds(now - lastUpdate_);
+  if (dt > 0.0) v_ += dt * rate();
+  lastUpdate_ = now;
+}
+
+double CpuResource::busyCoreSeconds() const noexcept {
+  const SimTime now = sim_.now();
+  const double dt = toSeconds(now - lastIntegralUpdate_);
+  if (dt > 0.0) {
+    const int busy = jobs_.size() < static_cast<std::size_t>(cores_)
+                         ? static_cast<int>(jobs_.size())
+                         : cores_;
+    busyIntegral_ += dt * busy;
+    lastIntegralUpdate_ = now;
+  }
+  return busyIntegral_;
+}
+
+void CpuResource::addJob(Duration work, std::coroutine_handle<> h) {
+  advance();
+  jobs_.emplace(v_ + toSeconds(work), h);
+  scheduleNextCompletion();
+}
+
+void CpuResource::scheduleNextCompletion() {
+  ++epoch_;
+  if (jobs_.empty()) return;
+  const double target = jobs_.begin()->first;
+  const double r = rate();
+  assert(r > 0.0);
+  double dtSeconds = (target - v_) / r;
+  if (dtSeconds < 0.0) dtSeconds = 0.0;
+  // Round up one ns so v_ is guaranteed to have passed the target when the
+  // completion event fires.
+  const Duration dt = fromSeconds(dtSeconds) + 1;
+  sim_.schedule(dt, [this, e = epoch_] { onCompletionEvent(e); });
+}
+
+void CpuResource::onCompletionEvent(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a later arrival/departure
+  advance();
+  std::vector<std::coroutine_handle<>> finished;
+  while (!jobs_.empty() && jobs_.begin()->first <= v_ + kVEpsilon) {
+    finished.push_back(jobs_.begin()->second);
+    jobs_.erase(jobs_.begin());
+  }
+  completed_ += finished.size();
+  scheduleNextCompletion();
+  for (auto h : finished) h.resume();
+}
+
+}  // namespace mwsim::sim

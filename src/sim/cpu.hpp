@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::sim {
+
+/// Processor-sharing CPU with `cores` cores.
+///
+/// `co_await cpu.consume(work)` charges `work` nanoseconds of CPU demand.
+/// All active jobs share the cores equally (each job runs at rate
+/// min(1, cores / n)), which is the standard model for a timeslicing OS
+/// scheduler under many concurrent requests.
+///
+/// Implementation uses the classic virtual-time trick: a counter V advances
+/// at the common per-job service rate; each job completes when V reaches its
+/// arrival V plus its demand, so arrivals/departures cost O(log n).
+class CpuResource {
+ public:
+  CpuResource(Simulation& sim, int cores, std::string name = {})
+      : sim_(sim), cores_(cores), name_(std::move(name)) {
+    assert(cores > 0);
+  }
+  CpuResource(const CpuResource&) = delete;
+  CpuResource& operator=(const CpuResource&) = delete;
+
+  struct Awaiter {
+    CpuResource& cpu;
+    Duration work;
+    bool await_ready() const noexcept { return work <= 0; }
+    void await_suspend(std::coroutine_handle<> h) { cpu.addJob(work, h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable that completes after `work` ns of CPU demand has been served.
+  Awaiter consume(Duration work) { return Awaiter{*this, work}; }
+
+  int cores() const noexcept { return cores_; }
+  int activeJobs() const noexcept { return static_cast<int>(jobs_.size()); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Integral of busy cores over time, in core-seconds (for utilization).
+  double busyCoreSeconds() const noexcept;
+  std::uint64_t jobsCompleted() const noexcept { return completed_; }
+
+ private:
+  friend struct Awaiter;
+
+  void addJob(Duration work, std::coroutine_handle<> h);
+  void onCompletionEvent(std::uint64_t epoch);
+  void advance() noexcept;
+  double rate() const noexcept {
+    const std::size_t n = jobs_.size();
+    if (n == 0) return 0.0;
+    const double r = static_cast<double>(cores_) / static_cast<double>(n);
+    return r < 1.0 ? r : 1.0;
+  }
+  void scheduleNextCompletion();
+
+  Simulation& sim_;
+  int cores_;
+  std::string name_;
+  // Key: virtual time at which the job finishes; equal keys keep FIFO order.
+  std::multimap<double, std::coroutine_handle<>> jobs_;
+  double v_ = 0.0;  // virtual per-job service received, in seconds
+  SimTime lastUpdate_ = 0;
+  mutable double busyIntegral_ = 0.0;  // core-seconds
+  mutable SimTime lastIntegralUpdate_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace mwsim::sim

@@ -1,0 +1,83 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+
+namespace mwsim::sim {
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  if (s <= 0.0) return uniformInt(1, n);
+
+  // Rejection-inversion sampling for the Zipf distribution.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) return std::log(x);
+    return std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto hInv = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) return std::exp(x);
+    return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+  const double hX0 = h(0.5) - std::pow(1.0, -s);
+  const double hN = h(nd + 0.5);
+  for (;;) {
+    const double u = hX0 + uniformReal(0.0, 1.0) * (hN - hX0);
+    const double x = hInv(u);
+    const std::int64_t k = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(x + 0.5), 1, n);
+    if (u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s)) {
+      return k;
+    }
+  }
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double u = uniformReal(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::randomString(std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + uniformInt(0, 25)));
+  }
+  return out;
+}
+
+std::string Rng::randomText(std::size_t length) {
+  std::string out;
+  out.reserve(length + 8);
+  while (out.size() < length) {
+    const std::size_t word = static_cast<std::size_t>(uniformInt(2, 9));
+    for (std::size_t i = 0; i < word && out.size() < length; ++i) {
+      out.push_back(static_cast<char>('a' + uniformInt(0, 25)));
+    }
+    out.push_back(' ');
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t tag) {
+  // SplitMix64 step over (root ^ golden-ratio-scrambled tag).
+  std::uint64_t z = root ^ (tag * 0x9E3779B97F4A7C15ULL);
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mwsim::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mwsim::sim {
+
+/// Deterministic random source for one simulation component.
+///
+/// Each component owns its own Rng (seeded from the experiment seed plus a
+/// component tag) so that adding draws in one component does not perturb the
+/// sequences seen by the others.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive on both ends.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    assert(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Zipf-distributed integer in [1, n] with skew s (s = 0 is uniform).
+  ///
+  /// Uses rejection-inversion (Hörmann & Derflinger), O(1) per draw.
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// TPC-style non-uniform random: NURand(A, x, y) as defined by TPC-C/TPC-W.
+  std::int64_t nurand(std::int64_t a, std::int64_t x, std::int64_t y) {
+    const std::int64_t c = a / 2;
+    return (((uniformInt(0, a) | uniformInt(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Index drawn from a discrete distribution given non-negative weights.
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Random lowercase ASCII string of exactly `length` characters.
+  std::string randomString(std::size_t length);
+
+  /// Random sentence-like text of roughly `length` characters.
+  std::string randomText(std::size_t length);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives a child seed from a root seed and a component tag, so components
+/// get decorrelated but reproducible streams.
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t tag);
+
+}  // namespace mwsim::sim

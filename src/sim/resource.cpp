@@ -1,0 +1,49 @@
+#include "sim/resource.hpp"
+
+namespace mwsim::sim {
+
+ResourceHold& ResourceHold::operator=(ResourceHold&& other) noexcept {
+  if (this != &other) {
+    release();
+    resource_ = std::exchange(other.resource_, nullptr);
+  }
+  return *this;
+}
+
+void ResourceHold::release() noexcept {
+  if (Resource* r = std::exchange(resource_, nullptr)) r->release();
+}
+
+void Resource::take() noexcept {
+  updateIntegral();
+  ++inUse_;
+  assert(inUse_ <= capacity_);
+}
+
+void Resource::release() noexcept {
+  updateIntegral();
+  assert(inUse_ > 0);
+  --inUse_;
+  if (!waiters_.empty() && inUse_ < capacity_) {
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    // Reserve the unit for the waiter so a new arrival cannot steal it
+    // between now and the waiter's resumption.
+    ++inUse_;
+    totalWait_ += sim_.now() - w.enqueued;
+    sim_.post([h = w.handle] { h.resume(); });
+  }
+}
+
+void Resource::updateIntegral() const noexcept {
+  const SimTime now = sim_.now();
+  busyIntegral_ += toSeconds(now - lastUpdate_) * inUse_;
+  lastUpdate_ = now;
+}
+
+double Resource::busyUnitSeconds() const noexcept {
+  updateIntegral();
+  return busyIntegral_;
+}
+
+}  // namespace mwsim::sim

@@ -1,0 +1,54 @@
+#include "sim/rwlock.hpp"
+
+namespace mwsim::sim {
+
+LockHold& LockHold::operator=(LockHold&& other) noexcept {
+  if (this != &other) {
+    release();
+    lock_ = std::exchange(other.lock_, nullptr);
+    write_ = other.write_;
+  }
+  return *this;
+}
+
+void LockHold::release() noexcept {
+  if (RwLock* l = std::exchange(lock_, nullptr)) l->unlock(write_);
+}
+
+void RwLock::unlock(bool write) noexcept {
+  if (write) {
+    assert(activeWriter_);
+    activeWriter_ = false;
+  } else {
+    assert(activeReaders_ > 0);
+    --activeReaders_;
+  }
+  grantNext();
+}
+
+void RwLock::grantNext() noexcept {
+  if (activeWriter_) return;
+  // Writer priority: the queue is FIFO, but a waiting writer at the head
+  // blocks all readers behind it until the lock is free.
+  while (!waiters_.empty()) {
+    Waiter& front = waiters_.front();
+    if (front.write) {
+      if (activeReaders_ > 0) return;  // writer must wait for readers to drain
+      activeWriter_ = true;
+      --writersWaiting_;
+      totalWait_ += sim_.now() - front.enqueued;
+      auto h = front.handle;
+      waiters_.pop_front();
+      sim_.post([h] { h.resume(); });
+      return;  // exclusive: nothing else can be granted
+    }
+    // Grant a reader and continue granting consecutive readers.
+    ++activeReaders_;
+    totalWait_ += sim_.now() - front.enqueued;
+    auto h = front.handle;
+    waiters_.pop_front();
+    sim_.post([h] { h.resume(); });
+  }
+}
+
+}  // namespace mwsim::sim

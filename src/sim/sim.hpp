@@ -1,0 +1,11 @@
+#pragma once
+
+/// Umbrella header for the discrete-event simulation kernel.
+
+#include "sim/cpu.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/rwlock.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"

@@ -1,0 +1,103 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mwsim::sim {
+
+namespace detail {
+
+namespace {
+/// Drives a user Task to completion inside a sim-owned frame.
+RootTask driveRoot(Task<> task) { co_await std::move(task); }
+}  // namespace
+
+void RootPromise::FinalAwaiter::await_suspend(
+    std::coroutine_handle<RootPromise> h) const noexcept {
+  RootPromise& p = h.promise();
+  assert(p.sim != nullptr);
+  // Removes the root from the registry and destroys this (suspended) frame.
+  p.sim->onRootFinished(p.id);
+}
+
+void RootPromise::unhandled_exception() noexcept {
+  if (sim) sim->onRootException(std::current_exception());
+}
+
+}  // namespace detail
+
+Simulation::Simulation(std::uint64_t seed)
+    : seed_(seed), rng_(deriveSeed(seed, /*tag=*/0)) {}
+
+Simulation::~Simulation() { shutdown(); }
+
+void Simulation::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule events in the past");
+  queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn)});
+}
+
+void Simulation::spawn(Task<> task) {
+  detail::RootTask root = detail::driveRoot(std::move(task));
+  auto handle = root.handle;
+  const std::uint64_t id = nextRootId_++;
+  handle.promise().sim = this;
+  handle.promise().id = id;
+  roots_.emplace(id, handle);
+  schedule(0, [handle] { handle.resume(); });
+}
+
+void Simulation::onRootFinished(std::uint64_t id) {
+  auto it = roots_.find(id);
+  assert(it != roots_.end());
+  auto handle = it->second;
+  roots_.erase(it);
+  handle.destroy();
+}
+
+void Simulation::dispatchOne() {
+  // Move the callback out before popping so it may schedule new events.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++eventsProcessed_;
+  ev.fn();
+}
+
+void Simulation::maybeRethrow() {
+  if (pendingError_) {
+    std::exception_ptr e = std::exchange(pendingError_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    dispatchOne();
+    maybeRethrow();
+  }
+}
+
+void Simulation::runUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    dispatchOne();
+    maybeRethrow();
+  }
+  if (t > now_) now_ = t;
+}
+
+void Simulation::shutdown() {
+  // Destroying a frame may (via destructors) finish other roots; iterate on a
+  // drained copy and re-check membership through the live map.
+  while (!roots_.empty()) {
+    auto it = roots_.begin();
+    auto handle = it->second;
+    roots_.erase(it);
+    handle.destroy();
+  }
+  // Drop queued events; they may reference destroyed frames.
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace mwsim::sim

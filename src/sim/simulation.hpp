@@ -1,0 +1,146 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::sim {
+
+class Simulation;
+
+namespace detail {
+
+/// Fire-and-forget driver coroutine for a top-level simulated process.
+/// The frame is owned by the Simulation and destroyed either when the
+/// process completes or at Simulation::shutdown().
+struct RootPromise;
+
+struct RootTask {
+  using promise_type = RootPromise;
+  std::coroutine_handle<RootPromise> handle;
+};
+
+struct RootPromise {
+  Simulation* sim = nullptr;
+  std::uint64_t id = 0;
+
+  RootTask get_return_object() {
+    return RootTask{std::coroutine_handle<RootPromise>::from_promise(*this)};
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<RootPromise> h) const noexcept;
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept;
+};
+
+}  // namespace detail
+
+/// Single-threaded discrete-event simulation kernel.
+///
+/// All simulated activities are coroutines spawned with spawn(); they make
+/// progress only when the kernel resumes them from the event queue, so the
+/// whole simulation is deterministic for a fixed seed.
+///
+/// Lifetime rule: destroy (or shutdown()) the Simulation while every object
+/// its suspended coroutines reference (resources, servers, databases) is
+/// still alive. The Experiment runner does this automatically.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules a callback `delay` nanoseconds from now (delay >= 0).
+  void schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules a callback at the current simulated time, after all
+  /// already-queued events for this instant.
+  void post(std::function<void()> fn) { schedule(0, std::move(fn)); }
+
+  /// Awaitable that suspends the current coroutine for `d` nanoseconds.
+  struct DelayAwaiter {
+    Simulation& sim;
+    Duration d;
+    bool await_ready() const noexcept { return d <= 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim.schedule(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Duration d) { return DelayAwaiter{*this, d}; }
+
+  /// Reschedules the current coroutine behind all events queued for "now".
+  DelayAwaiter yield() { return DelayAwaiter{*this, 1}; }
+
+  /// Starts a top-level simulated process. The process begins executing at
+  /// the current simulated time (it is queued, not run inline).
+  void spawn(Task<> task);
+
+  /// Runs until the event queue is empty. Rethrows the first exception that
+  /// escaped any spawned process.
+  void run();
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  void runUntil(SimTime t);
+
+  /// Destroys every still-suspended top-level process. Call before the
+  /// objects those processes reference are destroyed.
+  void shutdown();
+
+  /// Number of live (unfinished) top-level processes.
+  std::size_t liveProcesses() const noexcept { return roots_.size(); }
+
+  /// Total events processed, for kernel benchmarking.
+  std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
+
+  /// Kernel-level random source (components should derive their own).
+  Rng& rng() noexcept { return rng_; }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  friend struct detail::RootPromise;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void onRootFinished(std::uint64_t id);
+  void onRootException(std::exception_ptr e) { pendingError_ = std::move(e); }
+  void dispatchOne();
+  void maybeRethrow();
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t nextRootId_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<detail::RootPromise>> roots_;
+  std::exception_ptr pendingError_;
+};
+
+}  // namespace mwsim::sim

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mwsim::sim {
+
+/// Lazy, single-threaded coroutine task used for all simulated activities.
+///
+/// A Task<T> does not start until it is co_awaited. Completion resumes the
+/// awaiting coroutine by symmetric transfer, so arbitrarily deep co_await
+/// chains (client -> web server -> servlet -> database) run without growing
+/// the native stack.
+///
+/// Ownership: the Task object owns the coroutine frame. Destroying a Task
+/// whose coroutine is suspended destroys the frame and all in-scope locals,
+/// which is how the simulation tears down activities that are still blocked
+/// when the horizon is reached.
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  // Awaiter interface: awaiting a Task starts it and suspends the caller
+  // until the task completes.
+  bool await_ready() const noexcept {
+    assert(handle_ && "co_await on an empty Task");
+    return handle_.done();
+  }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    assert(p.value.has_value());
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  friend struct promise_type;
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  bool await_ready() const noexcept {
+    assert(handle_ && "co_await on an empty Task");
+    return handle_.done();
+  }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  friend struct promise_type;
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace mwsim::sim

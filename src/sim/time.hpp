@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mwsim::sim {
+
+/// Simulated time since simulation start, in integer nanoseconds.
+///
+/// Integer time keeps the simulation fully deterministic: event ordering never
+/// depends on floating-point rounding.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+/// Converts fractional seconds to a Duration, rounding to the nearest ns.
+constexpr Duration fromSeconds(double seconds) {
+  return static_cast<Duration>(seconds * 1e9 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts fractional milliseconds to a Duration.
+constexpr Duration fromMillis(double millis) { return fromSeconds(millis * 1e-3); }
+
+/// Converts fractional microseconds to a Duration.
+constexpr Duration fromMicros(double micros) { return fromSeconds(micros * 1e-6); }
+
+/// Converts a Duration to fractional seconds (for reporting only).
+constexpr double toSeconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Converts a Duration to fractional milliseconds (for reporting only).
+constexpr double toMillis(Duration d) { return static_cast<double>(d) * 1e-6; }
+
+}  // namespace mwsim::sim

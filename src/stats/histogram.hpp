@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mwsim::stats {
+
+/// Log-bucketed histogram for positive values (response times in seconds).
+///
+/// Buckets span [1 µs, ~1 hour) with ~4.6 % relative resolution, which is
+/// plenty for reporting means and percentiles of simulated latencies.
+class Histogram {
+ public:
+  Histogram() : buckets_(kBuckets, 0) {}
+
+  void record(double value) {
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    buckets_[bucketFor(value)]++;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return max_; }
+
+  /// Value at percentile p in [0, 100]. Returns an upper bucket bound.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return bucketUpperBound(i);
+    }
+    return max_;
+  }
+
+  void clear() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 512;
+  static constexpr double kMinValue = 1e-6;
+  static constexpr double kGrowth = 1.046;  // per-bucket growth factor
+
+  static std::size_t bucketFor(double v) {
+    if (v <= kMinValue) return 0;
+    const double idx = std::log(v / kMinValue) / std::log(kGrowth);
+    return std::min<std::size_t>(kBuckets - 1, static_cast<std::size_t>(idx) + 1);
+  }
+  static double bucketUpperBound(std::size_t i) {
+    return kMinValue * std::pow(kGrowth, static_cast<double>(i));
+  }
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace mwsim::stats

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mwsim::stats {
+
+/// Fixed-width text table for bench output — prints the rows/series the
+/// paper's figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  std::string str() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : kEmpty;
+        out += cell;
+        out.append(widths[i] - cell.size() + 2, ' ');
+      }
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      out += '\n';
+    };
+    emit(headers_);
+    std::vector<std::string> rule;
+    for (std::size_t w : widths) rule.push_back(std::string(w, '-'));
+    emit(rule);
+    for (const auto& row : rows_) emit(row);
+    return out;
+  }
+
+ private:
+  inline static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV writer with the same row interface as TextTable.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  std::string str() const {
+    std::string out = join(headers_);
+    for (const auto& row : rows_) out += join(row);
+    return out;
+  }
+
+ private:
+  static std::string join(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) line += ',';
+      const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        line += '"';
+        for (char c : cells[i]) {
+          if (c == '"') line += '"';
+          line += c;
+        }
+        line += '"';
+      } else {
+        line += cells[i];
+      }
+    }
+    line += '\n';
+    return line;
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper for table cells.
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmtInt(std::int64_t v) { return std::to_string(v); }
+
+/// Percentage with one decimal, e.g. "98.5%".
+inline std::string fmtPct(double fraction, int decimals = 1) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace mwsim::stats

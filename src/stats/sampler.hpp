@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::stats {
+
+/// One per-machine sample of a time series.
+struct Sample {
+  sim::SimTime time = 0;
+  double cpuUtilization = 0.0;
+  double nicMbps = 0.0;
+};
+
+/// sysstat-style periodic sampler (paper §4.5: "the sysstat utility ...
+/// every second collects CPU, memory, network and disk usage"). Spawns a
+/// simulated process that snapshots each machine's busy integrals every
+/// `period` and derives per-interval utilization — the data behind
+/// "100% utilized throughout the peak plateau"-style statements.
+class Sampler {
+ public:
+  Sampler(sim::Simulation& simulation, sim::Duration period = sim::kSecond)
+      : sim_(simulation), period_(period) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void addMachine(const net::Machine* machine) {
+    machines_.push_back(machine);
+    series_.emplace_back();
+    lastCpu_.push_back(0.0);
+    lastNicBytes_.push_back(0);
+  }
+
+  /// Starts sampling; runs until the simulation is shut down.
+  void start() {
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      lastCpu_[i] = machines_[i]->cpu().busyCoreSeconds();
+      lastNicBytes_[i] = machines_[i]->nic().bytesTransferred();
+    }
+    sim_.spawn(loop());
+  }
+
+  const std::vector<Sample>& series(std::size_t machine) const {
+    return series_.at(machine);
+  }
+  std::size_t machineCount() const noexcept { return machines_.size(); }
+  const net::Machine& machine(std::size_t i) const { return *machines_.at(i); }
+
+  /// Fraction of samples in [from, to] with CPU utilization above the
+  /// threshold — e.g. "the database CPU is 100% utilized throughout the
+  /// peak plateau" (paper §5.1).
+  double fractionAbove(std::size_t machine, double threshold, sim::SimTime from,
+                       sim::SimTime to) const {
+    std::size_t total = 0;
+    std::size_t above = 0;
+    for (const Sample& s : series_.at(machine)) {
+      if (s.time < from || s.time > to) continue;
+      ++total;
+      if (s.cpuUtilization > threshold) ++above;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(total);
+  }
+
+ private:
+  sim::Task<> loop() {
+    for (;;) {
+      co_await sim_.delay(period_);
+      const double seconds = sim::toSeconds(period_);
+      for (std::size_t i = 0; i < machines_.size(); ++i) {
+        const net::Machine& m = *machines_[i];
+        const double cpu = m.cpu().busyCoreSeconds();
+        const auto bytes = m.nic().bytesTransferred();
+        Sample s;
+        s.time = sim_.now();
+        s.cpuUtilization = (cpu - lastCpu_[i]) / (seconds * m.cpu().cores());
+        s.nicMbps =
+            static_cast<double>(bytes - lastNicBytes_[i]) * 8.0 / seconds / 1e6;
+        series_[i].push_back(s);
+        lastCpu_[i] = cpu;
+        lastNicBytes_[i] = bytes;
+      }
+    }
+  }
+
+  sim::Simulation& sim_;
+  sim::Duration period_;
+  std::vector<const net::Machine*> machines_;
+  std::vector<std::vector<Sample>> series_;
+  std::vector<double> lastCpu_;
+  std::vector<std::uint64_t> lastNicBytes_;
+};
+
+}  // namespace mwsim::stats

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "middleware/web_server.hpp"
+#include "stats/histogram.hpp"
+#include "workload/mix.hpp"
+
+namespace mwsim::wl {
+
+/// Workload counters, recorded only while `measuring` is on (the paper's
+/// measurement phase between ramp-up and ramp-down).
+struct WorkloadStats {
+  bool measuring = false;
+  std::uint64_t completedInteractions = 0;
+  std::uint64_t completedReadWrite = 0;
+  std::uint64_t totalQueries = 0;
+  std::uint64_t totalResponseBytes = 0;
+  std::map<std::string, std::uint64_t> perInteraction;
+  stats::Histogram responseSeconds;
+
+  void record(const std::string& interaction, bool readWrite, double responseSecs,
+              const mw::InteractionResult& result) {
+    if (!measuring) return;
+    ++completedInteractions;
+    if (readWrite) ++completedReadWrite;
+    totalQueries += static_cast<std::uint64_t>(result.page.queryCount);
+    totalResponseBytes += result.totalResponseBytes;
+    ++perInteraction[interaction];
+    responseSeconds.record(responseSecs);
+  }
+};
+
+/// Closed-loop client-browser emulator (paper §4.1): each of `clientCount`
+/// emulated browsers runs back-to-back sessions; within a session it walks
+/// the mix's Markov chain with exponentially distributed think times
+/// (mean 7 s) and session lengths (mean 15 min), per TPC-W clauses
+/// 5.3.1.1 / 6.2.1.2.
+class ClientFarm {
+ public:
+  ClientFarm(sim::Simulation& simulation, mw::WebServer& webServer, const MixMatrix& mix,
+             int clientCount, WorkloadStats& stats, std::uint64_t seed,
+             sim::Duration thinkMean = 7 * sim::kSecond,
+             sim::Duration sessionMean = 15 * sim::kMinute)
+      : sim_(simulation), web_(webServer), mix_(mix), clients_(clientCount), stats_(stats),
+        seed_(seed), thinkMean_(thinkMean), sessionMean_(sessionMean) {}
+
+  /// Spawns every client process. Clients stagger their starts over one
+  /// think time so arrivals do not all align at t=0.
+  void start() {
+    for (int c = 0; c < clients_; ++c) {
+      sim_.spawn(clientLoop(c));
+    }
+  }
+
+ private:
+  sim::Task<> clientLoop(int clientId) {
+    sim::Rng rng(sim::deriveSeed(seed_, 0xC11E27ULL + static_cast<std::uint64_t>(clientId)));
+    co_await sim_.delay(sim::fromSeconds(
+        rng.uniformReal(0.0, sim::toSeconds(thinkMean_))));
+    for (;;) {  // back-to-back sessions
+      mw::ClientSession session;
+      std::size_t state = mix_.initialState();
+      const sim::SimTime sessionEnd =
+          sim_.now() + sim::fromSeconds(rng.exponential(sim::toSeconds(sessionMean_)));
+      while (sim_.now() < sessionEnd) {
+        mw::Request request{mix_.stateName(state), &session};
+        const sim::SimTime start = sim_.now();
+        mw::InteractionResult result = co_await web_.serve(request);
+        stats_.record(request.interaction, mix_.isReadWrite(state),
+                      sim::toSeconds(sim_.now() - start), result);
+        co_await sim_.delay(
+            sim::fromSeconds(rng.exponential(sim::toSeconds(thinkMean_))));
+        state = mix_.next(state, rng);
+      }
+    }
+  }
+
+  sim::Simulation& sim_;
+  mw::WebServer& web_;
+  const MixMatrix& mix_;
+  int clients_;
+  WorkloadStats& stats_;
+  std::uint64_t seed_;
+  sim::Duration thinkMean_;
+  sim::Duration sessionMean_;
+};
+
+}  // namespace mwsim::wl

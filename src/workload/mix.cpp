@@ -1,0 +1,74 @@
+#include "workload/mix.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mwsim::wl {
+
+std::vector<double> MixMatrix::stationaryDistribution(int iterations) const {
+  const std::size_t n = states_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  // Row sums may not be exactly 1; normalize on the fly.
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double rowSum = std::accumulate(rows_[i].begin(), rows_[i].end(), 0.0);
+      if (rowSum <= 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        next[j] += pi[i] * rows_[i][j] / rowSum;
+      }
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+double MixMatrix::readWriteFraction() const {
+  const auto pi = stationaryDistribution();
+  double rw = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (readWrite_[i]) rw += pi[i];
+  }
+  return rw;
+}
+
+std::size_t MixBuilder::index(const std::string& state) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == state) return i;
+  }
+  throw std::runtime_error("unknown interaction state: " + state);
+}
+
+MixMatrix MixBuilder::build(std::size_t initialState) const {
+  const std::size_t n = states_.size();
+  const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    // Base row: the occurrence distribution (random-surfer model).
+    double overridden = 0.0;
+    std::vector<bool> isOverride(n, false);
+    for (const auto& o : overrides_) {
+      if (o.from == i) {
+        rows[i][o.to] += o.prob;
+        overridden += o.prob;
+        isOverride[o.to] = true;
+      }
+    }
+    if (overridden > 1.0) throw std::runtime_error("overrides exceed probability 1");
+    const double remaining = 1.0 - overridden;
+    double freeWeight = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!isOverride[j]) freeWeight += weights_[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!isOverride[j] && freeWeight > 0) {
+        rows[i][j] += remaining * weights_[j] / freeWeight;
+      }
+    }
+    (void)total;
+  }
+  return MixMatrix(name_, states_, std::move(rows), readWrite_, initialState);
+}
+
+}  // namespace mwsim::wl

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mwsim::wl {
+
+/// Markov state-transition matrix over interaction names — the client
+/// emulator picks the next interaction from the row of the current one
+/// (paper §4.1: "the next interaction is determined by a state transition
+/// matrix").
+class MixMatrix {
+ public:
+  MixMatrix(std::string name, std::vector<std::string> states,
+            std::vector<std::vector<double>> rows, std::vector<bool> readWrite,
+            std::size_t initialState = 0)
+      : name_(std::move(name)), states_(std::move(states)), rows_(std::move(rows)),
+        readWrite_(std::move(readWrite)), initial_(initialState) {
+    assert(rows_.size() == states_.size());
+    assert(readWrite_.size() == states_.size());
+    for (const auto& row : rows_) {
+      assert(row.size() == states_.size());
+      (void)row;
+    }
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t stateCount() const noexcept { return states_.size(); }
+  std::size_t initialState() const noexcept { return initial_; }
+  const std::string& stateName(std::size_t s) const { return states_.at(s); }
+  bool isReadWrite(std::size_t s) const { return readWrite_.at(s); }
+
+  std::size_t next(std::size_t current, sim::Rng& rng) const {
+    return rng.discrete(std::span<const double>(rows_.at(current)));
+  }
+
+  /// Stationary distribution of the chain (power iteration) — used by tests
+  /// to verify the documented read-write fractions.
+  std::vector<double> stationaryDistribution(int iterations = 2000) const;
+
+  /// Long-run fraction of read-write interactions.
+  double readWriteFraction() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<bool> readWrite_;
+  std::size_t initial_;
+};
+
+/// Builds a Markov matrix whose stationary distribution approximates the
+/// given per-interaction occurrence weights, with optional structural
+/// overrides ("after state A, go to B with probability p, remainder split
+/// per the base weights"). This mirrors how we encode the TPC-W/RUBiS
+/// mixes: the spec documents occurrence rates and navigation structure but
+/// the paper does not print its exact matrices (see DESIGN.md).
+class MixBuilder {
+ public:
+  MixBuilder(std::string name, std::vector<std::string> states,
+             std::vector<double> occurrenceWeights, std::vector<bool> readWrite)
+      : name_(std::move(name)), states_(std::move(states)),
+        weights_(std::move(occurrenceWeights)), readWrite_(std::move(readWrite)) {
+    assert(weights_.size() == states_.size());
+  }
+
+  /// Forces `prob` of the transitions out of `from` to land on `to`.
+  MixBuilder& follow(const std::string& from, const std::string& to, double prob) {
+    overrides_.push_back({index(from), index(to), prob});
+    return *this;
+  }
+
+  MixMatrix build(std::size_t initialState = 0) const;
+
+  std::size_t index(const std::string& state) const;
+
+ private:
+  struct Override {
+    std::size_t from;
+    std::size_t to;
+    double prob;
+  };
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<double> weights_;
+  std::vector<bool> readWrite_;
+  std::vector<Override> overrides_;
+};
+
+}  // namespace mwsim::wl

@@ -1,0 +1,789 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "db/database.hpp"
+#include "db/executor.hpp"
+#include "db/lexer.hpp"
+#include "db/parser.hpp"
+
+namespace mwsim::db {
+namespace {
+
+// ------------------------------------------------------------------- Value
+
+TEST(ValueTest, NullBehaviour) {
+  Value v;
+  EXPECT_TRUE(v.isNull());
+  EXPECT_EQ(v.toDisplayString(), "NULL");
+  EXPECT_EQ(v.compare(Value()), 0);
+  EXPECT_LT(v.compare(Value(0)), 0);  // NULL sorts before numbers
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(1).compare(Value(1.0)), 0);
+  EXPECT_LT(Value(1).compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2.5).compare(Value(2)), 0);
+}
+
+TEST(ValueTest, NumbersSortBeforeStrings) {
+  EXPECT_LT(Value(999).compare(Value("abc")), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("apple").compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").compare(Value("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(7).hash(), Value(7.0).hash());
+  EXPECT_EQ(Value("abc").hash(), Value(std::string("abc")).hash());
+}
+
+TEST(ValueTest, Conversions) {
+  EXPECT_EQ(Value(3.9).asInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(5).asDouble(), 5.0);
+  EXPECT_THROW(Value("x").asInt(), std::runtime_error);
+  EXPECT_THROW(Value(1).asString(), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- Table
+
+TableSchema itemsSchema() {
+  return SchemaBuilder("items")
+      .intCol("id").primaryKey(/*autoIncrement=*/true)
+      .stringCol("name")
+      .intCol("category").indexed()
+      .doubleCol("price")
+      .intCol("stock")
+      .build();
+}
+
+TEST(TableTest, InsertAndPkLookup) {
+  Table t(itemsSchema());
+  t.insert({Value(1), Value("book"), Value(3), Value(9.99), Value(10)});
+  t.insert({Value(2), Value("lamp"), Value(5), Value(19.99), Value(4)});
+  ASSERT_TRUE(t.findByPk(Value(2)).has_value());
+  EXPECT_EQ(t.row(*t.findByPk(Value(2)))[1].asString(), "lamp");
+  EXPECT_FALSE(t.findByPk(Value(99)).has_value());
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TableTest, AutoIncrementAssignsIds) {
+  Table t(itemsSchema());
+  const auto id1 = t.insert({Value(), Value("a"), Value(1), Value(1.0), Value(1)});
+  const auto id2 = t.insert({Value(), Value("b"), Value(1), Value(1.0), Value(1)});
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(id2, 2);
+  EXPECT_EQ(t.lastInsertId(), 2);
+}
+
+TEST(TableTest, AutoIncrementSkipsExplicitIds) {
+  Table t(itemsSchema());
+  t.insert({Value(100), Value("a"), Value(1), Value(1.0), Value(1)});
+  const auto id = t.insert({Value(), Value("b"), Value(1), Value(1.0), Value(1)});
+  EXPECT_EQ(id, 101);
+}
+
+TEST(TableTest, DuplicatePkThrows) {
+  Table t(itemsSchema());
+  t.insert({Value(1), Value("a"), Value(1), Value(1.0), Value(1)});
+  EXPECT_THROW(t.insert({Value(1), Value("b"), Value(1), Value(1.0), Value(1)}),
+               std::runtime_error);
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t(itemsSchema());
+  for (int i = 1; i <= 10; ++i) {
+    t.insert({Value(i), Value("x"), Value(i % 3), Value(1.0), Value(1)});
+  }
+  const auto hits = t.findByIndex(2, Value(1));  // category == 1
+  EXPECT_EQ(hits.size(), 4u);  // 1, 4, 7, 10
+  for (RowId id : hits) EXPECT_EQ(t.row(id)[2].asInt(), 1);
+}
+
+TEST(TableTest, RangeScanInclusiveExclusive) {
+  Table t(itemsSchema());
+  for (int i = 1; i <= 10; ++i) {
+    t.insert({Value(i), Value("x"), Value(i), Value(1.0), Value(1)});
+  }
+  auto r = t.findRangeByIndex(2, Value(3), true, Value(6), true);
+  EXPECT_EQ(r.size(), 4u);
+  r = t.findRangeByIndex(2, Value(3), false, Value(6), false);
+  EXPECT_EQ(r.size(), 2u);
+  r = t.findRangeByIndex(2, std::nullopt, true, Value(2), true);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(TableTest, UpdateCellMaintainsIndexes) {
+  Table t(itemsSchema());
+  t.insert({Value(1), Value("a"), Value(7), Value(1.0), Value(1)});
+  t.updateCell(0, 2, Value(9));
+  EXPECT_TRUE(t.findByIndex(2, Value(7)).empty());
+  EXPECT_EQ(t.findByIndex(2, Value(9)).size(), 1u);
+}
+
+TEST(TableTest, UpdatePkMaintainsPkIndex) {
+  Table t(itemsSchema());
+  t.insert({Value(1), Value("a"), Value(7), Value(1.0), Value(1)});
+  t.updateCell(0, 0, Value(42));
+  EXPECT_FALSE(t.findByPk(Value(1)).has_value());
+  ASSERT_TRUE(t.findByPk(Value(42)).has_value());
+}
+
+TEST(TableTest, EraseRemovesFromIndexes) {
+  Table t(itemsSchema());
+  t.insert({Value(1), Value("a"), Value(7), Value(1.0), Value(1)});
+  t.insert({Value(2), Value("b"), Value(7), Value(1.0), Value(1)});
+  t.erase(0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.findByPk(Value(1)).has_value());
+  EXPECT_EQ(t.findByIndex(2, Value(7)).size(), 1u);
+  int visited = 0;
+  t.forEachRow([&](RowId) { ++visited; });
+  EXPECT_EQ(visited, 1);
+}
+
+// ------------------------------------------------------------------- Lexer
+
+TEST(LexerTest, TokenizesBasicSelect) {
+  const auto tokens = lex("SELECT a, b FROM t WHERE x >= 10");
+  EXPECT_EQ(tokens.front().type, TokenType::Identifier);
+  EXPECT_EQ(tokens.front().upperText, "SELECT");
+  EXPECT_EQ(tokens.back().type, TokenType::End);
+}
+
+TEST(LexerTest, StringEscapes) {
+  const auto tokens = lex("SELECT 'it''s'");
+  EXPECT_EQ(tokens[1].type, TokenType::String);
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, NumbersAndFloats) {
+  const auto tokens = lex("1 2.5 .75");
+  EXPECT_EQ(tokens[0].intValue, 1);
+  EXPECT_DOUBLE_EQ(tokens[1].floatValue, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].floatValue, 0.75);
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  const auto tokens = lex("a <= b >= c != d <> e");
+  EXPECT_EQ(tokens[1].type, TokenType::Le);
+  EXPECT_EQ(tokens[3].type, TokenType::Ge);
+  EXPECT_EQ(tokens[5].type, TokenType::Ne);
+  EXPECT_EQ(tokens[7].type, TokenType::Ne);
+}
+
+TEST(LexerTest, ThrowsOnUnterminatedString) {
+  EXPECT_THROW(lex("SELECT 'abc"), std::runtime_error);
+}
+
+TEST(LexerTest, ThrowsOnStrayBang) {
+  EXPECT_THROW(lex("a ! b"), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ Parser
+
+TEST(ParserTest, SelectStructure) {
+  auto stmt = parseSql(
+      "SELECT id, name AS n FROM items WHERE category = ? AND price < 10.0 "
+      "ORDER BY price DESC LIMIT 20 OFFSET 5");
+  ASSERT_EQ(stmt->kind, Statement::Kind::Select);
+  const auto& s = stmt->select;
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "n");
+  EXPECT_EQ(s.from.table, "items");
+  ASSERT_TRUE(s.where != nullptr);
+  EXPECT_EQ(s.orderBy.size(), 1u);
+  EXPECT_TRUE(s.orderBy[0].descending);
+  EXPECT_EQ(s.limit, 20);
+  EXPECT_EQ(s.offset, 5);
+  EXPECT_EQ(stmt->paramCount, 1u);
+}
+
+TEST(ParserTest, JoinWithOn) {
+  auto stmt = parseSql(
+      "SELECT i.name, a.name FROM items i JOIN authors a ON i.author_id = a.id");
+  const auto& s = stmt->select;
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table.table, "authors");
+  EXPECT_EQ(s.joins[0].table.alias, "a");
+  ASSERT_TRUE(s.joins[0].leftColumn != nullptr);
+}
+
+TEST(ParserTest, GroupByAggregates) {
+  auto stmt = parseSql(
+      "SELECT item_id, SUM(qty) AS total FROM order_line GROUP BY item_id "
+      "ORDER BY total DESC LIMIT 50");
+  const auto& s = stmt->select;
+  EXPECT_EQ(s.groupBy.size(), 1u);
+  EXPECT_EQ(s.items[1].expr->kind, Expr::Kind::Aggregate);
+  EXPECT_EQ(s.items[1].expr->agg, AggFunc::Sum);
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  auto stmt = parseSql("INSERT INTO t (a, b, c) VALUES (?, 'x', 3)");
+  ASSERT_EQ(stmt->kind, Statement::Kind::Insert);
+  EXPECT_EQ(stmt->insert.columns.size(), 3u);
+  EXPECT_EQ(stmt->insert.values.size(), 3u);
+  EXPECT_EQ(stmt->paramCount, 1u);
+}
+
+TEST(ParserTest, UpdateWithArithmetic) {
+  auto stmt = parseSql("UPDATE items SET stock = stock - 1, price = ? WHERE id = ?");
+  ASSERT_EQ(stmt->kind, Statement::Kind::Update);
+  EXPECT_EQ(stmt->update.sets.size(), 2u);
+  EXPECT_EQ(stmt->paramCount, 2u);
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmt = parseSql("DELETE FROM bids WHERE item_id = 5");
+  ASSERT_EQ(stmt->kind, Statement::Kind::Delete);
+  EXPECT_EQ(stmt->del.table, "bids");
+}
+
+TEST(ParserTest, LockTables) {
+  auto stmt = parseSql("LOCK TABLES items WRITE, authors READ");
+  ASSERT_EQ(stmt->kind, Statement::Kind::LockTables);
+  ASSERT_EQ(stmt->lockTables.items.size(), 2u);
+  EXPECT_TRUE(stmt->lockTables.items[0].write);
+  EXPECT_FALSE(stmt->lockTables.items[1].write);
+}
+
+TEST(ParserTest, UnlockTables) {
+  auto stmt = parseSql("UNLOCK TABLES");
+  EXPECT_EQ(stmt->kind, Statement::Kind::UnlockTables);
+}
+
+TEST(ParserTest, LikeExpression) {
+  auto stmt = parseSql("SELECT * FROM items WHERE name LIKE 'harry%'");
+  ASSERT_TRUE(stmt->select.where != nullptr);
+  EXPECT_EQ(stmt->select.where->op, BinOp::Like);
+}
+
+TEST(ParserTest, SyntaxErrorsThrowWithContext) {
+  try {
+    parseSql("SELECT FROM");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("SELECT FROM"), std::string::npos);
+  }
+  EXPECT_THROW(parseSql("FROB x"), std::runtime_error);
+  EXPECT_THROW(parseSql("SELECT * FROM t WHERE"), std::runtime_error);
+  EXPECT_THROW(parseSql("INSERT INTO t VALUES (1"), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- LIKE
+
+TEST(LikeTest, Patterns) {
+  EXPECT_TRUE(likeMatch("harry potter", "harry%"));
+  EXPECT_TRUE(likeMatch("harry potter", "%potter"));
+  EXPECT_TRUE(likeMatch("harry potter", "%rry pot%"));
+  EXPECT_TRUE(likeMatch("abc", "abc"));
+  EXPECT_TRUE(likeMatch("abc", "a_c"));
+  EXPECT_FALSE(likeMatch("abc", "a_d"));
+  EXPECT_FALSE(likeMatch("abc", "abcd%e"));
+  EXPECT_TRUE(likeMatch("", "%"));
+  EXPECT_FALSE(likeMatch("x", ""));
+}
+
+// ---------------------------------------------------------------- Executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : exec_(db_) {
+    db_.createTable(itemsSchema());
+    db_.createTable(SchemaBuilder("authors")
+                        .intCol("id").primaryKey()
+                        .stringCol("name")
+                        .build());
+    db_.createTable(SchemaBuilder("books")
+                        .intCol("id").primaryKey(true)
+                        .stringCol("title")
+                        .intCol("author_id").indexed()
+                        .doubleCol("price")
+                        .build());
+    exec_.query("INSERT INTO authors VALUES (1, 'tolkien')");
+    exec_.query("INSERT INTO authors VALUES (2, 'rowling')");
+    exec_.query("INSERT INTO books VALUES (NULL, 'lotr', 1, 20.0)");
+    exec_.query("INSERT INTO books VALUES (NULL, 'hobbit', 1, 10.0)");
+    exec_.query("INSERT INTO books VALUES (NULL, 'hp1', 2, 15.0)");
+    for (int i = 1; i <= 20; ++i) {
+      const Value params[] = {Value(i), Value("item" + std::to_string(i)),
+                              Value(i % 4), Value(i * 1.5), Value(100 - i)};
+      exec_.query("INSERT INTO items VALUES (?, ?, ?, ?, ?)", params);
+    }
+  }
+
+  Database db_;
+  Executor exec_;
+};
+
+TEST_F(ExecutorTest, SelectAllColumns) {
+  auto r = exec_.query("SELECT * FROM authors ORDER BY id");
+  ASSERT_EQ(r.resultSet.rowCount(), 2u);
+  EXPECT_EQ(r.resultSet.columns, (std::vector<std::string>{"id", "name"}));
+  EXPECT_EQ(r.resultSet.stringAt(0, "name"), "tolkien");
+}
+
+TEST_F(ExecutorTest, SelectByPrimaryKeyUsesIndex) {
+  auto r = exec_.query("SELECT name FROM items WHERE id = 7");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.stringAt(0, "name"), "item7");
+  EXPECT_TRUE(r.stats.usedIndex);
+  EXPECT_EQ(r.stats.rowsExamined, 1u);
+}
+
+TEST_F(ExecutorTest, SelectBySecondaryIndex) {
+  auto r = exec_.query("SELECT id FROM items WHERE category = 2");
+  EXPECT_EQ(r.resultSet.rowCount(), 5u);  // 2, 6, 10, 14, 18
+  EXPECT_TRUE(r.stats.usedIndex);
+  EXPECT_EQ(r.stats.rowsExamined, 5u);
+}
+
+TEST_F(ExecutorTest, FullScanWhenNoIndex) {
+  auto r = exec_.query("SELECT id FROM items WHERE stock > 95");
+  EXPECT_EQ(r.resultSet.rowCount(), 4u);  // stock = 99, 98, 97, 96
+  EXPECT_FALSE(r.stats.usedIndex);
+  EXPECT_EQ(r.stats.rowsExamined, 20u);
+}
+
+TEST_F(ExecutorTest, IndexRangeScan) {
+  auto r = exec_.query("SELECT id FROM items WHERE category >= 1 AND category <= 2");
+  EXPECT_EQ(r.resultSet.rowCount(), 10u);
+  EXPECT_TRUE(r.stats.usedIndex);
+}
+
+TEST_F(ExecutorTest, BoundParameters) {
+  const Value params[] = {Value(3)};
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM items WHERE category = ?", params);
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 5);
+}
+
+TEST_F(ExecutorTest, MissingParameterThrows) {
+  EXPECT_THROW(exec_.query("SELECT * FROM items WHERE id = ?"), std::runtime_error);
+}
+
+TEST_F(ExecutorTest, JoinViaOnWithIndex) {
+  auto r = exec_.query(
+      "SELECT b.title, a.name FROM books b JOIN authors a ON b.author_id = a.id "
+      "WHERE a.name = 'tolkien' ORDER BY b.title");
+  ASSERT_EQ(r.resultSet.rowCount(), 2u);
+  EXPECT_EQ(r.resultSet.stringAt(0, "title"), "hobbit");
+  EXPECT_TRUE(r.stats.usedIndex);
+}
+
+TEST_F(ExecutorTest, JoinReversedOnCondition) {
+  auto r = exec_.query(
+      "SELECT b.title FROM authors a JOIN books b ON a.id = b.author_id "
+      "WHERE a.id = 2");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.stringAt(0, "title"), "hp1");
+}
+
+TEST_F(ExecutorTest, CommaJoinWithWhereEquality) {
+  auto r = exec_.query(
+      "SELECT b.title FROM authors a, books b WHERE a.id = b.author_id AND "
+      "a.name = 'rowling'");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.stringAt(0, "title"), "hp1");
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  auto r = exec_.query(
+      "SELECT author_id, COUNT(*) AS n, SUM(price) AS total, MAX(price) AS mx "
+      "FROM books GROUP BY author_id ORDER BY author_id");
+  ASSERT_EQ(r.resultSet.rowCount(), 2u);
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 2);
+  EXPECT_DOUBLE_EQ(r.resultSet.doubleAt(0, "total"), 30.0);
+  EXPECT_DOUBLE_EQ(r.resultSet.doubleAt(0, "mx"), 20.0);
+  EXPECT_EQ(r.resultSet.intAt(1, "n"), 1);
+}
+
+TEST_F(ExecutorTest, AggregateWithoutGroupBy) {
+  auto r = exec_.query("SELECT COUNT(*) AS n, AVG(price) AS avg FROM books");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 3);
+  EXPECT_NEAR(r.resultSet.doubleAt(0, "avg"), 15.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, CountOverEmptyInputIsZero) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM books WHERE author_id = 99");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 0);
+}
+
+TEST_F(ExecutorTest, OrderBySelectAliasDescending) {
+  auto r = exec_.query(
+      "SELECT author_id, COUNT(*) AS n FROM books GROUP BY author_id "
+      "ORDER BY n DESC");
+  ASSERT_EQ(r.resultSet.rowCount(), 2u);
+  EXPECT_EQ(r.resultSet.intAt(0, "author_id"), 1);
+}
+
+TEST_F(ExecutorTest, OrderLimitOffset) {
+  auto r = exec_.query("SELECT id FROM items ORDER BY id DESC LIMIT 3 OFFSET 2");
+  ASSERT_EQ(r.resultSet.rowCount(), 3u);
+  EXPECT_EQ(r.resultSet.intAt(0, "id"), 18);
+  EXPECT_EQ(r.resultSet.intAt(2, "id"), 16);
+  EXPECT_GT(r.stats.rowsSorted, 0u);
+}
+
+TEST_F(ExecutorTest, LikeFilter) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM items WHERE name LIKE 'item1%'");
+  // item1, item10..item19 => 11
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 11);
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  auto r = exec_.query("SELECT price * 2 AS dbl FROM books WHERE title = 'hobbit'");
+  EXPECT_DOUBLE_EQ(r.resultSet.doubleAt(0, "dbl"), 20.0);
+}
+
+TEST_F(ExecutorTest, OrConditions) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM items WHERE id = 1 OR id = 2");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 2);
+}
+
+TEST_F(ExecutorTest, InsertAutoIncrementReturnsId) {
+  auto r = exec_.query("INSERT INTO books (title, author_id, price) VALUES ('x', 1, 1.0)");
+  EXPECT_EQ(r.lastInsertId, 4);
+  EXPECT_EQ(r.affectedRows, 1u);
+}
+
+TEST_F(ExecutorTest, InsertCoercesNumericTypes) {
+  exec_.query("INSERT INTO books VALUES (NULL, 'y', 2, 7)");  // int into double col
+  auto r = exec_.query("SELECT price FROM books WHERE title = 'y'");
+  EXPECT_TRUE(r.resultSet.at(0, "price").isDouble());
+}
+
+TEST_F(ExecutorTest, UpdateWithSelfReference) {
+  exec_.query("UPDATE items SET stock = stock - 5 WHERE id = 1");
+  auto r = exec_.query("SELECT stock FROM items WHERE id = 1");
+  EXPECT_EQ(r.resultSet.intAt(0, "stock"), 94);
+}
+
+TEST_F(ExecutorTest, UpdateByIndexTouchesOnlyMatches) {
+  auto r = exec_.query("UPDATE items SET stock = 0 WHERE category = 1");
+  EXPECT_EQ(r.affectedRows, 5u);
+  EXPECT_TRUE(r.stats.usedIndex);
+  auto check = exec_.query("SELECT COUNT(*) AS n FROM items WHERE stock = 0");
+  EXPECT_EQ(check.resultSet.intAt(0, "n"), 5);
+}
+
+TEST_F(ExecutorTest, UpdateIndexedColumnRelocatesRow) {
+  exec_.query("UPDATE books SET author_id = 2 WHERE title = 'hobbit'");
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM books WHERE author_id = 2");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 2);
+}
+
+TEST_F(ExecutorTest, DeleteRemovesRows) {
+  auto r = exec_.query("DELETE FROM items WHERE category = 0");
+  EXPECT_EQ(r.affectedRows, 5u);
+  auto count = exec_.query("SELECT COUNT(*) AS n FROM items");
+  EXPECT_EQ(count.resultSet.intAt(0, "n"), 15);
+}
+
+TEST_F(ExecutorTest, SelectFromUnknownTableThrows) {
+  EXPECT_THROW(exec_.query("SELECT * FROM nope"), std::runtime_error);
+}
+
+TEST_F(ExecutorTest, UnknownColumnThrows) {
+  EXPECT_THROW(exec_.query("SELECT wibble FROM items"), std::runtime_error);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnThrows) {
+  EXPECT_THROW(
+      exec_.query("SELECT id FROM books b JOIN authors a ON b.author_id = a.id"),
+      std::runtime_error);
+}
+
+TEST_F(ExecutorTest, ResultByteSizeNonZero) {
+  auto r = exec_.query("SELECT * FROM items");
+  EXPECT_GT(r.stats.resultBytes, 100u);
+  EXPECT_EQ(r.stats.rowsReturned, 20u);
+}
+
+TEST_F(ExecutorTest, LockStatementsAreEngineNoOps) {
+  auto r1 = exec_.query("LOCK TABLES items WRITE");
+  auto r2 = exec_.query("UNLOCK TABLES");
+  EXPECT_EQ(r1.affectedRows, 0u);
+  EXPECT_EQ(r2.affectedRows, 0u);
+}
+
+TEST_F(ExecutorTest, DatabaseApproxBytesGrows) {
+  const auto before = db_.approxBytes();
+  exec_.query("INSERT INTO books VALUES (NULL, 'a-very-long-book-title', 1, 5.0)");
+  EXPECT_GT(db_.approxBytes(), before);
+}
+
+}  // namespace
+}  // namespace mwsim::db
+
+namespace mwsim::db {
+namespace {
+
+// ------------------------------------------------------ executor edge cases
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  ExecutorEdgeTest() : exec_(db_) {
+    db_.createTable(SchemaBuilder("e")
+                        .intCol("id").primaryKey(true)
+                        .intCol("v").indexed()
+                        .stringCol("s")
+                        .build());
+    for (int i = 1; i <= 10; ++i) {
+      const Value params[] = {Value(i % 3), Value("row" + std::to_string(i))};
+      exec_.query("INSERT INTO e (v, s) VALUES (?, ?)", params);
+    }
+  }
+  Database db_;
+  Executor exec_;
+};
+
+TEST_F(ExecutorEdgeTest, SelectFromEmptyTable) {
+  db_.createTable(SchemaBuilder("empty").intCol("x").primaryKey().build());
+  auto r = exec_.query("SELECT * FROM empty");
+  EXPECT_TRUE(r.resultSet.empty());
+  auto agg = exec_.query("SELECT COUNT(*) AS n, MAX(x) AS m FROM empty");
+  EXPECT_EQ(agg.resultSet.intAt(0, "n"), 0);
+  EXPECT_TRUE(agg.resultSet.at(0, "m").isNull());
+}
+
+TEST_F(ExecutorEdgeTest, OffsetBeyondEnd) {
+  auto r = exec_.query("SELECT id FROM e ORDER BY id LIMIT 5 OFFSET 100");
+  EXPECT_TRUE(r.resultSet.empty());
+}
+
+TEST_F(ExecutorEdgeTest, LimitZero) {
+  auto r = exec_.query("SELECT id FROM e LIMIT 0");
+  EXPECT_TRUE(r.resultSet.empty());
+}
+
+TEST_F(ExecutorEdgeTest, OrderByMultipleKeys) {
+  auto r = exec_.query("SELECT id, v FROM e ORDER BY v DESC, id ASC");
+  ASSERT_EQ(r.resultSet.rowCount(), 10u);
+  // First group is v=2 (ids 2,5,8 in ascending order).
+  EXPECT_EQ(r.resultSet.intAt(0, "v"), 2);
+  EXPECT_EQ(r.resultSet.intAt(0, "id"), 2);
+  EXPECT_EQ(r.resultSet.intAt(1, "id"), 5);
+}
+
+TEST_F(ExecutorEdgeTest, DeleteByIndexThenReuseIndex) {
+  exec_.query("DELETE FROM e WHERE v = 1");
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM e WHERE v = 1");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 0);
+  // Insert again and find it through the index.
+  exec_.query("INSERT INTO e (v, s) VALUES (1, 'fresh')");
+  auto again = exec_.query("SELECT s FROM e WHERE v = 1");
+  ASSERT_EQ(again.resultSet.rowCount(), 1u);
+  EXPECT_EQ(again.resultSet.stringAt(0, "s"), "fresh");
+}
+
+TEST_F(ExecutorEdgeTest, UpdateNoMatchesAffectsNothing) {
+  auto r = exec_.query("UPDATE e SET v = 99 WHERE id = 12345");
+  EXPECT_EQ(r.affectedRows, 0u);
+}
+
+TEST_F(ExecutorEdgeTest, MaxMinFastPathMatchesScan) {
+  auto fastMax = exec_.query("SELECT MAX(v) AS m FROM e");
+  auto slowMax = exec_.query("SELECT MAX(v) AS m FROM e WHERE id > 0");
+  EXPECT_EQ(fastMax.resultSet.intAt(0, "m"), slowMax.resultSet.intAt(0, "m"));
+  auto fastCount = exec_.query("SELECT COUNT(*) AS n FROM e");
+  auto slowCount = exec_.query("SELECT COUNT(*) AS n FROM e WHERE id > 0");
+  EXPECT_EQ(fastCount.resultSet.intAt(0, "n"), slowCount.resultSet.intAt(0, "n"));
+  EXPECT_LT(fastCount.stats.rowsExamined, slowCount.stats.rowsExamined);
+}
+
+TEST_F(ExecutorEdgeTest, MaxAutoIncrementPkIsO1) {
+  auto r = exec_.query("SELECT MAX(id) AS m FROM e");
+  EXPECT_EQ(r.resultSet.intAt(0, "m"), 10);
+  EXPECT_LE(r.stats.rowsExamined, 1u);
+}
+
+TEST_F(ExecutorEdgeTest, NullComparisonsAreFalse) {
+  db_.createTable(SchemaBuilder("n").intCol("id").primaryKey().intCol("x").build());
+  exec_.query("INSERT INTO n VALUES (1, NULL)");
+  exec_.query("INSERT INTO n VALUES (2, 5)");
+  auto r = exec_.query("SELECT id FROM n WHERE x > 0");
+  ASSERT_EQ(r.resultSet.rowCount(), 1u);
+  EXPECT_EQ(r.resultSet.intAt(0, "id"), 2);
+  auto eq = exec_.query("SELECT id FROM n WHERE x = 5");
+  EXPECT_EQ(eq.resultSet.rowCount(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, SumAndAvgSkipNulls) {
+  db_.createTable(SchemaBuilder("m").intCol("id").primaryKey().doubleCol("x").build());
+  exec_.query("INSERT INTO m VALUES (1, 10.0)");
+  exec_.query("INSERT INTO m VALUES (2, NULL)");
+  exec_.query("INSERT INTO m VALUES (3, 20.0)");
+  auto r = exec_.query("SELECT SUM(x) AS s, AVG(x) AS a, COUNT(x) AS c FROM m");
+  EXPECT_DOUBLE_EQ(r.resultSet.doubleAt(0, "s"), 30.0);
+  EXPECT_DOUBLE_EQ(r.resultSet.doubleAt(0, "a"), 15.0);
+  EXPECT_EQ(r.resultSet.intAt(0, "c"), 2);
+}
+
+TEST_F(ExecutorEdgeTest, ParenthesizedBooleanExpressions) {
+  auto r = exec_.query(
+      "SELECT COUNT(*) AS n FROM e WHERE (v = 0 OR v = 1) AND id <= 5");
+  // ids 1..5 with v != 2: ids 1(v1),3(v0),4(v1) and 5 has v=2 -> excluded; 2 has v=2.
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 3);
+}
+
+TEST_F(ExecutorEdgeTest, ArithmeticPrecedence) {
+  auto r = exec_.query("SELECT 2 + 3 * 4 AS x FROM e LIMIT 1");
+  EXPECT_EQ(r.resultSet.intAt(0, "x"), 14);
+  auto paren = exec_.query("SELECT (2 + 3) * 4 AS x FROM e LIMIT 1");
+  EXPECT_EQ(paren.resultSet.intAt(0, "x"), 20);
+}
+
+TEST_F(ExecutorEdgeTest, DivisionByZeroYieldsNull) {
+  auto r = exec_.query("SELECT 1 / 0 AS x FROM e LIMIT 1");
+  EXPECT_TRUE(r.resultSet.at(0, "x").isNull());
+}
+
+TEST_F(ExecutorEdgeTest, StringEscapeRoundTrip) {
+  exec_.query("INSERT INTO e (v, s) VALUES (7, 'it''s a test')");
+  auto r = exec_.query("SELECT s FROM e WHERE v = 7");
+  EXPECT_EQ(r.resultSet.stringAt(0, "s"), "it's a test");
+}
+
+}  // namespace
+}  // namespace mwsim::db
+
+namespace mwsim::db {
+namespace {
+
+// --------------------------------------------- extended SQL features
+
+class SqlFeatureTest : public ::testing::Test {
+ protected:
+  SqlFeatureTest() : exec_(db_) {
+    db_.createTable(SchemaBuilder("f")
+                        .intCol("id").primaryKey(true)
+                        .intCol("grp").indexed()
+                        .intCol("v")
+                        .stringCol("s")
+                        .build());
+    for (int i = 1; i <= 30; ++i) {
+      const Value params[] = {Value(i % 5), Value(i * 10),
+                              Value(i % 4 == 0 ? Value() : Value("s" + std::to_string(i)))};
+      exec_.query("INSERT INTO f (grp, v, s) VALUES (?, ?, ?)", params);
+    }
+  }
+  Database db_;
+  Executor exec_;
+};
+
+TEST_F(SqlFeatureTest, InListOnPrimaryKeyUsesIndex) {
+  auto r = exec_.query("SELECT id FROM f WHERE id IN (3, 7, 11) ORDER BY id");
+  ASSERT_EQ(r.resultSet.rowCount(), 3u);
+  EXPECT_EQ(r.resultSet.intAt(0, "id"), 3);
+  EXPECT_TRUE(r.stats.usedIndex);
+  EXPECT_EQ(r.stats.rowsExamined, 3u);
+}
+
+TEST_F(SqlFeatureTest, InListOnIndexedColumn) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM f WHERE grp IN (1, 2)");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 12);  // 6 per group
+  EXPECT_TRUE(r.stats.usedIndex);
+}
+
+TEST_F(SqlFeatureTest, InListWithParams) {
+  const Value params[] = {Value(5), Value(6)};
+  auto r = exec_.query("SELECT id FROM f WHERE id IN (?, ?) ORDER BY id", params);
+  ASSERT_EQ(r.resultSet.rowCount(), 2u);
+}
+
+TEST_F(SqlFeatureTest, NotIn) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM f WHERE grp NOT IN (0, 1, 2, 3)");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 6);  // grp == 4
+}
+
+TEST_F(SqlFeatureTest, Between) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM f WHERE v BETWEEN 100 AND 150");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 6);  // v = 100..150 step 10
+  auto notBetween =
+      exec_.query("SELECT COUNT(*) AS n FROM f WHERE v NOT BETWEEN 20 AND 290");
+  EXPECT_EQ(notBetween.resultSet.intAt(0, "n"), 2);  // v=10 and v=300
+}
+
+TEST_F(SqlFeatureTest, IsNullAndIsNotNull) {
+  auto nulls = exec_.query("SELECT COUNT(*) AS n FROM f WHERE s IS NULL");
+  EXPECT_EQ(nulls.resultSet.intAt(0, "n"), 7);  // every 4th row of 30
+  auto notNulls = exec_.query("SELECT COUNT(*) AS n FROM f WHERE s IS NOT NULL");
+  EXPECT_EQ(notNulls.resultSet.intAt(0, "n"), 23);
+}
+
+TEST_F(SqlFeatureTest, NotPrefixOperator) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM f WHERE NOT (grp = 0)");
+  EXPECT_EQ(r.resultSet.intAt(0, "n"), 24);
+}
+
+TEST_F(SqlFeatureTest, NotLike) {
+  auto r = exec_.query("SELECT COUNT(*) AS n FROM f WHERE s NOT LIKE 's1%' AND s IS NOT NULL");
+  // s1, s10..s19 minus the NULL slots (s12, s16 are NULL; s4, s8... are NULL)
+  auto like = exec_.query("SELECT COUNT(*) AS n FROM f WHERE s LIKE 's1%'");
+  auto notNull = exec_.query("SELECT COUNT(*) AS n FROM f WHERE s IS NOT NULL");
+  EXPECT_EQ(r.resultSet.intAt(0, "n") + like.resultSet.intAt(0, "n"),
+            notNull.resultSet.intAt(0, "n"));
+}
+
+TEST_F(SqlFeatureTest, HavingFiltersGroups) {
+  // grp 0 appears 6 times; restrict to groups with at least 1 row where id > 25.
+  auto r = exec_.query(
+      "SELECT grp, COUNT(*) AS n FROM f WHERE id > 25 GROUP BY grp "
+      "HAVING COUNT(*) > 1 ORDER BY grp");
+  // ids 26..30 -> grps 1,2,3,4,0: each once => HAVING n>1 removes all.
+  EXPECT_EQ(r.resultSet.rowCount(), 0u);
+  auto loose = exec_.query(
+      "SELECT grp, COUNT(*) AS n FROM f GROUP BY grp HAVING COUNT(*) > 5 ORDER BY grp");
+  EXPECT_EQ(loose.resultSet.rowCount(), 5u);  // all groups have 6 rows
+}
+
+TEST_F(SqlFeatureTest, HavingOnSum) {
+  auto r = exec_.query(
+      "SELECT grp, SUM(v) AS total FROM f GROUP BY grp HAVING SUM(v) >= 960 "
+      "ORDER BY total DESC");
+  // grp sums: grp g has v = 10*(g, g+5, g+10, g+15, g+20, g+25) = 60g + 750... wait:
+  // ids with id%5==g: v=10*id. g=0: ids 5,10,..,30 -> 10*(5+10+15+20+25+30)=1050.
+  ASSERT_GE(r.resultSet.rowCount(), 1u);
+  EXPECT_GE(r.resultSet.doubleAt(0, "total"), 960.0);
+}
+
+TEST_F(SqlFeatureTest, DistinctRemovesDuplicates) {
+  auto r = exec_.query("SELECT DISTINCT grp FROM f ORDER BY grp");
+  ASSERT_EQ(r.resultSet.rowCount(), 5u);
+  for (int g = 0; g < 5; ++g) {
+    EXPECT_EQ(r.resultSet.intAt(static_cast<std::size_t>(g), "grp"), g);
+  }
+}
+
+TEST_F(SqlFeatureTest, DistinctOnMultipleColumns) {
+  exec_.query("INSERT INTO f (grp, v, s) VALUES (0, 50, 'dup')");
+  auto r = exec_.query("SELECT DISTINCT grp, v FROM f WHERE v = 50");
+  // Row id=5 has (0, 50); the new row also (0, 50) -> one distinct pair.
+  EXPECT_EQ(r.resultSet.rowCount(), 1u);
+}
+
+TEST_F(SqlFeatureTest, UpdateWithInPredicate) {
+  auto r = exec_.query("UPDATE f SET v = 0 WHERE id IN (1, 2, 3)");
+  EXPECT_EQ(r.affectedRows, 3u);
+}
+
+TEST_F(SqlFeatureTest, DeleteWithIsNull) {
+  const auto before = db_.table("f").size();
+  auto r = exec_.query("DELETE FROM f WHERE s IS NULL");
+  EXPECT_EQ(r.affectedRows, 7u);
+  EXPECT_EQ(db_.table("f").size(), before - 7);
+}
+
+TEST_F(SqlFeatureTest, ParserErrorsOnBadIn) {
+  EXPECT_THROW(exec_.query("SELECT id FROM f WHERE id IN ()"), std::runtime_error);
+  EXPECT_THROW(exec_.query("SELECT id FROM f WHERE id IN (1, 2"), std::runtime_error);
+  EXPECT_THROW(exec_.query("SELECT id FROM f WHERE id IS 5"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mwsim::db

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "db/executor.hpp"
+#include "sim/sim.hpp"
+
+namespace mwsim {
+namespace {
+
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Property: for any single-table predicate, the executor returns the same
+// rows whether the filtered column is indexed or not (index selection is an
+// optimization, never a semantics change).
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  IndexEquivalenceTest() : execIndexed_(indexed_), execPlain_(plain_) {
+    indexed_.createTable(db::SchemaBuilder("t")
+                             .intCol("id").primaryKey(true)
+                             .intCol("a").indexed()
+                             .intCol("b").indexed()
+                             .stringCol("s")
+                             .build());
+    plain_.createTable(db::SchemaBuilder("t")
+                           .intCol("id").primaryKey(true)
+                           .intCol("a")
+                           .intCol("b")
+                           .stringCol("s")
+                           .build());
+    sim::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+      db::Row row{db::Value(i + 1), db::Value(rng.uniformInt(0, 20)),
+                  db::Value(rng.uniformInt(-50, 50)), db::Value(rng.randomString(4))};
+      indexed_.table("t").insert(row);
+      plain_.table("t").insert(std::move(row));
+    }
+  }
+
+  db::Database indexed_;
+  db::Database plain_;
+  db::Executor execIndexed_;
+  db::Executor execPlain_;
+};
+
+TEST_P(IndexEquivalenceTest, SameRowsWithAndWithoutIndex) {
+  const std::string sql = GetParam();
+  auto a = execIndexed_.query(sql);
+  auto b = execPlain_.query(sql);
+  ASSERT_EQ(a.resultSet.rowCount(), b.resultSet.rowCount()) << sql;
+  for (std::size_t r = 0; r < a.resultSet.rowCount(); ++r) {
+    for (std::size_t c = 0; c < a.resultSet.columns.size(); ++c) {
+      EXPECT_EQ(a.resultSet.at(r, c).compare(b.resultSet.at(r, c)), 0) << sql;
+    }
+  }
+  // The indexed database should not examine more rows than the plain one.
+  EXPECT_LE(a.stats.rowsExamined, b.stats.rowsExamined) << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, IndexEquivalenceTest,
+    ::testing::Values(
+        "SELECT id, a, b FROM t WHERE a = 7 ORDER BY id",
+        "SELECT id FROM t WHERE a = 3 AND b > 0 ORDER BY id",
+        "SELECT id FROM t WHERE a >= 18 ORDER BY id",
+        "SELECT id FROM t WHERE a >= 5 AND a <= 6 ORDER BY id",
+        "SELECT id FROM t WHERE b = -10 OR b = 10 ORDER BY id",
+        "SELECT id FROM t WHERE a = 2 AND s LIKE 'a%' ORDER BY id",
+        "SELECT a, COUNT(*) AS n FROM t GROUP BY a ORDER BY a",
+        "SELECT id FROM t WHERE b < -48 ORDER BY b, id",
+        "SELECT COUNT(*) AS n FROM t WHERE a = 11"));
+
+// ---------------------------------------------------------------------------
+// Property: UPDATE via any predicate touches exactly the rows a SELECT with
+// the same predicate returns.
+
+class UpdateSelectsSameRowsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UpdateSelectsSameRowsTest, AffectedMatchesSelected) {
+  db::Database database;
+  database.createTable(db::SchemaBuilder("t")
+                           .intCol("id").primaryKey(true)
+                           .intCol("a").indexed()
+                           .intCol("marker")
+                           .build());
+  sim::Rng rng(5);
+  db::Executor exec(database);
+  for (int i = 0; i < 300; ++i) {
+    database.table("t").insert({db::Value(i + 1), db::Value(rng.uniformInt(0, 9)),
+                                db::Value(0)});
+  }
+  const std::string predicate = GetParam();
+  const auto selected = exec.query("SELECT id FROM t WHERE " + predicate);
+  const auto updated = exec.query("UPDATE t SET marker = 1 WHERE " + predicate);
+  EXPECT_EQ(updated.affectedRows, selected.resultSet.rowCount());
+  const auto marked = exec.query("SELECT COUNT(*) AS n FROM t WHERE marker = 1");
+  EXPECT_EQ(static_cast<std::uint64_t>(marked.resultSet.intAt(0, "n")),
+            updated.affectedRows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Predicates, UpdateSelectsSameRowsTest,
+                         ::testing::Values("a = 4", "a = 4 AND id > 100", "id = 7",
+                                           "a > 7", "a = 0 OR a = 9", "id <= 10"));
+
+// ---------------------------------------------------------------------------
+// Property: the processor-sharing CPU is work-conserving and fair for any
+// (cores, jobs) combination: total busy time equals total demand, and no
+// job finishes before demand/cores.
+
+class CpuConservationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CpuConservationTest, WorkConservedAndNoEarlyFinish) {
+  const auto [cores, jobs] = GetParam();
+  sim::Simulation simulation(17);
+  sim::CpuResource cpu(simulation, cores);
+  sim::Rng rng(static_cast<std::uint64_t>(cores * 1000 + jobs));
+  double totalDemand = 0.0;
+  std::vector<sim::SimTime> finish(static_cast<std::size_t>(jobs), 0);
+  std::vector<sim::Duration> demand(static_cast<std::size_t>(jobs), 0);
+  for (int j = 0; j < jobs; ++j) {
+    demand[static_cast<std::size_t>(j)] =
+        sim::fromMillis(rng.uniformReal(0.5, 30.0));
+    totalDemand += sim::toSeconds(demand[static_cast<std::size_t>(j)]);
+    simulation.spawn([](sim::Simulation& s, sim::CpuResource& c, sim::Duration work,
+                        sim::SimTime& out) -> Task<> {
+      co_await c.consume(work);
+      out = s.now();
+    }(simulation, cpu, demand[static_cast<std::size_t>(j)],
+      finish[static_cast<std::size_t>(j)]));
+  }
+  simulation.run();
+  EXPECT_NEAR(cpu.busyCoreSeconds(), totalDemand, totalDemand * 1e-6 + 1e-6);
+  for (int j = 0; j < jobs; ++j) {
+    const double minTime =
+        sim::toSeconds(demand[static_cast<std::size_t>(j)]) / cores;
+    EXPECT_GE(sim::toSeconds(finish[static_cast<std::size_t>(j)]), minTime - 1e-9);
+  }
+  // The last completion is exactly when the capacity could have drained all
+  // work, or later (never earlier).
+  sim::SimTime last = 0;
+  for (auto f : finish) last = std::max(last, f);
+  EXPECT_GE(sim::toSeconds(last), totalDemand / cores - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CpuConservationTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 10, 40)));
+
+// ---------------------------------------------------------------------------
+// Property: the RW lock never admits a writer together with anyone else,
+// for randomized reader/writer workloads.
+
+class RwLockInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RwLockInvariantTest, NoWriterOverlap) {
+  sim::Simulation simulation(static_cast<std::uint64_t>(GetParam()));
+  sim::RwLock lock(simulation);
+  int activeReaders = 0;
+  bool activeWriter = false;
+  bool violated = false;
+
+  for (int i = 0; i < 60; ++i) {
+    const bool writer = i % 3 == 0;
+    simulation.spawn([](sim::Simulation& s, sim::RwLock& l, bool write, int seed,
+                        int& readers, bool& writerActive, bool& bad) -> Task<> {
+      sim::Rng rng(static_cast<std::uint64_t>(seed));
+      co_await s.delay(sim::fromMillis(rng.uniformReal(0, 50)));
+      if (write) {
+        sim::LockHold h = co_await l.lockWrite();
+        if (readers != 0 || writerActive) bad = true;
+        writerActive = true;
+        co_await s.delay(sim::fromMillis(rng.uniformReal(0.1, 5)));
+        writerActive = false;
+      } else {
+        sim::LockHold h = co_await l.lockRead();
+        if (writerActive) bad = true;
+        ++readers;
+        co_await s.delay(sim::fromMillis(rng.uniformReal(0.1, 5)));
+        --readers;
+      }
+    }(simulation, lock, writer, i + GetParam() * 1000, activeReaders, activeWriter,
+      violated));
+  }
+  simulation.run();
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(lock.readAcquisitions() + lock.writeAcquisitions(), 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwLockInvariantTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Property: every configuration serves every mix with sane invariants.
+
+struct ConfigCase {
+  core::Configuration config;
+  core::App app;
+  int mix;
+};
+
+class AllConfigurationsTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(AllConfigurationsTest, InvariantsHold) {
+  const ConfigCase& c = GetParam();
+  core::ExperimentParams params;
+  params.config = c.config;
+  params.app = c.app;
+  params.mix = c.mix;
+  params.clients = 40;
+  params.rampUp = 15 * sim::kSecond;
+  params.measure = 45 * sim::kSecond;
+  params.rampDown = 5 * sim::kSecond;
+  params.bookstoreScale = 0.02;
+  params.auctionHistoryScale = 0.01;
+  const auto r = core::runExperiment(params);
+
+  EXPECT_GT(r.throughputIpm, 50.0);
+  EXPECT_GT(r.queries, 0u);
+  for (const auto& u : r.usage) {
+    EXPECT_GE(u.cpuUtilization, 0.0) << u.name;
+    EXPECT_LE(u.cpuUtilization, 1.001) << u.name;
+    EXPECT_GE(u.nicUtilization, 0.0) << u.name;
+    EXPECT_LE(u.nicUtilization, 1.001) << u.name;
+  }
+  EXPECT_GT(r.meanResponseSeconds, 0.0);
+  EXPECT_GE(r.p90ResponseSeconds, 0.0);
+  // Interaction rate cannot exceed clients / mean think time.
+  EXPECT_LT(r.throughputIpm / 60.0, 40.0 / 7.0 * 1.15);
+}
+
+std::vector<ConfigCase> allCases() {
+  std::vector<ConfigCase> cases;
+  for (auto config : core::allConfigurations()) {
+    cases.push_back({config, core::App::Bookstore, 1});
+    cases.push_back({config, core::App::Auction, 1});
+  }
+  cases.push_back({core::Configuration::WsPhpDb, core::App::Bookstore, 0});
+  cases.push_back({core::Configuration::WsPhpDb, core::App::Bookstore, 2});
+  cases.push_back({core::Configuration::WsPhpDb, core::App::Auction, 0});
+  return cases;
+}
+
+std::string caseName(const ::testing::TestParamInfo<ConfigCase>& info) {
+  std::string name = core::configurationName(info.param.config);
+  name += "_";
+  name += info.param.app == core::App::Bookstore ? "bookstore" : "auction";
+  name += "_";
+  name += core::mixName(info.param.app, info.param.mix);
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, AllConfigurationsTest, ::testing::ValuesIn(allCases()),
+                         caseName);
+
+}  // namespace
+}  // namespace mwsim

@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace mwsim::sim {
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(fromSeconds(1.0), kSecond);
+  EXPECT_EQ(fromSeconds(0.001), kMillisecond);
+  EXPECT_EQ(fromMillis(1.0), kMillisecond);
+  EXPECT_EQ(fromMicros(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(toSeconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(toMillis(kSecond), 1000.0);
+  EXPECT_EQ(fromSeconds(1.5e-9), 2);  // rounds to nearest ns
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3 * kSecond, [&] { order.push_back(3); });
+  sim.schedule(1 * kSecond, [&] { order.push_back(1); });
+  sim.schedule(2 * kSecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3 * kSecond);
+}
+
+TEST(SimulationTest, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(kSecond, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(5 * kSecond, [&] { ++fired; });
+  sim.schedule(15 * kSecond, [&] { ++fired; });
+  sim.runUntil(10 * kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10 * kSecond);
+  sim.runUntil(20 * kSecond);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, DelayAwaitable) {
+  Simulation sim;
+  SimTime woke = -1;
+  sim.spawn([](Simulation& s, SimTime& out) -> Task<> {
+    co_await s.delay(7 * kSecond);
+    out = s.now();
+  }(sim, woke));
+  sim.run();
+  EXPECT_EQ(woke, 7 * kSecond);
+}
+
+TEST(SimulationTest, TaskReturnsValue) {
+  Simulation sim;
+  int result = 0;
+  auto inner = [](Simulation& s) -> Task<int> {
+    co_await s.delay(kSecond);
+    co_return 42;
+  };
+  sim.spawn([](Simulation& s, auto inner, int& out) -> Task<> {
+    out = co_await inner(s);
+  }(sim, inner, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(SimulationTest, NestedTasksChainAcrossDelays) {
+  Simulation sim;
+  std::vector<std::string> log;
+  auto leaf = [](Simulation& s, std::vector<std::string>& l) -> Task<int> {
+    l.push_back("leaf-start");
+    co_await s.delay(kSecond);
+    l.push_back("leaf-end");
+    co_return 5;
+  };
+  auto mid = [leaf](Simulation& s, std::vector<std::string>& l) -> Task<int> {
+    l.push_back("mid-start");
+    const int v = co_await leaf(s, l);
+    co_await s.delay(kSecond);
+    l.push_back("mid-end");
+    co_return v * 2;
+  };
+  sim.spawn([mid](Simulation& s, std::vector<std::string>& l) -> Task<> {
+    const int v = co_await mid(s, l);
+    l.push_back("root-got-" + std::to_string(v));
+  }(sim, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.back(), "root-got-10");
+  EXPECT_EQ(sim.now(), 2 * kSecond);
+}
+
+TEST(SimulationTest, ExceptionInProcessPropagatesFromRun) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<> {
+    co_await s.delay(kSecond);
+    throw std::runtime_error("boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulationTest, ExceptionPropagatesThroughTaskChain) {
+  Simulation sim;
+  bool caught = false;
+  auto thrower = [](Simulation& s) -> Task<int> {
+    co_await s.delay(kSecond);
+    throw std::runtime_error("inner");
+  };
+  sim.spawn([thrower](Simulation& s, bool& c) -> Task<> {
+    try {
+      (void)co_await thrower(s);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimulationTest, ManyProcessesComplete) {
+  Simulation sim;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.spawn([](Simulation& s, int delaySec, int& d) -> Task<> {
+      co_await s.delay(delaySec * kMillisecond);
+      ++d;
+    }(sim, i % 17, done));
+  }
+  sim.run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+TEST(SimulationTest, ShutdownDestroysSuspendedProcesses) {
+  Simulation sim;
+  struct Probe {
+    bool* destroyed;
+    ~Probe() { *destroyed = true; }
+  };
+  bool destroyed = false;
+  sim.spawn([](Simulation& s, bool& d) -> Task<> {
+    Probe p{&d};
+    co_await s.delay(kHour);  // never reached within the horizon
+  }(sim, destroyed));
+  sim.runUntil(kSecond);
+  EXPECT_FALSE(destroyed);
+  EXPECT_EQ(sim.liveProcesses(), 1u);
+  sim.shutdown();
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+// ---------------------------------------------------------------- Resource
+
+Task<> holdFor(Simulation& sim, Resource& res, Duration d, std::vector<int>& order,
+               int id) {
+  ResourceHold hold = co_await res.acquire();
+  order.push_back(id);
+  co_await sim.delay(d);
+}
+
+TEST(ResourceTest, CapacityLimitsConcurrency) {
+  Simulation sim;
+  Resource res(sim, 2, "pool");
+  std::vector<int> order;
+  int maxInUse = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn([](Simulation& s, Resource& r, std::vector<int>& o, int id,
+                 int& peak) -> Task<> {
+      ResourceHold hold = co_await r.acquire();
+      o.push_back(id);
+      peak = std::max(peak, r.inUse());
+      co_await s.delay(kSecond);
+    }(sim, res, order, i, maxInUse));
+  }
+  sim.run();
+  EXPECT_EQ(order.size(), 6u);
+  EXPECT_EQ(maxInUse, 2);
+  EXPECT_EQ(res.inUse(), 0);
+  EXPECT_EQ(res.acquisitions(), 6u);
+}
+
+TEST(ResourceTest, GrantsAreFifo) {
+  Simulation sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn(holdFor(sim, res, kSecond, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, WaitTimeIsAccounted) {
+  Simulation sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  sim.spawn(holdFor(sim, res, 2 * kSecond, order, 0));
+  sim.spawn(holdFor(sim, res, kSecond, order, 1));
+  sim.run();
+  // Second process waited 2 s for the first to release.
+  EXPECT_EQ(res.totalWait(), 2 * kSecond);
+}
+
+TEST(ResourceTest, UtilizationIntegral) {
+  Simulation sim;
+  Resource res(sim, 4);
+  std::vector<int> order;
+  // Two holders for 10 s each, in parallel: integral = 20 unit-seconds.
+  sim.spawn(holdFor(sim, res, 10 * kSecond, order, 0));
+  sim.spawn(holdFor(sim, res, 10 * kSecond, order, 1));
+  sim.run();
+  EXPECT_NEAR(res.busyUnitSeconds(), 20.0, 1e-6);
+}
+
+TEST(ResourceTest, EarlyReleaseViaHold) {
+  Simulation sim;
+  Resource res(sim, 1);
+  bool secondRan = false;
+  sim.spawn([](Simulation& s, Resource& r) -> Task<> {
+    ResourceHold hold = co_await r.acquire();
+    hold.release();
+    co_await s.delay(10 * kSecond);  // holds nothing while sleeping
+  }(sim, res));
+  sim.spawn([](Simulation& s, Resource& r, bool& ran) -> Task<> {
+    co_await s.delay(kSecond);
+    ResourceHold hold = co_await r.acquire();
+    ran = true;
+    co_await s.delay(kSecond);
+  }(sim, res, secondRan));
+  sim.runUntil(3 * kSecond);
+  EXPECT_TRUE(secondRan);
+  sim.shutdown();
+}
+
+TEST(ResourceTest, ShutdownWithQueuedWaitersIsClean) {
+  Simulation sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) sim.spawn(holdFor(sim, res, kHour, order, i));
+  sim.runUntil(kSecond);
+  EXPECT_EQ(order.size(), 1u);
+  sim.shutdown();  // must not crash or resume stale handles
+}
+
+// --------------------------------------------------------------- CpuResource
+
+Task<> burn(Simulation& sim, CpuResource& cpu, Duration work, SimTime& doneAt) {
+  co_await cpu.consume(work);
+  doneAt = sim.now();
+}
+
+TEST(CpuTest, SingleJobRunsAtFullRate) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime done = 0;
+  sim.spawn(burn(sim, cpu, 3 * kSecond, done));
+  sim.run();
+  EXPECT_NEAR(toSeconds(done), 3.0, 1e-6);
+}
+
+TEST(CpuTest, TwoJobsShareOneCore) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime doneA = 0;
+  SimTime doneB = 0;
+  sim.spawn(burn(sim, cpu, kSecond, doneA));
+  sim.spawn(burn(sim, cpu, kSecond, doneB));
+  sim.run();
+  // Each has 1 s of demand but shares the core: both finish at ~2 s.
+  EXPECT_NEAR(toSeconds(doneA), 2.0, 1e-3);
+  EXPECT_NEAR(toSeconds(doneB), 2.0, 1e-3);
+}
+
+TEST(CpuTest, ShortJobFinishesFirstUnderSharing) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime doneShort = 0;
+  SimTime doneLong = 0;
+  sim.spawn(burn(sim, cpu, 3 * kSecond, doneLong));
+  sim.spawn(burn(sim, cpu, kSecond, doneShort));
+  sim.run();
+  // Short job: shares until it has 1 s of service => finishes at 2 s.
+  EXPECT_NEAR(toSeconds(doneShort), 2.0, 1e-3);
+  // Long job: 1 s served by t=2, then runs alone for remaining 2 s => 4 s.
+  EXPECT_NEAR(toSeconds(doneLong), 4.0, 1e-3);
+}
+
+TEST(CpuTest, TwoCoresRunTwoJobsAtFullRate) {
+  Simulation sim;
+  CpuResource cpu(sim, 2);
+  SimTime doneA = 0;
+  SimTime doneB = 0;
+  sim.spawn(burn(sim, cpu, kSecond, doneA));
+  sim.spawn(burn(sim, cpu, kSecond, doneB));
+  sim.run();
+  EXPECT_NEAR(toSeconds(doneA), 1.0, 1e-3);
+  EXPECT_NEAR(toSeconds(doneB), 1.0, 1e-3);
+}
+
+TEST(CpuTest, LateArrivalSlowsExistingJob) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime doneA = 0;
+  SimTime doneB = 0;
+  sim.spawn(burn(sim, cpu, 2 * kSecond, doneA));
+  sim.spawn([](Simulation& s, CpuResource& c, SimTime& done) -> Task<> {
+    co_await s.delay(kSecond);
+    co_await c.consume(kSecond);
+    done = s.now();
+  }(sim, cpu, doneB));
+  sim.run();
+  // A runs alone [0,1) (1 s served), shares [1,3) (0.5 s/s) => done at 3 s.
+  EXPECT_NEAR(toSeconds(doneA), 3.0, 1e-3);
+  // B arrives at 1 s, gets 0.5 s/s while sharing with A until 3 s (1 s
+  // served) => done at 3 s.
+  EXPECT_NEAR(toSeconds(doneB), 3.0, 1e-3);
+}
+
+TEST(CpuTest, BusyIntegralMatchesDemand) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime d1 = 0;
+  SimTime d2 = 0;
+  SimTime d3 = 0;
+  sim.spawn(burn(sim, cpu, kSecond, d1));
+  sim.spawn(burn(sim, cpu, 2 * kSecond, d2));
+  sim.spawn(burn(sim, cpu, 500 * kMillisecond, d3));
+  sim.run();
+  // Total busy core-seconds equals total demand (single core, work-conserving).
+  EXPECT_NEAR(cpu.busyCoreSeconds(), 3.5, 1e-3);
+  EXPECT_EQ(cpu.jobsCompleted(), 3u);
+  EXPECT_EQ(cpu.activeJobs(), 0);
+}
+
+TEST(CpuTest, ManyJobsConserveWork) {
+  Simulation sim;
+  CpuResource cpu(sim, 4);
+  double totalDemand = 0.0;
+  SimTime sink = 0;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Duration w = fromMillis(rng.uniformReal(0.1, 50.0));
+    totalDemand += toSeconds(w);
+    sim.spawn([](Simulation& s, CpuResource& c, Duration work, Duration start,
+                 SimTime& out) -> Task<> {
+      co_await s.delay(start);
+      co_await c.consume(work);
+      out = s.now();
+    }(sim, cpu, w, fromMillis(rng.uniformReal(0.0, 100.0)), sink));
+  }
+  sim.run();
+  EXPECT_EQ(cpu.jobsCompleted(), 200u);
+  EXPECT_NEAR(cpu.busyCoreSeconds(), totalDemand, totalDemand * 1e-6 + 1e-5);
+}
+
+TEST(CpuTest, ZeroWorkCompletesImmediately) {
+  Simulation sim;
+  CpuResource cpu(sim, 1);
+  SimTime done = -1;
+  sim.spawn(burn(sim, cpu, 0, done));
+  sim.run();
+  EXPECT_EQ(done, 0);
+}
+
+// ------------------------------------------------------------------ RwLock
+
+TEST(RwLockTest, ReadersShare) {
+  Simulation sim;
+  RwLock lock(sim);
+  int concurrentPeak = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulation& s, RwLock& l, int& peak) -> Task<> {
+      LockHold h = co_await l.lockRead();
+      peak = std::max(peak, l.activeReaders());
+      co_await s.delay(kSecond);
+    }(sim, lock, concurrentPeak));
+  }
+  sim.run();
+  EXPECT_EQ(concurrentPeak, 4);
+}
+
+TEST(RwLockTest, WriterExcludesReaders) {
+  Simulation sim;
+  RwLock lock(sim);
+  std::vector<std::string> log;
+  sim.spawn([](Simulation& s, RwLock& l, std::vector<std::string>& lg) -> Task<> {
+    LockHold h = co_await l.lockWrite();
+    lg.push_back("w-start");
+    co_await s.delay(2 * kSecond);
+    lg.push_back("w-end");
+  }(sim, lock, log));
+  sim.spawn([](Simulation& s, RwLock& l, std::vector<std::string>& lg) -> Task<> {
+    co_await s.delay(kSecond);
+    LockHold h = co_await l.lockRead();
+    lg.push_back("r");
+  }(sim, lock, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"w-start", "w-end", "r"}));
+}
+
+TEST(RwLockTest, WriterPriorityBlocksNewReaders) {
+  Simulation sim;
+  RwLock lock(sim);
+  std::vector<std::string> log;
+  // Reader holds the lock [0, 2s).
+  sim.spawn([](Simulation& s, RwLock& l, std::vector<std::string>& lg) -> Task<> {
+    LockHold h = co_await l.lockRead();
+    lg.push_back("r1-start");
+    co_await s.delay(2 * kSecond);
+  }(sim, lock, log));
+  // Writer arrives at 1 s and must wait for r1.
+  sim.spawn([](Simulation& s, RwLock& l, std::vector<std::string>& lg) -> Task<> {
+    co_await s.delay(kSecond);
+    LockHold h = co_await l.lockWrite();
+    lg.push_back("w");
+    co_await s.delay(kSecond);
+  }(sim, lock, log));
+  // Reader r2 arrives at 1.5 s. Without writer priority it would join r1;
+  // with writer priority it queues behind the writer.
+  sim.spawn([](Simulation& s, RwLock& l, std::vector<std::string>& lg) -> Task<> {
+    co_await s.delay(1500 * kMillisecond);
+    LockHold h = co_await l.lockRead();
+    lg.push_back("r2");
+  }(sim, lock, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"r1-start", "w", "r2"}));
+  EXPECT_EQ(lock.contendedAcquisitions(), 2u);
+}
+
+TEST(RwLockTest, WriteUnlockWakesAllQueuedReaders) {
+  Simulation sim;
+  RwLock lock(sim);
+  int readersAtOnce = 0;
+  sim.spawn([](Simulation& s, RwLock& l) -> Task<> {
+    LockHold h = co_await l.lockWrite();
+    co_await s.delay(kSecond);
+  }(sim, lock));
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulation& s, RwLock& l, int& peak) -> Task<> {
+      co_await s.delay(kMillisecond);
+      LockHold h = co_await l.lockRead();
+      peak = std::max(peak, l.activeReaders());
+      co_await s.delay(kSecond);
+    }(sim, lock, readersAtOnce));
+  }
+  sim.run();
+  EXPECT_EQ(readersAtOnce, 3);
+}
+
+TEST(RwLockTest, WaitTimeAccounting) {
+  Simulation sim;
+  RwLock lock(sim);
+  sim.spawn([](Simulation& s, RwLock& l) -> Task<> {
+    LockHold h = co_await l.lockWrite();
+    co_await s.delay(5 * kSecond);
+  }(sim, lock));
+  sim.spawn([](Simulation& s, RwLock& l) -> Task<> {
+    co_await s.delay(kSecond);
+    LockHold h = co_await l.lockRead();
+  }(sim, lock));
+  sim.run();
+  EXPECT_EQ(lock.totalWait(), 4 * kSecond);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(7.0);
+  EXPECT_NEAR(sum / n, 7.0, 0.1);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(3);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.zipf(1000, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 1000);
+    if (v == 1) ++ones;
+  }
+  // P(1) for zipf(1000, 1.0) is ~1/H_1000 ~ 0.133.
+  EXPECT_GT(ones, n / 20);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(4);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(100, 0.0) <= 50) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.02);
+}
+
+TEST(RngTest, DiscretePicksByWeight) {
+  Rng rng(5);
+  const std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.discrete(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(RngTest, NurandInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.nurand(255, 1, 1000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DerivedSeedsDiffer) {
+  const auto s1 = deriveSeed(1, 1);
+  const auto s2 = deriveSeed(1, 2);
+  const auto s3 = deriveSeed(2, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(s1, deriveSeed(1, 1));
+}
+
+TEST(RngTest, RandomStringLengthAndCharset) {
+  Rng rng(11);
+  const std::string s = rng.randomString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace mwsim::sim
