@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ajp_cost.dir/abl_ajp_cost.cpp.o"
+  "CMakeFiles/abl_ajp_cost.dir/abl_ajp_cost.cpp.o.d"
+  "abl_ajp_cost"
+  "abl_ajp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ajp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_driver_cost.dir/abl_driver_cost.cpp.o"
+  "CMakeFiles/abl_driver_cost.dir/abl_driver_cost.cpp.o.d"
+  "abl_driver_cost"
+  "abl_driver_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_driver_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

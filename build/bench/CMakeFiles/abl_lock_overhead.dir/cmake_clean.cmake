@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lock_overhead.dir/abl_lock_overhead.cpp.o"
+  "CMakeFiles/abl_lock_overhead.dir/abl_lock_overhead.cpp.o.d"
+  "abl_lock_overhead"
+  "abl_lock_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lock_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_query_cost.cpp" "bench/CMakeFiles/abl_query_cost.dir/abl_query_cost.cpp.o" "gcc" "bench/CMakeFiles/abl_query_cost.dir/abl_query_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mwsim_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mwsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mwsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mwsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mwsim_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mwsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_query_cost.dir/abl_query_cost.cpp.o"
+  "CMakeFiles/abl_query_cost.dir/abl_query_cost.cpp.o.d"
+  "abl_query_cost"
+  "abl_query_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_query_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

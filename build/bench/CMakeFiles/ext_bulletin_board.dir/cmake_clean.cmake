@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bulletin_board.dir/ext_bulletin_board.cpp.o"
+  "CMakeFiles/ext_bulletin_board.dir/ext_bulletin_board.cpp.o.d"
+  "ext_bulletin_board"
+  "ext_bulletin_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bulletin_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

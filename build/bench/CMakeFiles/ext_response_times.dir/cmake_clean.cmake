@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_response_times.dir/ext_response_times.cpp.o"
+  "CMakeFiles/ext_response_times.dir/ext_response_times.cpp.o.d"
+  "ext_response_times"
+  "ext_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

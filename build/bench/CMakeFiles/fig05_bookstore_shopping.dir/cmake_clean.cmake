@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bookstore_shopping.dir/fig05_bookstore_shopping.cpp.o"
+  "CMakeFiles/fig05_bookstore_shopping.dir/fig05_bookstore_shopping.cpp.o.d"
+  "fig05_bookstore_shopping"
+  "fig05_bookstore_shopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bookstore_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

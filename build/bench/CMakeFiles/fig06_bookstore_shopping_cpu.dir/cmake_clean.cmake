@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bookstore_shopping_cpu.dir/fig06_bookstore_shopping_cpu.cpp.o"
+  "CMakeFiles/fig06_bookstore_shopping_cpu.dir/fig06_bookstore_shopping_cpu.cpp.o.d"
+  "fig06_bookstore_shopping_cpu"
+  "fig06_bookstore_shopping_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bookstore_shopping_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

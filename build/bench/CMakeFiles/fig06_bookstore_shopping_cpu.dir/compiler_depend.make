@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_bookstore_shopping_cpu.
+# This may be replaced when dependencies are built.

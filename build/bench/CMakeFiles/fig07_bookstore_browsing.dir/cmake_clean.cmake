@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bookstore_browsing.dir/fig07_bookstore_browsing.cpp.o"
+  "CMakeFiles/fig07_bookstore_browsing.dir/fig07_bookstore_browsing.cpp.o.d"
+  "fig07_bookstore_browsing"
+  "fig07_bookstore_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bookstore_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bookstore_browsing_cpu.dir/fig08_bookstore_browsing_cpu.cpp.o"
+  "CMakeFiles/fig08_bookstore_browsing_cpu.dir/fig08_bookstore_browsing_cpu.cpp.o.d"
+  "fig08_bookstore_browsing_cpu"
+  "fig08_bookstore_browsing_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bookstore_browsing_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_bookstore_browsing_cpu.
+# This may be replaced when dependencies are built.

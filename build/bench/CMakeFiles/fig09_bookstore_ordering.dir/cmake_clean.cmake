@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bookstore_ordering.dir/fig09_bookstore_ordering.cpp.o"
+  "CMakeFiles/fig09_bookstore_ordering.dir/fig09_bookstore_ordering.cpp.o.d"
+  "fig09_bookstore_ordering"
+  "fig09_bookstore_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bookstore_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

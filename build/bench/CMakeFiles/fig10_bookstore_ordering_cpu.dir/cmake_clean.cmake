@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bookstore_ordering_cpu.dir/fig10_bookstore_ordering_cpu.cpp.o"
+  "CMakeFiles/fig10_bookstore_ordering_cpu.dir/fig10_bookstore_ordering_cpu.cpp.o.d"
+  "fig10_bookstore_ordering_cpu"
+  "fig10_bookstore_ordering_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bookstore_ordering_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

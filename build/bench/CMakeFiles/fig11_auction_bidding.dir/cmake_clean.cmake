@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_auction_bidding.dir/fig11_auction_bidding.cpp.o"
+  "CMakeFiles/fig11_auction_bidding.dir/fig11_auction_bidding.cpp.o.d"
+  "fig11_auction_bidding"
+  "fig11_auction_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_auction_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_auction_bidding_cpu.dir/fig12_auction_bidding_cpu.cpp.o"
+  "CMakeFiles/fig12_auction_bidding_cpu.dir/fig12_auction_bidding_cpu.cpp.o.d"
+  "fig12_auction_bidding_cpu"
+  "fig12_auction_bidding_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_auction_bidding_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

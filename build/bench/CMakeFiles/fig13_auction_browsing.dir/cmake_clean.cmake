@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_auction_browsing.dir/fig13_auction_browsing.cpp.o"
+  "CMakeFiles/fig13_auction_browsing.dir/fig13_auction_browsing.cpp.o.d"
+  "fig13_auction_browsing"
+  "fig13_auction_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_auction_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_auction_browsing_cpu.dir/fig14_auction_browsing_cpu.cpp.o"
+  "CMakeFiles/fig14_auction_browsing_cpu.dir/fig14_auction_browsing_cpu.cpp.o.d"
+  "fig14_auction_browsing_cpu"
+  "fig14_auction_browsing_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_auction_browsing_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

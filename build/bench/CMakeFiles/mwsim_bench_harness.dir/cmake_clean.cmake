@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/mwsim_bench_harness.dir/harness.cpp.o.d"
+  "libmwsim_bench_harness.a"
+  "libmwsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

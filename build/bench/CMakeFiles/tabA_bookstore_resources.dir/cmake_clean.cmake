@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabA_bookstore_resources.dir/tabA_bookstore_resources.cpp.o"
+  "CMakeFiles/tabA_bookstore_resources.dir/tabA_bookstore_resources.cpp.o.d"
+  "tabA_bookstore_resources"
+  "tabA_bookstore_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabA_bookstore_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabB_auction_resources.dir/tabB_auction_resources.cpp.o"
+  "CMakeFiles/tabB_auction_resources.dir/tabB_auction_resources.cpp.o.d"
+  "tabB_auction_resources"
+  "tabB_auction_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabB_auction_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

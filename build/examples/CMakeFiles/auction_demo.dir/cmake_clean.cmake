@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_demo.dir/auction_demo.cpp.o"
+  "CMakeFiles/auction_demo.dir/auction_demo.cpp.o.d"
+  "auction_demo"
+  "auction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/auction/auction.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/auction/auction.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/auction/auction.cpp.o.d"
+  "/root/repo/src/apps/auction/auction_ejb.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/auction/auction_ejb.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/auction/auction_ejb.cpp.o.d"
+  "/root/repo/src/apps/auction/schema.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/auction/schema.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/auction/schema.cpp.o.d"
+  "/root/repo/src/apps/bbs/bbs.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/bbs/bbs.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/bbs/bbs.cpp.o.d"
+  "/root/repo/src/apps/bbs/schema.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/bbs/schema.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/bbs/schema.cpp.o.d"
+  "/root/repo/src/apps/bookstore/bookstore.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/bookstore.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/bookstore.cpp.o.d"
+  "/root/repo/src/apps/bookstore/bookstore_ejb.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/bookstore_ejb.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/bookstore_ejb.cpp.o.d"
+  "/root/repo/src/apps/bookstore/schema.cpp" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/schema.cpp.o" "gcc" "src/apps/CMakeFiles/mwsim_apps.dir/bookstore/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/mwsim_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mwsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mwsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_apps.dir/auction/auction.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/auction/auction.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/auction/auction_ejb.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/auction/auction_ejb.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/auction/schema.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/auction/schema.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/bbs/bbs.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/bbs/bbs.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/bbs/schema.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/bbs/schema.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/bookstore/bookstore.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/bookstore/bookstore.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/bookstore/bookstore_ejb.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/bookstore/bookstore_ejb.cpp.o.d"
+  "CMakeFiles/mwsim_apps.dir/bookstore/schema.cpp.o"
+  "CMakeFiles/mwsim_apps.dir/bookstore/schema.cpp.o.d"
+  "libmwsim_apps.a"
+  "libmwsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

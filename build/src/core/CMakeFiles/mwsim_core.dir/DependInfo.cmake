@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/mwsim_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/mwsim_core.dir/experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mwsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mwsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mwsim_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mwsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_core.dir/experiment.cpp.o"
+  "CMakeFiles/mwsim_core.dir/experiment.cpp.o.d"
+  "libmwsim_core.a"
+  "libmwsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_db.dir/executor.cpp.o"
+  "CMakeFiles/mwsim_db.dir/executor.cpp.o.d"
+  "CMakeFiles/mwsim_db.dir/lexer.cpp.o"
+  "CMakeFiles/mwsim_db.dir/lexer.cpp.o.d"
+  "CMakeFiles/mwsim_db.dir/parser.cpp.o"
+  "CMakeFiles/mwsim_db.dir/parser.cpp.o.d"
+  "CMakeFiles/mwsim_db.dir/table.cpp.o"
+  "CMakeFiles/mwsim_db.dir/table.cpp.o.d"
+  "CMakeFiles/mwsim_db.dir/value.cpp.o"
+  "CMakeFiles/mwsim_db.dir/value.cpp.o.d"
+  "libmwsim_db.a"
+  "libmwsim_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/database_server.cpp" "src/middleware/CMakeFiles/mwsim_middleware.dir/database_server.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsim_middleware.dir/database_server.cpp.o.d"
+  "/root/repo/src/middleware/ejb.cpp" "src/middleware/CMakeFiles/mwsim_middleware.dir/ejb.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsim_middleware.dir/ejb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/mwsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mwsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_middleware.dir/database_server.cpp.o"
+  "CMakeFiles/mwsim_middleware.dir/database_server.cpp.o.d"
+  "CMakeFiles/mwsim_middleware.dir/ejb.cpp.o"
+  "CMakeFiles/mwsim_middleware.dir/ejb.cpp.o.d"
+  "libmwsim_middleware.a"
+  "libmwsim_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_sim.dir/cpu.cpp.o"
+  "CMakeFiles/mwsim_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/mwsim_sim.dir/random.cpp.o"
+  "CMakeFiles/mwsim_sim.dir/random.cpp.o.d"
+  "CMakeFiles/mwsim_sim.dir/resource.cpp.o"
+  "CMakeFiles/mwsim_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/mwsim_sim.dir/rwlock.cpp.o"
+  "CMakeFiles/mwsim_sim.dir/rwlock.cpp.o.d"
+  "CMakeFiles/mwsim_sim.dir/simulation.cpp.o"
+  "CMakeFiles/mwsim_sim.dir/simulation.cpp.o.d"
+  "libmwsim_sim.a"
+  "libmwsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

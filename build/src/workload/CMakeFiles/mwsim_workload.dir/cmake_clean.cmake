@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsim_workload.dir/mix.cpp.o"
+  "CMakeFiles/mwsim_workload.dir/mix.cpp.o.d"
+  "libmwsim_workload.a"
+  "libmwsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

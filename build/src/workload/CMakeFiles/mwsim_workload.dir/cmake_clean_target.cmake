@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmwsim_workload.a"
+)
