@@ -19,18 +19,24 @@ int main(int argc, char** argv) {
   std::printf("== Ablation: AJP per-byte relay cost (auction, bidding mix, 1100 clients) ==\n\n");
 
   stats::TextTable table({"ajpPerByteUs", "WsPhp-DB", "WsServlet-DB", "Ws-Servlet-DB"});
-  for (double ajp : {0.0, 0.03, 0.10, 0.30}) {
-    std::vector<std::string> row{stats::fmt(ajp, 2)};
-    for (auto config : {core::Configuration::WsPhpDb, core::Configuration::WsServletDb,
-                        core::Configuration::WsServletSepDb}) {
-      core::ExperimentParams params = opts.baseParams(spec);
-      params.config = config;
-      params.clients = 1100;
+  const std::vector<double> ajpCosts{0.0, 0.03, 0.10, 0.30};
+  const std::vector<core::Configuration> configs{core::Configuration::WsPhpDb,
+                                                 core::Configuration::WsServletDb,
+                                                 core::Configuration::WsServletSepDb};
+  std::vector<core::ExperimentParams> points;
+  for (double ajp : ajpCosts) {
+    for (auto config : configs) {
+      core::ExperimentParams params =
+          core::pointParams(opts.baseParams(spec), config, 1100);
       params.cost.ajpPerByteUs = ajp;
-      const auto r = core::runExperiment(params);
-      row.push_back(stats::fmt(r.throughputIpm, 0));
-      std::fprintf(stderr, "  ajp=%.2f %s: %.0f ipm\n", ajp,
-                   core::configurationName(config), r.throughputIpm);
+      points.push_back(params);
+    }
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t a = 0; a < ajpCosts.size(); ++a) {
+    std::vector<std::string> row{stats::fmt(ajpCosts[a], 2)};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      row.push_back(stats::fmt(results[a * configs.size() + c].throughputIpm, 0));
     }
     table.addRow(row);
   }

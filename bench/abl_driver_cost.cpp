@@ -17,19 +17,25 @@ int main(int argc, char** argv) {
   std::printf(
       "== Ablation: type-4 JDBC per-query cost (auction, bidding mix, 1100 clients) ==\n\n");
 
-  core::ExperimentParams params = opts.baseParams(spec);
-  params.clients = 1100;
-  params.config = core::Configuration::WsPhpDb;
-  const auto php = core::runExperiment(params);
+  const std::vector<double> jdbcCosts{90.0, 280.0, 560.0, 1120.0};
+  std::vector<core::ExperimentParams> points;
+  points.push_back(
+      core::pointParams(opts.baseParams(spec), core::Configuration::WsPhpDb, 1100));
+  for (double jdbc : jdbcCosts) {
+    core::ExperimentParams params =
+        core::pointParams(opts.baseParams(spec), core::Configuration::WsServletDb, 1100);
+    params.cost.jdbcPerQueryUs = jdbc;
+    points.push_back(params);
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+
+  const auto& php = results[0];
   std::printf("WsPhp-DB baseline (native driver): %.0f ipm\n\n", php.throughputIpm);
 
   stats::TextTable table({"jdbcPerQueryUs", "WsServlet-DB ipm", "PHP/servlet ratio"});
-  for (double jdbc : {90.0, 280.0, 560.0, 1120.0}) {
-    params.config = core::Configuration::WsServletDb;
-    params.cost.jdbcPerQueryUs = jdbc;
-    const auto servlet = core::runExperiment(params);
-    std::fprintf(stderr, "  jdbc=%.0f servlet %.0f\n", jdbc, servlet.throughputIpm);
-    table.addRow({stats::fmt(jdbc, 0), stats::fmt(servlet.throughputIpm, 0),
+  for (std::size_t i = 0; i < jdbcCosts.size(); ++i) {
+    const auto& servlet = results[i + 1];
+    table.addRow({stats::fmt(jdbcCosts[i], 0), stats::fmt(servlet.throughputIpm, 0),
                   stats::fmt(php.throughputIpm / servlet.throughputIpm, 2)});
   }
   std::printf("%s\nexpected: the ratio crosses the paper's ~1.33 near the calibrated "

@@ -20,19 +20,22 @@ int main(int argc, char** argv) {
 
   stats::TextTable table(
       {"dbLockPerTableUs", "WsPhp-DB", "WsServlet-DB(sync)", "sync advantage"});
-  for (double lockUs : {0.0, 1300.0, 2600.0, 5200.0}) {
-    core::ExperimentParams params = opts.baseParams(spec);
-    params.clients = 700;
-    params.cost.dbLockPerTableUs = lockUs;
-
-    params.config = core::Configuration::WsPhpDb;
-    const auto php = core::runExperiment(params);
-    params.config = core::Configuration::WsServletDbSync;
-    const auto sync = core::runExperiment(params);
-    std::fprintf(stderr, "  lock=%.0fus php %.0f sync %.0f\n", lockUs, php.throughputIpm,
-                 sync.throughputIpm);
-
-    table.addRow({stats::fmt(lockUs, 0), stats::fmt(php.throughputIpm, 0),
+  const std::vector<double> lockCosts{0.0, 1300.0, 2600.0, 5200.0};
+  std::vector<core::ExperimentParams> points;
+  for (double lockUs : lockCosts) {
+    for (auto config :
+         {core::Configuration::WsPhpDb, core::Configuration::WsServletDbSync}) {
+      core::ExperimentParams params =
+          core::pointParams(opts.baseParams(spec), config, 700);
+      params.cost.dbLockPerTableUs = lockUs;
+      points.push_back(params);
+    }
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t i = 0; i < lockCosts.size(); ++i) {
+    const auto& php = results[2 * i];
+    const auto& sync = results[2 * i + 1];
+    table.addRow({stats::fmt(lockCosts[i], 0), stats::fmt(php.throughputIpm, 0),
                   stats::fmt(sync.throughputIpm, 0),
                   stats::fmt((sync.throughputIpm / php.throughputIpm - 1.0) * 100, 1) + "%"});
   }

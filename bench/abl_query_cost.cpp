@@ -16,29 +16,30 @@ int main(int argc, char** argv) {
       "auction bidding 1100 clients) ==\n\n");
 
   stats::TextTable table({"dbPerRowExaminedUs", "bookstore ipm", "auction ipm"});
-  for (double perRow : {2.25, 4.5, 9.0, 18.0}) {
+  const std::vector<double> rowCosts{2.25, 4.5, 9.0, 18.0};
+  std::vector<core::ExperimentParams> points;
+  for (double perRow : rowCosts) {
     bench::FigureSpec book;
     book.app = core::App::Bookstore;
     book.mix = 1;
-    core::ExperimentParams params = opts.baseParams(book);
-    params.config = core::Configuration::WsPhpDb;
-    params.clients = 700;
+    core::ExperimentParams params =
+        core::pointParams(opts.baseParams(book), core::Configuration::WsPhpDb, 700);
     params.cost.dbPerRowExaminedUs = perRow;
-    const auto bookstore = core::runExperiment(params);
+    points.push_back(params);
 
     bench::FigureSpec auction;
     auction.app = core::App::Auction;
     auction.mix = 1;
-    core::ExperimentParams aParams = opts.baseParams(auction);
-    aParams.config = core::Configuration::WsPhpDb;
-    aParams.clients = 1100;
+    core::ExperimentParams aParams =
+        core::pointParams(opts.baseParams(auction), core::Configuration::WsPhpDb, 1100);
     aParams.cost.dbPerRowExaminedUs = perRow;
-    const auto auctionR = core::runExperiment(aParams);
-
-    std::fprintf(stderr, "  perRow=%.2f bookstore %.0f auction %.0f\n", perRow,
-                 bookstore.throughputIpm, auctionR.throughputIpm);
-    table.addRow({stats::fmt(perRow, 2), stats::fmt(bookstore.throughputIpm, 0),
-                  stats::fmt(auctionR.throughputIpm, 0)});
+    points.push_back(aParams);
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t i = 0; i < rowCosts.size(); ++i) {
+    table.addRow({stats::fmt(rowCosts[i], 2),
+                  stats::fmt(results[2 * i].throughputIpm, 0),
+                  stats::fmt(results[2 * i + 1].throughputIpm, 0)});
   }
   std::printf("%s\nexpected: the database-bound bookstore scales inversely with the "
               "row cost; the auction site, whose bottleneck is the content "

@@ -24,19 +24,21 @@ int main(int argc, char** argv) {
       core::Configuration::WsPhpDb, core::Configuration::WsServletSepDb,
       core::Configuration::WsServletEjbDb};
   stats::TextTable table({"clients", "config", "ipm", "mean RT ms", "p90 RT ms"});
-  for (int clients : {400, 800, 1200, 1600}) {
+  const std::vector<int> clientCounts{400, 800, 1200, 1600};
+  std::vector<core::ExperimentParams> points;
+  for (int clients : clientCounts) {
     for (auto config : configs) {
-      core::ExperimentParams params = opts.baseParams(spec);
-      params.config = config;
-      params.clients = clients;
-      const auto r = core::runExperiment(params);
-      std::fprintf(stderr, "  %s %d: %.0f ipm\n", core::configurationName(config),
-                   clients, r.throughputIpm);
-      table.addRow({std::to_string(clients), core::configurationName(config),
-                    stats::fmt(r.throughputIpm, 0),
-                    stats::fmt(r.meanResponseSeconds * 1e3, 0),
-                    stats::fmt(r.p90ResponseSeconds * 1e3, 0)});
+      points.push_back(core::pointParams(opts.baseParams(spec), config, clients));
     }
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    table.addRow({std::to_string(points[i].clients),
+                  core::configurationName(points[i].config),
+                  stats::fmt(r.throughputIpm, 0),
+                  stats::fmt(r.meanResponseSeconds * 1e3, 0),
+                  stats::fmt(r.p90ResponseSeconds * 1e3, 0)});
   }
   std::printf("%s\nexpected: every architecture answers in tens of milliseconds until "
               "its knee, then queueing dominates; EJB's latency departs first (lowest "

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/parallel.hpp"
 #include "stats/report.hpp"
 
 namespace mwsim::bench {
@@ -35,9 +36,12 @@ std::vector<int> thin(const std::vector<int>& points) {
 void printHeader(const FigureSpec& spec, const BenchOptions& opts) {
   std::printf("== %s: %s ==\n", spec.id, spec.title);
   std::printf("paper: %s\n", spec.paperExpectation);
+  // The jobs count deliberately stays out of stdout: output is byte-identical
+  // for any --jobs value, so it goes to stderr with the progress lines.
   std::printf("(measure %.0fs, ramp-up %.0fs, seed %llu%s)\n\n", opts.measureSec,
               opts.rampUpSec, static_cast<unsigned long long>(opts.seed),
               opts.fullScale ? ", full-scale database" : "");
+  if (opts.jobs > 1) std::fprintf(stderr, "  (--jobs %d worker threads)\n", opts.jobs);
   std::fflush(stdout);
 }
 
@@ -50,10 +54,26 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   if (const char* v = argValue(argc, argv, "--seed")) {
     opts.seed = static_cast<std::uint64_t>(std::atoll(v));
   }
+  if (const char* v = argValue(argc, argv, "--jobs")) {
+    opts.jobs = std::atoi(v);
+    if (opts.jobs <= 0) opts.jobs = core::defaultJobCount();
+  }
   opts.quick = argPresent(argc, argv, "--quick");
   opts.csv = argPresent(argc, argv, "--csv");
   opts.fullScale = argPresent(argc, argv, "--full-scale");
   return opts;
+}
+
+core::SweepOptions BenchOptions::sweepOptions() const {
+  core::SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.onResult = [](std::size_t, const core::ExperimentParams& params,
+                      const core::ExperimentResult& result) {
+    std::fprintf(stderr, "  [%s %d clients] %.0f ipm\n",
+                 core::configurationName(params.config), params.clients,
+                 result.throughputIpm);
+  };
+  return sweep;
 }
 
 core::ExperimentParams BenchOptions::baseParams(const FigureSpec& spec) const {
@@ -81,18 +101,11 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
   stats::CsvWriter csv(headers);
 
   // throughput[config][point]
+  const auto grid =
+      core::sweepGrid(opts.baseParams(spec), spec.configs, points, opts.sweepOptions());
   std::vector<std::vector<double>> curves(spec.configs.size());
   for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
-    core::ExperimentParams params = opts.baseParams(spec);
-    params.config = spec.configs[ci];
-    for (int clients : points) {
-      params.clients = clients;
-      const auto result = core::runExperiment(params);
-      curves[ci].push_back(result.throughputIpm);
-      std::fprintf(stderr, "  [%s %d clients] %.0f ipm\n",
-                   core::configurationName(params.config), clients,
-                   result.throughputIpm);
-    }
+    for (const auto& result : grid[ci]) curves[ci].push_back(result.throughputIpm);
   }
 
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -132,19 +145,17 @@ int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
   const std::vector<int> candidates =
       opts.quick ? thin(spec.peakCandidates) : spec.peakCandidates;
 
-  for (auto config : spec.configs) {
-    core::ExperimentParams params = opts.baseParams(spec);
-    params.config = config;
+  const auto grid = core::sweepGrid(opts.baseParams(spec), spec.configs, candidates,
+                                    opts.sweepOptions());
+  for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+    const auto config = spec.configs[ci];
     core::ExperimentResult best;
     int bestClients = 0;
-    for (int clients : candidates) {
-      params.clients = clients;
-      auto result = core::runExperiment(params);
-      std::fprintf(stderr, "  [%s %d clients] %.0f ipm\n", core::configurationName(config),
-                   clients, result.throughputIpm);
-      if (result.throughputIpm > best.throughputIpm) {
-        best = std::move(result);
-        bestClients = clients;
+    // Same first-strict-maximum scan as the sequential loop used.
+    for (std::size_t p = 0; p < candidates.size(); ++p) {
+      if (grid[ci][p].throughputIpm > best.throughputIpm) {
+        best = grid[ci][p];
+        bestClients = candidates[p];
       }
     }
     auto cell = [&](const char* machine) -> std::string {

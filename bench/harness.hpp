@@ -30,21 +30,29 @@ struct FigureSpec {
 
 /// Common CLI options for all benches:
 ///   --measure-sec N   measurement window (default 60)
-///   --rampup-sec N    ramp-up (default 40)
+///   --rampup-sec N    ramp-up (default: the core ExperimentParams default)
 ///   --seed N
+///   --jobs N          worker threads for independent sweep points
+///                     (default 1 = sequential; 0 = one per hardware thread).
+///                     Output is byte-identical for every jobs value.
 ///   --quick           halve the sweep points
 ///   --csv             also emit CSV
 ///   --full-scale      paper-sized database history tables
 struct BenchOptions {
   double measureSec = 60;
-  double rampUpSec = 40;
+  /// Single source of truth is ExperimentParams::rampUp; this only exists
+  /// so --rampup-sec can override it.
+  double rampUpSec = sim::toSeconds(core::ExperimentParams{}.rampUp);
   std::uint64_t seed = 1;
+  int jobs = 1;
   bool quick = false;
   bool csv = false;
   bool fullScale = false;
 
   static BenchOptions parse(int argc, char** argv);
   core::ExperimentParams baseParams(const FigureSpec& spec) const;
+  /// SweepOptions carrying --jobs plus a stderr per-point progress printer.
+  core::SweepOptions sweepOptions() const;
 };
 
 /// Runs a throughput-vs-clients figure: one curve per configuration.

@@ -22,14 +22,19 @@ int main(int argc, char** argv) {
   const auto opts = bench::BenchOptions::parse(argc, argv);
   std::printf("== %s: %s ==\npaper: %s\n\n", spec.id, spec.title, spec.paperExpectation);
 
-  for (auto config : {core::Configuration::WsPhpDb, core::Configuration::WsServletSepDb}) {
-    core::ExperimentParams params = opts.baseParams(spec);
-    params.config = config;
-    params.clients = 700;
-    const auto r = core::runExperiment(params);
+  const std::vector<core::Configuration> configs{core::Configuration::WsPhpDb,
+                                                 core::Configuration::WsServletSepDb};
+  std::vector<core::ExperimentParams> points;
+  for (auto config : configs) {
+    points.push_back(core::pointParams(opts.baseParams(spec), config, 700));
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
 
     std::printf("-- %s at %d clients: %.0f interactions/min --\n",
-                core::configurationName(config), params.clients, r.throughputIpm);
+                core::configurationName(points[i].config), points[i].clients,
+                r.throughputIpm);
     stats::TextTable machines({"machine", "cpu%", "nic Mb/s", "memory MB"});
     for (const auto& u : r.usage) {
       machines.addRow({u.name, stats::fmt(u.cpuUtilization * 100, 1),

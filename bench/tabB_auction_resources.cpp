@@ -25,15 +25,19 @@ int main(int argc, char** argv) {
     core::Configuration config;
     int clients;
   };
-  for (const Run& run : {Run{core::Configuration::WsServletSepDb, 1300},
-                         Run{core::Configuration::WsServletEjbDb, 900}}) {
-    core::ExperimentParams params = opts.baseParams(spec);
-    params.config = run.config;
-    params.clients = run.clients;
-    const auto r = core::runExperiment(params);
+  const std::vector<Run> runs{Run{core::Configuration::WsServletSepDb, 1300},
+                              Run{core::Configuration::WsServletEjbDb, 900}};
+  std::vector<core::ExperimentParams> points;
+  for (const Run& run : runs) {
+    points.push_back(core::pointParams(opts.baseParams(spec), run.config, run.clients));
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
 
     std::printf("-- %s at %d clients: %.0f interactions/min --\n",
-                core::configurationName(run.config), run.clients, r.throughputIpm);
+                core::configurationName(points[i].config), points[i].clients,
+                r.throughputIpm);
     stats::TextTable machines({"machine", "cpu%", "nic Mb/s", "memory MB"});
     for (const auto& u : r.usage) {
       machines.addRow({u.name, stats::fmt(u.cpuUtilization * 100, 1),

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "db/database.hpp"
+
+namespace mwsim::core {
+
+enum class App;  // experiment.hpp
+
+/// Process-wide cache of populated databases.
+///
+/// Populating a paper-scale database is the most expensive part of a short
+/// run, and every point of a sweep starts from the same initial content:
+/// only (app, scale knob, population seed) determine it. The cache builds
+/// each such prototype once and hands out exact deep clones, so a 6×8 sweep
+/// pays one population instead of 48.
+///
+/// Thread-safe: concurrent get()s for the same key block on one build
+/// (tracked as a shared_future) while builds for other keys proceed. The
+/// prototype itself is immutable after construction; clones are owned
+/// exclusively by their run.
+class DatasetCache {
+ public:
+  static DatasetCache& global();
+
+  /// Returns a fresh clone of the populated database for the key, building
+  /// the shared prototype on first use. `dataSeed` is the exact seed the
+  /// population Rng is constructed with (see ExperimentParams::dataSeed).
+  db::Database get(App app, double scale, std::uint64_t dataSeed);
+
+  /// Drops every cached prototype (tests; long-lived processes that change
+  /// workloads).
+  void clear();
+
+  /// Number of distinct prototypes currently held.
+  std::size_t size() const;
+
+  /// Prototypes built since process start (cache misses), for tests.
+  std::uint64_t builds() const;
+
+ private:
+  using Key = std::tuple<int, double, std::uint64_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_future<std::shared_ptr<const db::Database>>> map_;
+  std::uint64_t builds_ = 0;
+};
+
+}  // namespace mwsim::core

@@ -1,7 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <iterator>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+
+#include "core/dataset_cache.hpp"
+#include "core/parallel.hpp"
 
 #include "apps/auction/auction.hpp"
 #include "apps/auction/auction_ejb.hpp"
@@ -89,29 +94,22 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
     ejbMachine = std::make_unique<net::Machine>(simulation, "EJB Server");
   }
 
-  // Database content.
-  db::Database database;
-  sim::Rng dataRng(sim::deriveSeed(params.seed, /*tag=*/0xDB));
+  // Database content: a private clone of the cached prototype for
+  // (app, scale, population seed). Identical to populating from scratch
+  // with the same Rng, minus the population cost on every run but the
+  // first (see DatasetCache).
   apps::bookstore::Scale bookScale;
   bookScale.scale = params.bookstoreScale;
   apps::auction::Scale auctionScale;
   auctionScale.historyScale = params.auctionHistoryScale;
   apps::bbs::Scale bbsScale;
   bbsScale.historyScale = params.bbsHistoryScale;
-  switch (params.app) {
-    case App::Bookstore:
-      apps::bookstore::createSchema(database);
-      apps::bookstore::populate(database, bookScale, dataRng);
-      break;
-    case App::Auction:
-      apps::auction::createSchema(database);
-      apps::auction::populate(database, auctionScale, dataRng);
-      break;
-    case App::BulletinBoard:
-      apps::bbs::createSchema(database);
-      apps::bbs::populate(database, bbsScale, dataRng);
-      break;
-  }
+  const double appScale = params.app == App::Bookstore ? params.bookstoreScale
+                          : params.app == App::Auction ? params.auctionHistoryScale
+                                                       : params.bbsHistoryScale;
+  const std::uint64_t dataSeed =
+      params.dataSeed != 0 ? params.dataSeed : sim::deriveSeed(params.seed, /*tag=*/0xDB);
+  db::Database database = DatasetCache::global().get(params.app, appScale, dataSeed);
   // Coarse memory accounting for the resource-usage reports (paper §5.1 /
   // §6.1): the database holds the tables plus server overhead; the web
   // server's processes plus the static-image buffer cache; JVM heaps for
@@ -225,15 +223,72 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   return result;
 }
 
-std::vector<ExperimentResult> sweepClients(ExperimentParams params,
-                                           const std::vector<int>& clientCounts) {
-  std::vector<ExperimentResult> out;
-  out.reserve(clientCounts.size());
-  for (int clients : clientCounts) {
-    params.clients = clients;
-    out.push_back(runExperiment(params));
-  }
+std::uint64_t pointSeed(std::uint64_t rootSeed, Configuration config, int clients) {
+  // Two chained SplitMix64 steps: first mix in the configuration, then the
+  // client count. Collision-free in practice and — crucially — a pure
+  // function of the point's coordinates.
+  const std::uint64_t withConfig =
+      sim::deriveSeed(rootSeed, 0x5EED0000ULL + static_cast<std::uint64_t>(config));
+  return sim::deriveSeed(withConfig, static_cast<std::uint64_t>(clients));
+}
+
+ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
+                             int clients) {
+  ExperimentParams p = base;
+  p.config = config;
+  p.clients = clients;
+  p.seed = pointSeed(base.seed, config, clients);
+  // All points of one sweep share the sweep's dataset: the population seed
+  // stays tied to the *root* seed (exactly what a standalone run with
+  // dataSeed = 0 derives), not to the per-point seed.
+  if (p.dataSeed == 0) p.dataSeed = sim::deriveSeed(base.seed, /*tag=*/0xDB);
+  return p;
+}
+
+std::vector<ExperimentResult> runMany(const std::vector<ExperimentParams>& points,
+                                      const SweepOptions& opts) {
+  std::vector<ExperimentResult> out(points.size());
+  std::mutex progressMu;
+  parallelFor(points.size(), opts.jobs, [&](std::size_t i) {
+    out[i] = runExperiment(points[i]);
+    if (opts.onResult) {
+      std::lock_guard lock(progressMu);
+      opts.onResult(i, points[i], out[i]);
+    }
+  });
   return out;
+}
+
+std::vector<ExperimentResult> sweepClients(const ExperimentParams& base,
+                                           const std::vector<int>& clientCounts,
+                                           const SweepOptions& opts) {
+  std::vector<ExperimentParams> points;
+  points.reserve(clientCounts.size());
+  for (int clients : clientCounts) {
+    points.push_back(pointParams(base, base.config, clients));
+  }
+  return runMany(points, opts);
+}
+
+std::vector<std::vector<ExperimentResult>> sweepGrid(
+    const ExperimentParams& base, const std::vector<Configuration>& configs,
+    const std::vector<int>& clientCounts, const SweepOptions& opts) {
+  std::vector<ExperimentParams> points;
+  points.reserve(configs.size() * clientCounts.size());
+  for (Configuration config : configs) {
+    for (int clients : clientCounts) {
+      points.push_back(pointParams(base, config, clients));
+    }
+  }
+  auto flat = runMany(points, opts);
+  std::vector<std::vector<ExperimentResult>> grid(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    grid[c].assign(std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(
+                                               c * clientCounts.size())),
+                   std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(
+                                               (c + 1) * clientCounts.size())));
+  }
+  return grid;
 }
 
 }  // namespace mwsim::core

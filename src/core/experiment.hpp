@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,10 +41,17 @@ struct ExperimentParams {
   int mix = 1;
   int clients = 100;
   std::uint64_t seed = 1;
+  /// Seed the database-population Rng is constructed with. 0 (the default)
+  /// derives it from `seed`, which is what standalone runs want; the sweep
+  /// helpers pin it to the sweep's root seed so every point shares one
+  /// cached dataset while still getting an independent simulation stream
+  /// (see pointParams and DatasetCache).
+  std::uint64_t dataSeed = 0;
 
   /// Measurement phases (paper §4.5: 1/20/1 min for the bookstore and
-  /// 5/30/5 for the auction site; benches default to shorter windows —
-  /// the simulator reaches steady state quickly and results are stable).
+  /// 5/30/5 for the auction site; the simulator reaches steady state
+  /// quickly, so shorter windows give stable results). This default is the
+  /// single source of truth — BenchOptions derives its ramp-up from it.
   sim::Duration rampUp = 60 * sim::kSecond;
   sim::Duration measure = 5 * sim::kMinute;
   sim::Duration rampDown = 30 * sim::kSecond;
@@ -89,12 +97,56 @@ struct ExperimentResult {
 };
 
 /// Runs one full experiment: builds the topology for the configuration,
-/// populates the database, ramps up, measures, ramps down.
+/// clones the populated database from the dataset cache, ramps up,
+/// measures, ramps down. Safe to call concurrently from multiple threads —
+/// each call owns its whole simulation substrate.
 ExperimentResult runExperiment(const ExperimentParams& params);
 
-/// Sweeps client counts and returns one result per count.
-std::vector<ExperimentResult> sweepClients(ExperimentParams params,
-                                           const std::vector<int>& clientCounts);
+/// Seed for one sweep point, derived as hash(rootSeed, config, clients).
+/// Depending only on the point's coordinates (never its position in the
+/// sweep, the jobs count, or scheduling) makes every point's result
+/// independent of how the sweep is shaped or parallelised.
+std::uint64_t pointSeed(std::uint64_t rootSeed, Configuration config, int clients);
+
+/// The params for one sweep point: base with (config, clients) applied,
+/// seed = pointSeed(base.seed, config, clients), and dataSeed pinned to the
+/// base seed's population stream so all points share one cached dataset.
+ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
+                             int clients);
+
+/// Options for the batch runners below.
+struct SweepOptions {
+  /// Worker threads for independent points. <= 1 runs sequentially on the
+  /// calling thread; 0/negative also mean sequential (benches map
+  /// `--jobs 0` to defaultJobCount() before getting here).
+  int jobs = 1;
+  /// Optional progress hook, invoked once per finished point with its index
+  /// in the batch. Calls are serialized, but arrive in completion order and
+  /// possibly on worker threads.
+  std::function<void(std::size_t index, const ExperimentParams& params,
+                     const ExperimentResult& result)>
+      onResult;
+};
+
+/// Runs a batch of independent experiments and returns results in input
+/// order. With opts.jobs > 1 the points run concurrently; results are
+/// bit-identical to a sequential run because every point's randomness comes
+/// only from its own params.
+std::vector<ExperimentResult> runMany(const std::vector<ExperimentParams>& points,
+                                      const SweepOptions& opts = {});
+
+/// Sweeps client counts and returns one result per count. Each point gets
+/// its own derived seed (see pointSeed), so adding or reordering points
+/// never perturbs the other points' results.
+std::vector<ExperimentResult> sweepClients(const ExperimentParams& base,
+                                           const std::vector<int>& clientCounts,
+                                           const SweepOptions& opts = {});
+
+/// Sweeps the full (configuration × client-count) grid; result[c][p] is
+/// configs[c] at clientCounts[p], identical to nested sequential loops.
+std::vector<std::vector<ExperimentResult>> sweepGrid(
+    const ExperimentParams& base, const std::vector<Configuration>& configs,
+    const std::vector<int>& clientCounts, const SweepOptions& opts = {});
 
 const char* mixName(App app, int mix);
 

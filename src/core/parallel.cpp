@@ -1,0 +1,98 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace mwsim::core {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  allDone_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      taskReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++inFlight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --inFlight_;
+      if (queue_.empty() && inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void parallelFor(std::size_t n, int jobs, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  const int threads = static_cast<int>(std::min<std::size_t>(
+      n, static_cast<std::size_t>(std::max(1, jobs))));
+  {
+    ThreadPool pool(threads);
+    // One pull-loop task per worker: each grabs the next unclaimed index, so
+    // uneven point costs balance without any static partitioning.
+    for (int t = 0; t < threads; ++t) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    pool.wait();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+int defaultJobCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace mwsim::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mwsim::core {
+
+/// Fixed-size worker pool for fanning independent experiment points out
+/// across OS threads.
+///
+/// The simulation kernel itself stays single-threaded; parallelism lives one
+/// level up, at the granularity of whole `runExperiment` calls (one
+/// `sim::Simulation` per task, no cross-task shared mutable state — see
+/// DESIGN.md "Parallel sweeps"). Tasks are pulled from one shared queue, so
+/// long and short points load-balance automatically.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw (wrap exceptions yourself).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait();
+
+  int threadCount() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every `i` in `[0, n)` on up to `jobs` threads and
+/// returns when all calls finished. `jobs <= 1` runs inline on the calling
+/// thread, in index order, with no threads created.
+///
+/// `fn` must be safe to call concurrently for distinct indexes. Exceptions
+/// are captured per index; after all indexes finish, the exception from the
+/// lowest-numbered failing index is rethrown (so the surviving behaviour is
+/// deterministic and independent of thread scheduling).
+void parallelFor(std::size_t n, int jobs, const std::function<void(std::size_t)>& fn);
+
+/// Worker-thread count for `--jobs 0` style "pick for me" requests: the
+/// hardware concurrency, at least 1.
+int defaultJobCount();
+
+}  // namespace mwsim::core

@@ -16,6 +16,18 @@ class Database {
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Deep copy of the whole catalog (every table cloned, creation order
+  /// preserved). A clone is indistinguishable from a database repopulated
+  /// with the same seed; the dataset cache relies on that.
+  Database clone() const {
+    Database out;
+    out.names_ = names_;
+    for (const auto& [name, t] : tables_) out.tables_.emplace(name, t->clone());
+    return out;
+  }
 
   Table& createTable(TableSchema schema) {
     const std::string name = schema.name;

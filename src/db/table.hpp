@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,8 +24,14 @@ using RowId = std::uint32_t;
 class Table {
  public:
   explicit Table(TableSchema schema);
-  Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
+
+  /// Exact deep copy — rows, tombstones, indexes, and auto-increment state —
+  /// so a cloned table behaves identically to one repopulated from the same
+  /// seed. Used by the dataset cache to stamp out per-run databases.
+  std::unique_ptr<Table> clone() const {
+    return std::unique_ptr<Table>(new Table(*this));
+  }
 
   const TableSchema& schema() const noexcept { return schema_; }
   const std::string& name() const noexcept { return schema_.name; }
@@ -99,6 +106,8 @@ class Table {
   }
 
  private:
+  Table(const Table&) = default;  // via clone() only
+
   void indexInsert(RowId id);
   void indexErase(RowId id);
 

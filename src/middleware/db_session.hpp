@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -15,14 +17,27 @@ namespace mwsim::mw {
 
 /// Process-wide prepared-statement cache: every distinct SQL string is
 /// parsed once (matching how the real drivers cache prepared statements).
+///
+/// Thread-safe: it is the one piece of state shared between concurrently
+/// running simulations (parallel sweeps run one run per worker thread).
+/// Entries are immutable once inserted and parsing is a pure function of
+/// the SQL text, so cross-thread sharing cannot perturb results.
 class StatementCache {
  public:
   std::shared_ptr<const db::Statement> get(std::string_view sql) {
-    auto it = cache_.find(sql);
-    if (it != cache_.end()) return it->second;
+    {
+      std::shared_lock lock(mu_);
+      auto it = cache_.find(sql);
+      if (it != cache_.end()) return it->second;
+    }
+    // Parse outside any lock — pure and deterministic; if two threads race
+    // on the same new statement, both parses yield equivalent objects and
+    // the first insert wins.
     auto stmt = db::parseSql(sql);
-    cache_.emplace(std::string(sql), stmt);
-    return stmt;
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = cache_.emplace(std::string(sql), std::move(stmt));
+    (void)inserted;
+    return it->second;
   }
 
   static StatementCache& global() {
@@ -41,6 +56,7 @@ class StatementCache {
     using is_transparent = void;
     bool operator()(std::string_view a, std::string_view b) const { return a == b; }
   };
+  std::shared_mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const db::Statement>, Hash, Eq> cache_;
 };
 

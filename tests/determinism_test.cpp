@@ -1,0 +1,169 @@
+/// Regression tests for the parallel-sweep determinism contract:
+///
+///  * runExperiment is a pure function of its params — repeated calls are
+///    bit-identical (the dataset cache hands out exact clones);
+///  * a parallel sweep (jobs > 1) returns results bit-identical to the
+///    sequential sweep, because every point's randomness derives only from
+///    its own (config, clients) coordinates, never from scheduling;
+///  * sweep points are independent: dropping or reordering points does not
+///    perturb the remaining points' results.
+///
+/// The CI ThreadSanitizer job runs this binary to vet the isolation audit
+/// (no shared mutable state between concurrently running simulations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dataset_cache.hpp"
+#include "core/experiment.hpp"
+
+namespace mwsim::core {
+namespace {
+
+ExperimentParams tinyParams(App app) {
+  ExperimentParams p;
+  p.app = app;
+  p.mix = 1;
+  p.clients = 25;
+  p.rampUp = 5 * sim::kSecond;
+  p.measure = 20 * sim::kSecond;
+  p.rampDown = 2 * sim::kSecond;
+  p.bookstoreScale = 0.02;
+  p.auctionHistoryScale = 0.01;
+  p.bbsHistoryScale = 0.01;
+  return p;
+}
+
+/// Bit-exact equality across every field the benches print. Floating-point
+/// values are compared with EXPECT_EQ on purpose: the contract is identical
+/// results, not merely close ones.
+void expectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.throughputIpm, b.throughputIpm);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.readWriteInteractions, b.readWriteInteractions);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.meanResponseSeconds, b.meanResponseSeconds);
+  EXPECT_EQ(a.p90ResponseSeconds, b.p90ResponseSeconds);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    EXPECT_EQ(a.usage[i].name, b.usage[i].name);
+    EXPECT_EQ(a.usage[i].cpuUtilization, b.usage[i].cpuUtilization);
+    EXPECT_EQ(a.usage[i].nicMbps, b.usage[i].nicMbps);
+    EXPECT_EQ(a.usage[i].nicUtilization, b.usage[i].nicUtilization);
+    EXPECT_EQ(a.usage[i].nicPackets, b.usage[i].nicPackets);
+    EXPECT_EQ(a.usage[i].memoryBytes, b.usage[i].memoryBytes);
+  }
+  ASSERT_EQ(a.traffic.size(), b.traffic.size());
+  for (auto ita = a.traffic.begin(), itb = b.traffic.begin(); ita != a.traffic.end();
+       ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.messages, itb->second.messages);
+    EXPECT_EQ(ita->second.bytes, itb->second.bytes);
+    EXPECT_EQ(ita->second.packets, itb->second.packets);
+  }
+  EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
+  EXPECT_EQ(a.contendedLockAcquisitions, b.contendedLockAcquisitions);
+  EXPECT_EQ(a.lockWaitSeconds, b.lockWaitSeconds);
+  EXPECT_EQ(a.databaseBytes, b.databaseBytes);
+}
+
+TEST(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsPhpDb;
+  expectIdentical(runExperiment(p), runExperiment(p));
+}
+
+TEST(DeterminismTest, CachedCloneMatchesFreshPopulation) {
+  // The first run for a key populates the prototype; the second starts from
+  // a clone. If clone() missed any state, the pair diverges.
+  auto p = tinyParams(App::Bookstore);
+  p.config = Configuration::WsServletDb;
+  p.seed = 7;
+  p.bookstoreScale = 0.03;  // private key for this test
+  const auto first = runExperiment(p);
+  const auto again = runExperiment(p);
+  expectIdentical(first, again);
+}
+
+TEST(DeterminismTest, PointSeedDependsOnlyOnCoordinates) {
+  const auto s = pointSeed(1, Configuration::WsPhpDb, 100);
+  EXPECT_EQ(s, pointSeed(1, Configuration::WsPhpDb, 100));
+  EXPECT_NE(s, pointSeed(1, Configuration::WsPhpDb, 200));
+  EXPECT_NE(s, pointSeed(1, Configuration::WsServletDb, 100));
+  EXPECT_NE(s, pointSeed(2, Configuration::WsPhpDb, 100));
+}
+
+TEST(DeterminismTest, SweepPointsAreIndependentOfSweepShape) {
+  // The pre-fix sweep threaded one mutated params (and one seed) through
+  // every point, so removing a point changed the next one's results.
+  auto base = tinyParams(App::Auction);
+  base.config = Configuration::WsPhpDb;
+  const auto both = sweepClients(base, {15, 30});
+  const auto justSecond = sweepClients(base, {30});
+  ASSERT_EQ(both.size(), 2u);
+  ASSERT_EQ(justSecond.size(), 1u);
+  expectIdentical(both[1], justSecond[0]);
+}
+
+TEST(DeterminismTest, ParallelBookstoreSweepMatchesSequential) {
+  const auto base = tinyParams(App::Bookstore);
+  const std::vector<Configuration> configs{Configuration::WsPhpDb,
+                                           Configuration::WsServletDbSync};
+  const std::vector<int> clients{15, 30};
+  SweepOptions sequential;  // jobs = 1
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = sweepGrid(base, configs, clients, sequential);
+  const auto b = sweepGrid(base, configs, clients, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+    for (std::size_t p = 0; p < a[c].size(); ++p) expectIdentical(a[c][p], b[c][p]);
+  }
+}
+
+TEST(DeterminismTest, ParallelAuctionSweepMatchesSequential) {
+  const auto base = tinyParams(App::Auction);
+  const std::vector<Configuration> configs{Configuration::WsServletSepDb,
+                                           Configuration::WsServletEjbDb};
+  const std::vector<int> clients{15, 30};
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = sweepGrid(base, configs, clients, SweepOptions{});
+  const auto b = sweepGrid(base, configs, clients, parallel);
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    for (std::size_t p = 0; p < a[c].size(); ++p) expectIdentical(a[c][p], b[c][p]);
+  }
+}
+
+TEST(DeterminismTest, ProgressHookSeesEveryPointExactlyOnce) {
+  const auto base = tinyParams(App::Auction);
+  std::vector<int> seen;
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.onResult = [&](std::size_t index, const ExperimentParams&,
+                      const ExperimentResult&) {
+    seen.push_back(static_cast<int>(index));  // serialized by runMany
+  };
+  const auto results = sweepClients(base, {10, 20, 30}, opts);
+  EXPECT_EQ(results.size(), 3u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DatasetCacheTest, SweepSharesOneDataset) {
+  auto& cache = DatasetCache::global();
+  auto base = tinyParams(App::Auction);
+  base.config = Configuration::WsPhpDb;
+  base.seed = 1234;                 // fresh key for this test
+  base.auctionHistoryScale = 0.02;  // distinct from the other tests' keys
+  const auto before = cache.builds();
+  SweepOptions opts;
+  opts.jobs = 2;
+  (void)sweepClients(base, {10, 20, 30}, opts);
+  EXPECT_EQ(cache.builds(), before + 1) << "all sweep points must share one prototype";
+}
+
+}  // namespace
+}  // namespace mwsim::core
