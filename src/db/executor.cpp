@@ -1,11 +1,11 @@
 #include "db/executor.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <stdexcept>
 
 #include "db/parser.hpp"
+#include "db/plan.hpp"
 
 namespace mwsim::db {
 
@@ -42,948 +42,219 @@ bool likeMatch(const std::string& text, const std::string& pattern) {
 
 namespace {
 
-struct BoundTable {
-  std::string alias;
-  const Table* table;
+// ---------------------------------------------------------------------------
+// Compiled-expression evaluation. Plans resolved every column reference to a
+// (table, column) slot, so evaluation is pure array indexing — no per-row
+// name lookups. The row source is a template parameter: a single table row
+// on the fast path, a flat multi-table binding on the join path.
+
+/// Row source over one row of the driving table (all refs have tableIdx 0).
+struct SingleRow {
+  const Row* row;
+  const Value& at(const PlanColumnRef& ref) const { return (*row)[ref.columnIdx]; }
 };
 
-// One candidate output row: one RowId per bound table.
-using Binding = std::vector<RowId>;
-
-struct ColumnRef {
-  std::size_t tableIdx;
-  std::size_t columnIdx;
-};
-
-class SelectRunner {
- public:
-  SelectRunner(Database& db, const SelectStmt& stmt, std::span<const Value> params,
-               ExecStats& stats)
-      : db_(db), stmt_(stmt), params_(params), stats_(stats) {}
-
-  ResultSet run();
-
- private:
-  // ----- name resolution -----
-  ColumnRef resolve(const std::string& qualifier, const std::string& column) const {
-    if (!qualifier.empty()) {
-      for (std::size_t i = 0; i < tables_.size(); ++i) {
-        if (tables_[i].alias == qualifier) {
-          auto c = tables_[i].table->schema().columnIndex(column);
-          if (!c) {
-            throw std::runtime_error("no column " + column + " in " + qualifier);
-          }
-          return {i, *c};
-        }
-      }
-      throw std::runtime_error("unknown table alias: " + qualifier);
-    }
-    std::optional<ColumnRef> found;
-    for (std::size_t i = 0; i < tables_.size(); ++i) {
-      if (auto c = tables_[i].table->schema().columnIndex(column)) {
-        if (found) throw std::runtime_error("ambiguous column: " + column);
-        found = ColumnRef{i, *c};
-      }
-    }
-    if (!found) throw std::runtime_error("unknown column: " + column);
-    return *found;
+/// Row source over one flat binding: one RowId per bound table.
+struct FlatRow {
+  const std::vector<const Table*>* tables;
+  const RowId* ids;
+  const Value& at(const PlanColumnRef& ref) const {
+    return (*tables)[ref.tableIdx]->row(ids[ref.tableIdx])[ref.columnIdx];
   }
+};
 
-  // ----- expression evaluation over one binding -----
-  Value evalBinary(BinOp op, const Value& a, const Value& b) const {
-    switch (op) {
-      case BinOp::And:
-        return Value(static_cast<std::int64_t>(valueIsTrue(a) && valueIsTrue(b)));
-      case BinOp::Or:
-        return Value(static_cast<std::int64_t>(valueIsTrue(a) || valueIsTrue(b)));
-      case BinOp::Like:
-        if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
-        return Value(static_cast<std::int64_t>(likeMatch(a.toDisplayString(), b.asString())));
-      case BinOp::Eq:
-      case BinOp::Ne:
-      case BinOp::Lt:
-      case BinOp::Le:
-      case BinOp::Gt:
-      case BinOp::Ge: {
-        if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
-        const int c = a.compare(b);
-        bool r = false;
-        switch (op) {
-          case BinOp::Eq: r = c == 0; break;
-          case BinOp::Ne: r = c != 0; break;
-          case BinOp::Lt: r = c < 0; break;
-          case BinOp::Le: r = c <= 0; break;
-          case BinOp::Gt: r = c > 0; break;
-          default: r = c >= 0; break;
-        }
-        return Value(static_cast<std::int64_t>(r));
+/// Row source for value-only contexts (access-path keys, INSERT values).
+/// Column references were rejected at plan time, so at() is unreachable.
+struct NoRow {
+  const Value& at(const PlanColumnRef&) const {
+    throw std::runtime_error("column reference in value-only expression");
+  }
+};
+
+Value evalBinary(BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinOp::And:
+      return Value(static_cast<std::int64_t>(valueIsTrue(a) && valueIsTrue(b)));
+    case BinOp::Or:
+      return Value(static_cast<std::int64_t>(valueIsTrue(a) || valueIsTrue(b)));
+    case BinOp::Like:
+      if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+      return Value(static_cast<std::int64_t>(likeMatch(a.toDisplayString(), b.asString())));
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
+      const int c = a.compare(b);
+      bool r = false;
+      switch (op) {
+        case BinOp::Eq: r = c == 0; break;
+        case BinOp::Ne: r = c != 0; break;
+        case BinOp::Lt: r = c < 0; break;
+        case BinOp::Le: r = c <= 0; break;
+        case BinOp::Gt: r = c > 0; break;
+        default: r = c >= 0; break;
       }
-      case BinOp::Add:
-      case BinOp::Sub:
-      case BinOp::Mul:
-      case BinOp::Div: {
-        if (a.isNull() || b.isNull()) return Value();
-        if (a.isInt() && b.isInt() && op != BinOp::Div) {
-          const auto x = a.asInt();
-          const auto y = b.asInt();
-          switch (op) {
-            case BinOp::Add: return Value(x + y);
-            case BinOp::Sub: return Value(x - y);
-            default: return Value(x * y);
-          }
-        }
-        const double x = a.asDouble();
-        const double y = b.asDouble();
+      return Value(static_cast<std::int64_t>(r));
+    }
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div: {
+      if (a.isNull() || b.isNull()) return Value();
+      if (a.isInt() && b.isInt() && op != BinOp::Div) {
+        const auto x = a.asInt();
+        const auto y = b.asInt();
         switch (op) {
           case BinOp::Add: return Value(x + y);
           case BinOp::Sub: return Value(x - y);
-          case BinOp::Mul: return Value(x * y);
-          default:
-            if (y == 0.0) return Value();
-            return Value(x / y);
+          default: return Value(x * y);
         }
+      }
+      const double x = a.asDouble();
+      const double y = b.asDouble();
+      switch (op) {
+        case BinOp::Add: return Value(x + y);
+        case BinOp::Sub: return Value(x - y);
+        case BinOp::Mul: return Value(x * y);
+        default:
+          if (y == 0.0) return Value();
+          return Value(x / y);
       }
     }
-    throw std::runtime_error("unhandled binary op");
   }
+  throw std::runtime_error("unhandled binary op");
+}
 
-  Value eval(const Expr& e, const Binding& binding) const {
-    switch (e.kind) {
-      case Expr::Kind::Literal:
-        return e.literal;
-      case Expr::Kind::Param:
-        if (e.paramIndex > params_.size()) {
-          throw std::runtime_error("missing bind parameter " + std::to_string(e.paramIndex));
-        }
-        return params_[e.paramIndex - 1];
-      case Expr::Kind::Column: {
-        const ColumnRef ref = resolve(e.tableQualifier, e.column);
-        return tables_[ref.tableIdx].table->row(binding[ref.tableIdx])[ref.columnIdx];
+template <typename Src>
+Value evalExpr(const CompiledExpr& e, std::span<const Value> params, const Src& src) {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.literal;
+    case Expr::Kind::Param:
+      if (e.paramIndex > params.size()) {
+        throw std::runtime_error("missing bind parameter " + std::to_string(e.paramIndex));
       }
-      case Expr::Kind::Binary:
-        return evalBinary(e.op, eval(*e.lhs, binding), eval(*e.rhs, binding));
-      case Expr::Kind::In: {
-        const Value needle = eval(*e.lhs, binding);
+      return params[e.paramIndex - 1];
+    case Expr::Kind::Column:
+      return src.at(e.col);
+    case Expr::Kind::Binary:
+      return evalBinary(e.op, evalExpr(*e.lhs, params, src), evalExpr(*e.rhs, params, src));
+    case Expr::Kind::In: {
+      const Value needle = evalExpr(*e.lhs, params, src);
+      if (needle.isNull()) return Value(std::int64_t{0});
+      for (const auto& item : e.list) {
+        if (needle.compare(evalExpr(*item, params, src)) == 0) return Value(std::int64_t{1});
+      }
+      return Value(std::int64_t{0});
+    }
+    case Expr::Kind::IsNull: {
+      const bool isNull = evalExpr(*e.lhs, params, src).isNull();
+      return Value(static_cast<std::int64_t>(isNull != e.negated));
+    }
+    case Expr::Kind::Not:
+      return Value(static_cast<std::int64_t>(!valueIsTrue(evalExpr(*e.lhs, params, src))));
+    case Expr::Kind::Aggregate:
+      throw std::runtime_error("aggregate in row context");
+    case Expr::Kind::Star:
+      throw std::runtime_error("* in scalar context");
+  }
+  throw std::runtime_error("unhandled expr kind");
+}
+
+/// One group of bindings for aggregate evaluation.
+struct GroupView {
+  const std::vector<const Table*>* tables;
+  const std::vector<const RowId*>* members;
+
+  FlatRow member(std::size_t i) const { return FlatRow{tables, (*members)[i]}; }
+  std::size_t size() const { return members->size(); }
+};
+
+Value evalAggregate(const CompiledExpr& e, std::span<const Value> params,
+                    const GroupView& group) {
+  if (!e.aggArg) {  // argument was *, compiled away
+    if (e.agg == AggFunc::Count) {
+      return Value(static_cast<std::int64_t>(group.size()));
+    }
+    throw std::runtime_error("* in scalar context");
+  }
+  std::int64_t count = 0;
+  double sum = 0.0;
+  bool allInt = true;
+  std::int64_t isum = 0;
+  std::optional<Value> minV;
+  std::optional<Value> maxV;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const FlatRow src = group.member(i);
+    const Value v = evalExpr(*e.aggArg, params, src);
+    if (v.isNull()) continue;
+    ++count;
+    if (v.isNumeric()) {
+      sum += v.asDouble();
+      if (v.isInt()) isum += v.asInt();
+      else allInt = false;
+    } else {
+      allInt = false;
+    }
+    if (!minV || v < *minV) minV = v;
+    if (!maxV || v > *maxV) maxV = v;
+  }
+  switch (e.agg) {
+    case AggFunc::Count:
+      return Value(count);
+    case AggFunc::Sum:
+      if (count == 0) return Value();
+      return allInt ? Value(isum) : Value(sum);
+    case AggFunc::Avg:
+      if (count == 0) return Value();
+      return Value(sum / static_cast<double>(count));
+    case AggFunc::Min:
+      return minV.value_or(Value());
+    case AggFunc::Max:
+      return maxV.value_or(Value());
+    case AggFunc::None:
+      break;
+  }
+  throw std::runtime_error("unhandled aggregate");
+}
+
+/// Group context: aggregates consume the whole group, everything else is
+/// taken from the group's first row (valid for group keys, which is all the
+/// apps use).
+Value evalGrouped(const CompiledExpr& e, std::span<const Value> params,
+                  const GroupView& group) {
+  switch (e.kind) {
+    case Expr::Kind::Aggregate:
+      return evalAggregate(e, params, group);
+    case Expr::Kind::Binary:
+      if (e.hasAggregate) {
+        return evalBinary(e.op, evalGrouped(*e.lhs, params, group),
+                          evalGrouped(*e.rhs, params, group));
+      }
+      return evalExpr(e, params, group.member(0));
+    case Expr::Kind::Not:
+      if (e.hasAggregate) {
+        return Value(static_cast<std::int64_t>(!valueIsTrue(evalGrouped(*e.lhs, params, group))));
+      }
+      return evalExpr(e, params, group.member(0));
+    case Expr::Kind::In:
+      if (e.hasAggregate) {
+        const Value needle = evalGrouped(*e.lhs, params, group);
         if (needle.isNull()) return Value(std::int64_t{0});
         for (const auto& item : e.list) {
-          if (needle.compare(eval(*item, binding)) == 0) return Value(std::int64_t{1});
+          if (needle.compare(evalGrouped(*item, params, group)) == 0) {
+            return Value(std::int64_t{1});
+          }
         }
         return Value(std::int64_t{0});
       }
-      case Expr::Kind::IsNull: {
-        const bool isNull = eval(*e.lhs, binding).isNull();
-        return Value(static_cast<std::int64_t>(isNull != e.negated));
-      }
-      case Expr::Kind::Not:
-        return Value(static_cast<std::int64_t>(!valueIsTrue(eval(*e.lhs, binding))));
-      case Expr::Kind::Aggregate:
-        throw std::runtime_error("aggregate in row context");
-      case Expr::Kind::Star:
-        throw std::runtime_error("* in scalar context");
-    }
-    throw std::runtime_error("unhandled expr kind");
+      return evalExpr(e, params, group.member(0));
+    default:
+      return evalExpr(e, params, group.member(0));
   }
-
-  Value evalAggregate(const Expr& e, const std::vector<const Binding*>& group) const {
-    assert(e.kind == Expr::Kind::Aggregate);
-    if (e.agg == AggFunc::Count && e.aggArg->kind == Expr::Kind::Star) {
-      return Value(static_cast<std::int64_t>(group.size()));
-    }
-    std::int64_t count = 0;
-    double sum = 0.0;
-    bool allInt = true;
-    std::int64_t isum = 0;
-    std::optional<Value> minV;
-    std::optional<Value> maxV;
-    for (const Binding* b : group) {
-      const Value v = eval(*e.aggArg, *b);
-      if (v.isNull()) continue;
-      ++count;
-      if (v.isNumeric()) {
-        sum += v.asDouble();
-        if (v.isInt()) isum += v.asInt();
-        else allInt = false;
-      } else {
-        allInt = false;
-      }
-      if (!minV || v < *minV) minV = v;
-      if (!maxV || v > *maxV) maxV = v;
-    }
-    switch (e.agg) {
-      case AggFunc::Count:
-        return Value(count);
-      case AggFunc::Sum:
-        if (count == 0) return Value();
-        return allInt ? Value(isum) : Value(sum);
-      case AggFunc::Avg:
-        if (count == 0) return Value();
-        return Value(sum / static_cast<double>(count));
-      case AggFunc::Min:
-        return minV.value_or(Value());
-      case AggFunc::Max:
-        return maxV.value_or(Value());
-      case AggFunc::None:
-        break;
-    }
-    throw std::runtime_error("unhandled aggregate");
-  }
-
-  // Evaluate an expression in group context: aggregates consume the group,
-  // everything else is taken from the group's first row (valid for group
-  // keys, which is all the apps use).
-  Value evalGrouped(const Expr& e, const std::vector<const Binding*>& group) const {
-    switch (e.kind) {
-      case Expr::Kind::Aggregate:
-        return evalAggregate(e, group);
-      case Expr::Kind::Binary: {
-        if (containsAggregate(e)) {
-          return evalBinary(e.op, evalGrouped(*e.lhs, group), evalGrouped(*e.rhs, group));
-        }
-        return eval(e, *group.front());
-      }
-      case Expr::Kind::Not:
-        if (containsAggregate(e)) {
-          return Value(
-              static_cast<std::int64_t>(!valueIsTrue(evalGrouped(*e.lhs, group))));
-        }
-        return eval(e, *group.front());
-      case Expr::Kind::In:
-        if (containsAggregate(e)) {
-          const Value needle = evalGrouped(*e.lhs, group);
-          if (needle.isNull()) return Value(std::int64_t{0});
-          for (const auto& item : e.list) {
-            if (needle.compare(evalGrouped(*item, group)) == 0) {
-              return Value(std::int64_t{1});
-            }
-          }
-          return Value(std::int64_t{0});
-        }
-        return eval(e, *group.front());
-      default:
-        return eval(e, *group.front());
-    }
-  }
-
-  static bool containsAggregate(const Expr& e) {
-    if (e.kind == Expr::Kind::Aggregate) return true;
-    if (e.kind == Expr::Kind::Binary) {
-      return containsAggregate(*e.lhs) || containsAggregate(*e.rhs);
-    }
-    if (e.kind == Expr::Kind::Not || e.kind == Expr::Kind::IsNull) {
-      return containsAggregate(*e.lhs);
-    }
-    if (e.kind == Expr::Kind::In) {
-      if (containsAggregate(*e.lhs)) return true;
-      for (const auto& item : e.list) {
-        if (containsAggregate(*item)) return true;
-      }
-    }
-    return false;
-  }
-
-  // ----- WHERE decomposition -----
-  static void splitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
-    if (e == nullptr) return;
-    if (e->kind == Expr::Kind::Binary && e->op == BinOp::And) {
-      splitConjuncts(e->lhs.get(), out);
-      splitConjuncts(e->rhs.get(), out);
-    } else {
-      out.push_back(e);
-    }
-  }
-
-  static bool exprIsRowFree(const Expr& e) {
-    switch (e.kind) {
-      case Expr::Kind::Column:
-      case Expr::Kind::Star:
-      case Expr::Kind::Aggregate:
-        return false;
-      case Expr::Kind::Binary:
-        return exprIsRowFree(*e.lhs) && exprIsRowFree(*e.rhs);
-      case Expr::Kind::Not:
-      case Expr::Kind::IsNull:
-        return exprIsRowFree(*e.lhs);
-      case Expr::Kind::In: {
-        if (!exprIsRowFree(*e.lhs)) return false;
-        for (const auto& item : e.list) {
-          if (!exprIsRowFree(*item)) return false;
-        }
-        return true;
-      }
-      default:
-        return true;
-    }
-  }
-
-  Value evalRowFree(const Expr& e) const {
-    static const Binding kEmpty;
-    return eval(e, kEmpty);
-  }
-
-  // True if every column reference in `e` resolves to table `tableIdx`.
-  bool referencesOnlyTable(const Expr& e, std::size_t tableIdx) const {
-    switch (e.kind) {
-      case Expr::Kind::Column:
-        return resolve(e.tableQualifier, e.column).tableIdx == tableIdx;
-      case Expr::Kind::Binary:
-        return referencesOnlyTable(*e.lhs, tableIdx) &&
-               referencesOnlyTable(*e.rhs, tableIdx);
-      case Expr::Kind::Not:
-      case Expr::Kind::IsNull:
-        return referencesOnlyTable(*e.lhs, tableIdx);
-      case Expr::Kind::In: {
-        if (!referencesOnlyTable(*e.lhs, tableIdx)) return false;
-        for (const auto& item : e.list) {
-          if (!referencesOnlyTable(*item, tableIdx)) return false;
-        }
-        return true;
-      }
-      case Expr::Kind::Aggregate:
-      case Expr::Kind::Star:
-        return false;
-      default:
-        return true;
-    }
-  }
-
-  // Does this column expression refer to table `tableIdx`?
-  std::optional<std::size_t> columnOf(const Expr& e, std::size_t tableIdx) const {
-    if (e.kind != Expr::Kind::Column) return std::nullopt;
-    const ColumnRef ref = resolve(e.tableQualifier, e.column);
-    if (ref.tableIdx != tableIdx) return std::nullopt;
-    return ref.columnIdx;
-  }
-
-  // ----- access paths -----
-  std::vector<RowId> baseTableCandidates(const std::vector<const Expr*>& conjuncts);
-  void joinTable(std::size_t newIdx, const JoinClause* join,
-                 const std::vector<const Expr*>& conjuncts,
-                 std::vector<Binding>& bindings);
-
-  ResultSet project(const std::vector<Binding>& bindings);
-
-  Database& db_;
-  const SelectStmt& stmt_;
-  std::span<const Value> params_;
-  ExecStats& stats_;
-  std::vector<BoundTable> tables_;
-};
-
-std::vector<RowId> SelectRunner::baseTableCandidates(
-    const std::vector<const Expr*>& conjuncts) {
-  const Table& table = *tables_[0].table;
-  // Equality on primary key or an indexed column.
-  for (const Expr* c : conjuncts) {
-    if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
-    for (const auto& [colSide, valSide] :
-         {std::pair{c->lhs.get(), c->rhs.get()}, std::pair{c->rhs.get(), c->lhs.get()}}) {
-      if (!exprIsRowFree(*valSide)) continue;
-      auto col = columnOf(*colSide, 0);
-      if (!col) continue;
-      const Value key = evalRowFree(*valSide);
-      if (table.isPrimaryKeyColumn(*col)) {
-        stats_.usedIndex = true;
-        auto id = table.findByPk(key);
-        std::vector<RowId> out;
-        if (id) {
-          out.push_back(*id);
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += table.avgRowBytes();
-        }
-        return out;
-      }
-      if (table.hasIndexOn(*col)) {
-        stats_.usedIndex = true;
-        auto out = table.findByIndex(*col, key);
-        stats_.rowsExamined += out.size();
-        stats_.bytesExamined += out.size() * table.avgRowBytes();
-        return out;
-      }
-    }
-  }
-  // IN over the primary key or an indexed column: multi-point lookup.
-  for (const Expr* c : conjuncts) {
-    if (c->kind != Expr::Kind::In) continue;
-    auto col = columnOf(*c->lhs, 0);
-    if (!col) continue;
-    bool allFree = true;
-    for (const auto& item : c->list) {
-      if (!exprIsRowFree(*item)) {
-        allFree = false;
-        break;
-      }
-    }
-    if (!allFree) continue;
-    const bool viaPk = table.isPrimaryKeyColumn(*col);
-    if (!viaPk && !table.hasIndexOn(*col)) continue;
-    stats_.usedIndex = true;
-    std::vector<RowId> out;
-    for (const auto& item : c->list) {
-      const Value key = evalRowFree(*item);
-      if (viaPk) {
-        if (auto id = table.findByPk(key)) {
-          out.push_back(*id);
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += table.avgRowBytes();
-        }
-      } else {
-        for (RowId id : table.findByIndex(*col, key)) {
-          out.push_back(id);
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += table.avgRowBytes();
-        }
-      }
-    }
-    return out;
-  }
-
-  // Range over an indexed column: gather bounds per column.
-  struct Bounds {
-    std::optional<Value> lo;
-    bool loInc = true;
-    std::optional<Value> hi;
-    bool hiInc = true;
-  };
-  std::map<std::size_t, Bounds> bounds;
-  for (const Expr* c : conjuncts) {
-    if (c->kind != Expr::Kind::Binary) continue;
-    const BinOp op = c->op;
-    if (op != BinOp::Lt && op != BinOp::Le && op != BinOp::Gt && op != BinOp::Ge) continue;
-    for (bool flipped : {false, true}) {
-      const Expr* colSide = flipped ? c->rhs.get() : c->lhs.get();
-      const Expr* valSide = flipped ? c->lhs.get() : c->rhs.get();
-      if (!exprIsRowFree(*valSide)) continue;
-      auto col = columnOf(*colSide, 0);
-      if (!col || !table.hasIndexOn(*col)) continue;
-      const Value v = evalRowFree(*valSide);
-      // Normalize to col <op> v.
-      BinOp effective = op;
-      if (flipped) {
-        switch (op) {
-          case BinOp::Lt: effective = BinOp::Gt; break;
-          case BinOp::Le: effective = BinOp::Ge; break;
-          case BinOp::Gt: effective = BinOp::Lt; break;
-          case BinOp::Ge: effective = BinOp::Le; break;
-          default: break;
-        }
-      }
-      Bounds& b = bounds[*col];
-      if (effective == BinOp::Lt || effective == BinOp::Le) {
-        if (!b.hi || v < *b.hi) {
-          b.hi = v;
-          b.hiInc = effective == BinOp::Le;
-        }
-      } else {
-        if (!b.lo || v > *b.lo) {
-          b.lo = v;
-          b.loInc = effective == BinOp::Ge;
-        }
-      }
-      break;
-    }
-  }
-  if (!bounds.empty()) {
-    const auto& [col, b] = *bounds.begin();
-    stats_.usedIndex = true;
-    auto out = table.findRangeByIndex(col, b.lo, b.loInc, b.hi, b.hiInc);
-    stats_.rowsExamined += out.size();
-    stats_.bytesExamined += out.size() * table.avgRowBytes();
-    return out;
-  }
-  // Full scan.
-  std::vector<RowId> out;
-  out.reserve(table.size());
-  table.forEachRow([&](RowId id) { out.push_back(id); });
-  stats_.rowsExamined += out.size();
-  stats_.bytesExamined += out.size() * table.avgRowBytes();
-  return out;
-}
-
-void SelectRunner::joinTable(std::size_t newIdx, const JoinClause* join,
-                             const std::vector<const Expr*>& conjuncts,
-                             std::vector<Binding>& bindings) {
-  const Table& inner = *tables_[newIdx].table;
-
-  // Find an equi-condition linking the new table to an already-bound one:
-  // prefer the explicit ON clause, else scan WHERE conjuncts.
-  const Expr* outerExpr = nullptr;
-  std::optional<std::size_t> innerCol;
-  if (join != nullptr && join->leftColumn) {
-    for (const auto& [a, b] : {std::pair{join->leftColumn.get(), join->rightColumn.get()},
-                               std::pair{join->rightColumn.get(), join->leftColumn.get()}}) {
-      if (auto c = columnOf(*a, newIdx)) {
-        innerCol = c;
-        outerExpr = b;
-        break;
-      }
-    }
-  }
-  if (!innerCol) {
-    for (const Expr* c : conjuncts) {
-      if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
-      if (c->lhs->kind != Expr::Kind::Column || c->rhs->kind != Expr::Kind::Column) continue;
-      for (const auto& [a, b] : {std::pair{c->lhs.get(), c->rhs.get()},
-                                 std::pair{c->rhs.get(), c->lhs.get()}}) {
-        auto ic = columnOf(*a, newIdx);
-        if (!ic) continue;
-        const ColumnRef other = resolve(b->tableQualifier, b->column);
-        if (other.tableIdx < newIdx) {  // refers to an already-bound table
-          innerCol = ic;
-          outerExpr = b;
-          break;
-        }
-      }
-      if (innerCol) break;
-    }
-  }
-
-  std::vector<Binding> next;
-  if (innerCol) {
-    const bool viaPk = inner.isPrimaryKeyColumn(*innerCol);
-    const bool viaIndex = inner.hasIndexOn(*innerCol);
-    for (Binding& binding : bindings) {
-      const Value key = eval(*outerExpr, binding);
-      if (viaPk) {
-        stats_.usedIndex = true;
-        if (auto id = inner.findByPk(key)) {
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += inner.avgRowBytes();
-          Binding b = binding;
-          b.push_back(*id);
-          next.push_back(std::move(b));
-        }
-      } else if (viaIndex) {
-        stats_.usedIndex = true;
-        for (RowId id : inner.findByIndex(*innerCol, key)) {
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += inner.avgRowBytes();
-          Binding b = binding;
-          b.push_back(id);
-          next.push_back(std::move(b));
-        }
-      } else {
-        inner.forEachRow([&](RowId id) {
-          ++stats_.rowsExamined;
-          stats_.bytesExamined += inner.avgRowBytes();
-          if (inner.row(id)[*innerCol] == key) {
-            Binding b = binding;
-            b.push_back(id);
-            next.push_back(std::move(b));
-          }
-        });
-      }
-    }
-  } else {
-    // Cross product (filtered later by WHERE).
-    for (const Binding& binding : bindings) {
-      inner.forEachRow([&](RowId id) {
-        ++stats_.rowsExamined;
-        stats_.bytesExamined += inner.avgRowBytes();
-        Binding b = binding;
-        b.push_back(id);
-        next.push_back(std::move(b));
-      });
-    }
-  }
-  bindings = std::move(next);
-}
-
-ResultSet SelectRunner::project(const std::vector<Binding>& bindings) {
-  ResultSet rs;
-
-  // Expand the select list; Star becomes every column of every table.
-  struct OutItem {
-    const Expr* expr = nullptr;  // null for star-expanded plain column
-    std::string name;
-    std::optional<ColumnRef> starRef;
-  };
-  std::vector<OutItem> outItems;
-  for (const SelectItem& item : stmt_.items) {
-    if (item.expr->kind == Expr::Kind::Star) {
-      for (std::size_t t = 0; t < tables_.size(); ++t) {
-        const auto& cols = tables_[t].table->schema().columns;
-        for (std::size_t c = 0; c < cols.size(); ++c) {
-          outItems.push_back({nullptr, cols[c].name, ColumnRef{t, c}});
-        }
-      }
-    } else {
-      std::string name = item.alias;
-      if (name.empty()) {
-        name = item.expr->kind == Expr::Kind::Column ? item.expr->column : "expr";
-      }
-      outItems.push_back({item.expr.get(), std::move(name), std::nullopt});
-    }
-  }
-  for (const auto& it : outItems) rs.columns.push_back(it.name);
-
-  const bool grouped = !stmt_.groupBy.empty() ||
-                       std::any_of(stmt_.items.begin(), stmt_.items.end(), [](const auto& i) {
-                         return i.expr->kind != Expr::Kind::Star && containsAggregate(*i.expr);
-                       });
-
-  // Sort keys are computed per output row; ORDER BY may reference a select
-  // alias/output column (required for grouped queries) or any row expression.
-  struct SortableRow {
-    Row out;
-    std::vector<Value> keys;
-  };
-  std::vector<SortableRow> rows;
-
-  auto orderKeyFromOutput = [&](const OrderItem& o, const Row& out) -> std::optional<Value> {
-    if (o.expr->kind != Expr::Kind::Column || !o.expr->tableQualifier.empty()) {
-      return std::nullopt;
-    }
-    for (std::size_t i = 0; i < outItems.size(); ++i) {
-      if (outItems[i].name == o.expr->column) return out[i];
-    }
-    return std::nullopt;
-  };
-
-  if (grouped) {
-    // Group bindings by the GROUP BY key (single group when absent).
-    std::map<std::vector<Value>, std::vector<const Binding*>> groups;
-    for (const Binding& b : bindings) {
-      std::vector<Value> key;
-      key.reserve(stmt_.groupBy.size());
-      for (const auto& g : stmt_.groupBy) key.push_back(eval(*g, b));
-      groups[std::move(key)].push_back(&b);
-    }
-    if (groups.empty() && stmt_.groupBy.empty()) {
-      groups[{}] = {};  // aggregates over an empty input produce one row
-    }
-    stats_.aggregatedGroups += groups.size();
-    for (auto& [key, group] : groups) {
-      if (group.empty() && !stmt_.groupBy.empty()) continue;
-      if (stmt_.having && !group.empty() &&
-          !valueIsTrue(evalGrouped(*stmt_.having, group))) {
-        continue;
-      }
-      SortableRow r;
-      for (const auto& item : outItems) {
-        if (item.starRef) {
-          if (group.empty()) {
-            r.out.push_back(Value());
-          } else {
-            r.out.push_back(tables_[item.starRef->tableIdx].table->row(
-                (*group.front())[item.starRef->tableIdx])[item.starRef->columnIdx]);
-          }
-        } else if (group.empty()) {
-          // COUNT(*) over empty input is 0; other aggregates are NULL.
-          if (item.expr->kind == Expr::Kind::Aggregate && item.expr->agg == AggFunc::Count) {
-            r.out.push_back(Value(std::int64_t{0}));
-          } else {
-            r.out.push_back(Value());
-          }
-        } else {
-          r.out.push_back(evalGrouped(*item.expr, group));
-        }
-      }
-      for (const OrderItem& o : stmt_.orderBy) {
-        if (auto k = orderKeyFromOutput(o, r.out)) {
-          r.keys.push_back(std::move(*k));
-        } else if (!group.empty()) {
-          r.keys.push_back(evalGrouped(*o.expr, group));
-        } else {
-          r.keys.push_back(Value());
-        }
-      }
-      rows.push_back(std::move(r));
-    }
-  } else {
-    for (const Binding& b : bindings) {
-      SortableRow r;
-      for (const auto& item : outItems) {
-        if (item.starRef) {
-          r.out.push_back(
-              tables_[item.starRef->tableIdx].table->row(b[item.starRef->tableIdx])
-                  [item.starRef->columnIdx]);
-        } else {
-          r.out.push_back(eval(*item.expr, b));
-        }
-      }
-      for (const OrderItem& o : stmt_.orderBy) {
-        if (auto k = orderKeyFromOutput(o, r.out)) r.keys.push_back(std::move(*k));
-        else r.keys.push_back(eval(*o.expr, b));
-      }
-      rows.push_back(std::move(r));
-    }
-  }
-
-  if (stmt_.distinct) {
-    // Keep the first occurrence of each distinct output row (SQL DISTINCT
-    // applies to the projected values).
-    std::vector<SortableRow> unique;
-    unique.reserve(rows.size());
-    for (auto& row : rows) {
-      bool seen = false;
-      for (const auto& kept : unique) {
-        bool equal = kept.out.size() == row.out.size();
-        for (std::size_t i = 0; equal && i < kept.out.size(); ++i) {
-          equal = kept.out[i].compare(row.out[i]) == 0;
-        }
-        if (equal) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) unique.push_back(std::move(row));
-    }
-    rows = std::move(unique);
-  }
-
-  if (!stmt_.orderBy.empty()) {
-    stats_.rowsSorted += rows.size();
-    std::stable_sort(rows.begin(), rows.end(), [&](const SortableRow& a, const SortableRow& b) {
-      for (std::size_t i = 0; i < stmt_.orderBy.size(); ++i) {
-        const int c = a.keys[i].compare(b.keys[i]);
-        if (c != 0) return stmt_.orderBy[i].descending ? c > 0 : c < 0;
-      }
-      return false;
-    });
-  }
-
-  // OFFSET / LIMIT.
-  std::size_t begin = std::min<std::size_t>(rows.size(), static_cast<std::size_t>(stmt_.offset));
-  std::size_t end = rows.size();
-  if (stmt_.limit) end = std::min(end, begin + static_cast<std::size_t>(*stmt_.limit));
-  for (std::size_t i = begin; i < end; ++i) rs.rows.push_back(std::move(rows[i].out));
-
-  stats_.rowsReturned += rs.rows.size();
-  stats_.resultBytes += rs.byteSize();
-  return rs;
-}
-
-}  // namespace
-
-ExecResult Executor::execute(const Statement& stmt, std::span<const Value> params) {
-  if (params.size() < stmt.paramCount) {
-    throw std::runtime_error("statement needs " + std::to_string(stmt.paramCount) +
-                             " parameters, got " + std::to_string(params.size()) +
-                             ": " + stmt.text);
-  }
-  switch (stmt.kind) {
-    case Statement::Kind::Select:
-      return executeSelect(stmt.select, params);
-    case Statement::Kind::Insert:
-      return executeInsert(stmt.insert, params);
-    case Statement::Kind::Update:
-      return executeUpdate(stmt.update, params);
-    case Statement::Kind::Delete:
-      return executeDelete(stmt.del, params);
-    case Statement::Kind::LockTables:
-    case Statement::Kind::UnlockTables:
-      // Lock statements are handled by the DatabaseServer; executing them
-      // against the bare engine is a no-op.
-      return {};
-  }
-  throw std::runtime_error("unhandled statement kind");
-}
-
-ExecResult Executor::query(std::string_view sql, std::span<const Value> params) {
-  return execute(*parseSql(sql), params);
-}
-
-namespace {
-
-/// O(1) fast path for `SELECT MAX(col)/MIN(col)/COUNT(*) FROM t` with no
-/// WHERE/JOIN/GROUP — MySQL answers these from index metadata.
-std::optional<ResultSet> aggregateFastPath(Database& db, const SelectStmt& s) {
-  if (!s.joins.empty() || s.where || !s.groupBy.empty() || s.items.size() != 1) {
-    return std::nullopt;
-  }
-  const Expr& e = *s.items[0].expr;
-  if (e.kind != Expr::Kind::Aggregate) return std::nullopt;
-  const Table& table = db.table(s.from.table);
-  ResultSet rs;
-  rs.columns.push_back(s.items[0].alias.empty() ? "agg" : s.items[0].alias);
-
-  if (e.agg == AggFunc::Count && e.aggArg->kind == Expr::Kind::Star) {
-    rs.rows.push_back({Value(static_cast<std::int64_t>(table.size()))});
-    return rs;
-  }
-  if ((e.agg == AggFunc::Max || e.agg == AggFunc::Min) &&
-      e.aggArg->kind == Expr::Kind::Column) {
-    auto col = table.schema().columnIndex(e.aggArg->column);
-    if (!col) return std::nullopt;
-    if (table.size() == 0) {
-      rs.rows.push_back({Value()});
-      return rs;
-    }
-    if (e.agg == AggFunc::Max && table.isPrimaryKeyColumn(*col) &&
-        table.schema().autoIncrement) {
-      rs.rows.push_back({Value(table.maxAssignedId())});
-      return rs;
-    }
-    auto v = e.agg == AggFunc::Max ? table.indexMax(*col) : table.indexMin(*col);
-    if (v) {
-      rs.rows.push_back({*v});
-      return rs;
-    }
-  }
-  return std::nullopt;
-}
-
-}  // namespace
-
-ExecResult Executor::executeSelect(const SelectStmt& s, std::span<const Value> params) {
-  ExecResult result;
-  if (auto fast = aggregateFastPath(db_, s)) {
-    result.resultSet = std::move(*fast);
-    result.stats.usedIndex = true;
-    result.stats.rowsExamined = 1;
-    result.stats.rowsReturned = 1;
-    result.stats.resultBytes = result.resultSet.byteSize();
-    return result;
-  }
-  SelectRunner runner(db_, s, params, result.stats);
-  result.resultSet = runner.run();
-  return result;
-}
-
-namespace {
-
-// Helper shared by UPDATE/DELETE: find matching row ids in one table.
-std::vector<RowId> findMatches(Database& db, const std::string& tableName, const Expr* where,
-                               std::span<const Value> params, ExecStats& stats) {
-  Table& table = db.table(tableName);
-  std::vector<RowId> out;
-
-  // Split top-level AND conjuncts and look for an equality on the primary
-  // key or an indexed column; remaining conjuncts are verified on the
-  // candidates (e.g. `WHERE i_id = ? AND i_stock >= ?`).
-  std::vector<const Expr*> conjuncts;
-  const Expr* needVerify = where;  // full predicate re-checked on candidates
-  {
-    std::vector<const Expr*> stack;
-    if (where != nullptr) stack.push_back(where);
-    while (!stack.empty()) {
-      const Expr* e = stack.back();
-      stack.pop_back();
-      if (e->kind == Expr::Kind::Binary && e->op == BinOp::And) {
-        stack.push_back(e->lhs.get());
-        stack.push_back(e->rhs.get());
-      } else {
-        conjuncts.push_back(e);
-      }
-    }
-  }
-  std::optional<std::vector<RowId>> candidates;
-  for (const Expr* c : conjuncts) {
-    if (c->kind != Expr::Kind::Binary || c->op != BinOp::Eq) continue;
-    for (const auto& [colSide, valSide] :
-         {std::pair{c->lhs.get(), c->rhs.get()}, std::pair{c->rhs.get(), c->lhs.get()}}) {
-      if (colSide->kind != Expr::Kind::Column) continue;
-      auto col = table.schema().columnIndex(colSide->column);
-      if (!col) continue;
-      Value key;
-      if (valSide->kind == Expr::Kind::Literal) key = valSide->literal;
-      else if (valSide->kind == Expr::Kind::Param) key = params[valSide->paramIndex - 1];
-      else continue;
-      if (table.isPrimaryKeyColumn(*col)) {
-        stats.usedIndex = true;
-        candidates.emplace();
-        if (auto id = table.findByPk(key)) candidates->push_back(*id);
-        break;
-      }
-      if (table.hasIndexOn(*col)) {
-        stats.usedIndex = true;
-        candidates = table.findByIndex(*col, key);
-        break;
-      }
-    }
-    if (candidates) break;
-  }
-
-  // General path: scan and evaluate.
-  struct RowEval {
-    const Table& table;
-    std::span<const Value> params;
-
-    Value eval(const Expr& e, const Row& row) const {
-      switch (e.kind) {
-        case Expr::Kind::Literal:
-          return e.literal;
-        case Expr::Kind::Param:
-          return params[e.paramIndex - 1];
-        case Expr::Kind::Column: {
-          auto c = table.schema().columnIndex(e.column);
-          if (!c) throw std::runtime_error("unknown column: " + e.column);
-          return row[*c];
-        }
-        case Expr::Kind::Binary: {
-          const Value a = eval(*e.lhs, row);
-          const Value b = eval(*e.rhs, row);
-          switch (e.op) {
-            case BinOp::And:
-              return Value(static_cast<std::int64_t>(valueIsTrue(a) && valueIsTrue(b)));
-            case BinOp::Or:
-              return Value(static_cast<std::int64_t>(valueIsTrue(a) || valueIsTrue(b)));
-            case BinOp::Like:
-              if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
-              return Value(static_cast<std::int64_t>(
-                  likeMatch(a.toDisplayString(), b.asString())));
-            case BinOp::Add:
-              return Value(a.asDouble() + b.asDouble());
-            case BinOp::Sub:
-              return Value(a.asDouble() - b.asDouble());
-            case BinOp::Mul:
-              return Value(a.asDouble() * b.asDouble());
-            case BinOp::Div:
-              return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
-            default: {
-              if (a.isNull() || b.isNull()) return Value(std::int64_t{0});
-              const int c = a.compare(b);
-              bool r = false;
-              switch (e.op) {
-                case BinOp::Eq: r = c == 0; break;
-                case BinOp::Ne: r = c != 0; break;
-                case BinOp::Lt: r = c < 0; break;
-                case BinOp::Le: r = c <= 0; break;
-                case BinOp::Gt: r = c > 0; break;
-                default: r = c >= 0; break;
-              }
-              return Value(static_cast<std::int64_t>(r));
-            }
-          }
-        }
-        case Expr::Kind::In: {
-          const Value needle = eval(*e.lhs, row);
-          if (needle.isNull()) return Value(std::int64_t{0});
-          for (const auto& item : e.list) {
-            if (needle.compare(eval(*item, row)) == 0) return Value(std::int64_t{1});
-          }
-          return Value(std::int64_t{0});
-        }
-        case Expr::Kind::IsNull: {
-          const bool isNull = eval(*e.lhs, row).isNull();
-          return Value(static_cast<std::int64_t>(isNull != e.negated));
-        }
-        case Expr::Kind::Not:
-          return Value(static_cast<std::int64_t>(!valueIsTrue(eval(*e.lhs, row))));
-        default:
-          throw std::runtime_error("unsupported expression in UPDATE/DELETE");
-      }
-    }
-  };
-  RowEval ev{table, params};
-  if (candidates) {
-    for (RowId id : *candidates) {
-      ++stats.rowsExamined;
-      stats.bytesExamined += table.avgRowBytes();
-      if (needVerify == nullptr || valueIsTrue(ev.eval(*needVerify, table.row(id)))) {
-        out.push_back(id);
-      }
-    }
-    return out;
-  }
-  table.forEachRow([&](RowId id) {
-    ++stats.rowsExamined;
-    stats.bytesExamined += table.avgRowBytes();
-    if (where == nullptr || valueIsTrue(ev.eval(*where, table.row(id)))) {
-      out.push_back(id);
-    }
-  });
-  return out;
 }
 
 Value coerce(const Value& v, ColumnType type) {
@@ -1001,64 +272,634 @@ Value coerce(const Value& v, ColumnType type) {
   return v;
 }
 
-Value evalStandalone(const Expr& e, std::span<const Value> params) {
-  switch (e.kind) {
-    case Expr::Kind::Literal:
-      return e.literal;
-    case Expr::Kind::Param:
-      if (e.paramIndex > params.size()) {
-        throw std::runtime_error("missing bind parameter");
-      }
-      return params[e.paramIndex - 1];
-    case Expr::Kind::Binary: {
-      const Value a = evalStandalone(*e.lhs, params);
-      const Value b = evalStandalone(*e.rhs, params);
-      if (a.isNull() || b.isNull()) return Value();
-      switch (e.op) {
-        case BinOp::Add:
-          return (a.isInt() && b.isInt()) ? Value(a.asInt() + b.asInt())
-                                          : Value(a.asDouble() + b.asDouble());
-        case BinOp::Sub:
-          return (a.isInt() && b.isInt()) ? Value(a.asInt() - b.asInt())
-                                          : Value(a.asDouble() - b.asDouble());
-        case BinOp::Mul:
-          return (a.isInt() && b.isInt()) ? Value(a.asInt() * b.asInt())
-                                          : Value(a.asDouble() * b.asDouble());
-        case BinOp::Div:
-          return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
-        default:
-          throw std::runtime_error("unsupported operator in value expression");
-      }
+// ---------------------------------------------------------------------------
+// Access paths: turn an AccessPath plus bound parameters into a stream of
+// candidate RowIds. Statistics count every row the engine touches, matching
+// the pre-plan executor's accounting row for row (except where an early
+// exit genuinely touches fewer rows — that reduction is the point).
+
+/// Range bounds merged at execution: the tightest of each side wins; on
+/// equal values a strict bound beats an inclusive one (their conjunction).
+struct MergedRange {
+  bool empty = false;
+  std::optional<Value> lo;
+  bool loInc = true;
+  std::optional<Value> hi;
+  bool hiInc = true;
+};
+
+MergedRange mergeBounds(const AccessPath& a, std::span<const Value> params) {
+  MergedRange m;
+  for (const auto& b : a.lower) {
+    const Value v = evalExpr(*b.expr, params, NoRow{});
+    if (v.isNull()) {  // `col > NULL` is never true
+      m.empty = true;
+      return m;
     }
-    default:
-      throw std::runtime_error("column reference in value-only expression");
+    if (!m.lo || v > *m.lo || (v == *m.lo && m.loInc && !b.inclusive)) {
+      m.lo = v;
+      m.loInc = b.inclusive;
+    }
+  }
+  for (const auto& b : a.upper) {
+    const Value v = evalExpr(*b.expr, params, NoRow{});
+    if (v.isNull()) {
+      m.empty = true;
+      return m;
+    }
+    if (!m.hi || v < *m.hi || (v == *m.hi && m.hiInc && !b.inclusive)) {
+      m.hi = v;
+      m.hiInc = b.inclusive;
+    }
+  }
+  // A crossed range (lo past hi) is empty. Without this, the scan's begin
+  // iterator would sit after its end iterator and the walk would run off
+  // the index.
+  if (m.lo && m.hi) {
+    const int c = m.lo->compare(*m.hi);
+    if (c > 0 || (c == 0 && (!m.loInc || !m.hiInc))) m.empty = true;
+  }
+  return m;
+}
+
+/// Streams candidate row ids of `table` for the given access path into
+/// `fn(RowId) -> bool` (false stops the scan). Counts examined rows.
+template <typename Fn>
+void scanAccess(const AccessPath& a, const Table& table, std::span<const Value> params,
+                ExecStats& stats, Fn&& fn) {
+  const std::size_t rowBytes = table.avgRowBytes();
+  auto count = [&] {
+    ++stats.rowsExamined;
+    stats.bytesExamined += rowBytes;
+  };
+  switch (a.kind) {
+    case AccessPath::Kind::FullScan:
+      table.forEachRowWhile([&](RowId id) {
+        count();
+        return fn(id);
+      });
+      return;
+
+    case AccessPath::Kind::PkEq: {
+      stats.usedIndex = true;
+      const Value key = evalExpr(*a.eqKey, params, NoRow{});
+      if (key.isNull()) return;  // `pk = NULL` matches nothing
+      if (auto id = table.findByPk(key)) {
+        count();
+        fn(*id);
+      }
+      return;
+    }
+
+    case AccessPath::Kind::IndexEq: {
+      stats.usedIndex = true;
+      const Value key = evalExpr(*a.eqKey, params, NoRow{});
+      if (key.isNull()) return;
+      for (RowId id : table.findByIndex(a.column, key)) {
+        count();
+        if (!fn(id)) return;
+      }
+      return;
+    }
+
+    case AccessPath::Kind::InList: {
+      stats.usedIndex = true;
+      // Evaluate and deduplicate the keys (first occurrence wins): a
+      // duplicate IN item must not produce a duplicate output row, exactly
+      // as it cannot under a full scan.
+      std::vector<Value> keys;
+      keys.reserve(a.inKeys.size());
+      for (const auto& item : a.inKeys) {
+        Value v = evalExpr(*item, params, NoRow{});
+        if (v.isNull()) continue;  // `col IN (..., NULL, ...)` never matches NULL
+        if (std::find(keys.begin(), keys.end(), v) == keys.end()) keys.push_back(std::move(v));
+      }
+      for (const Value& key : keys) {
+        if (a.viaPk) {
+          if (auto id = table.findByPk(key)) {
+            count();
+            if (!fn(*id)) return;
+          }
+        } else {
+          for (RowId id : table.findByIndex(a.column, key)) {
+            count();
+            if (!fn(id)) return;
+          }
+        }
+      }
+      return;
+    }
+
+    case AccessPath::Kind::IndexRange: {
+      stats.usedIndex = true;
+      const MergedRange m = mergeBounds(a, params);
+      if (m.empty) return;
+      const auto& index = *table.orderedIndex(a.column);
+      auto it = m.lo ? (m.loInc ? index.lower_bound(*m.lo) : index.upper_bound(*m.lo))
+                     : index.begin();
+      const auto end = m.hi ? (m.hiInc ? index.upper_bound(*m.hi) : index.lower_bound(*m.hi))
+                            : index.end();
+      for (; it != end; ++it) {
+        count();
+        // With no lower bound the scan starts at the NULL entries; the
+        // consumed `col <= hi` conjunct rejects them (counted as examined,
+        // exactly as the unplanned executor's residual filter did).
+        if (it->first.isNull()) continue;
+        if (!fn(it->second)) return;
+      }
+      return;
+    }
+
+    case AccessPath::Kind::OrderedIndexScan: {
+      stats.usedIndex = true;
+      const auto& index = *table.orderedIndex(a.column);
+      const bool ranged = !a.lower.empty() || !a.upper.empty();
+      auto begin = index.begin();
+      auto end = index.end();
+      if (ranged) {
+        const MergedRange m = mergeBounds(a, params);
+        if (m.empty) return;
+        begin = m.lo ? (m.loInc ? index.lower_bound(*m.lo) : index.upper_bound(*m.lo))
+                     : index.begin();
+        end = m.hi ? (m.hiInc ? index.upper_bound(*m.hi) : index.lower_bound(*m.hi))
+                   : index.end();
+      }
+      // Emit one equal-key block at a time so ties reproduce the exact
+      // order the eliminated stable_sort produced (see AccessPath).
+      std::vector<RowId> block;
+      auto emitBlock = [&](auto b, auto e) {
+        if (a.blockRowIdOrder) {
+          block.clear();
+          for (; b != e; ++b) {
+            count();
+            block.push_back(b->second);
+          }
+          std::sort(block.begin(), block.end());
+          for (RowId id : block) {
+            if (!fn(id)) return false;
+          }
+        } else {
+          for (; b != e; ++b) {
+            count();
+            if (ranged && b->first.isNull()) continue;
+            if (!fn(b->second)) return false;
+          }
+        }
+        return true;
+      };
+      if (!a.descending) {
+        auto it = begin;
+        while (it != end) {
+          auto stop = index.upper_bound(it->first);
+          if (!emitBlock(it, stop)) return;
+          it = stop;
+        }
+      } else {
+        auto it = end;
+        while (it != begin) {
+          auto blockBegin = index.lower_bound(std::prev(it)->first);
+          if (!emitBlock(blockBegin, it)) return;
+          it = blockBegin;
+        }
+      }
+      return;
+    }
+
+    case AccessPath::Kind::AggFast:
+      throw std::runtime_error("aggregate fast path has no row stream");
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// SELECT execution.
 
-ExecResult Executor::executeInsert(const InsertStmt& s, std::span<const Value> params) {
+class SelectExec {
+ public:
+  SelectExec(Database& db, const SelectPlan& p, std::span<const Value> params,
+             ExecStats& stats)
+      : p_(p), params_(params), stats_(stats) {
+    tables_.reserve(p.tableNames.size());
+    for (const auto& name : p.tableNames) tables_.push_back(&db.table(name));
+  }
+
+  ResultSet run() {
+    if (p_.access.kind == AccessPath::Kind::AggFast) return runAggFast();
+    ResultSet rs;
+    rs.columns.reserve(p_.items.size());
+    for (const auto& item : p_.items) rs.columns.push_back(item.name);
+    if (p_.joins.empty() && !p_.grouped) {
+      runSingle(rs);
+    } else {
+      runGeneric(rs);
+    }
+    stats_.rowsReturned += rs.rows.size();
+    stats_.resultBytes += rs.byteSize();
+    return rs;
+  }
+
+ private:
+  struct SortableRow {
+    Row out;
+    std::vector<Value> keys;
+  };
+
+  // ----- single-table, non-grouped: the hot path -----
+  bool passesFilters(const SingleRow& src) const {
+    for (const auto& c : p_.baseFilter) {
+      if (!valueIsTrue(evalExpr(*c, params_, src))) return false;
+    }
+    for (const auto& c : p_.residual) {
+      if (!valueIsTrue(evalExpr(*c, params_, src))) return false;
+    }
+    return true;
+  }
+
+  Row projectSingle(const SingleRow& src) const {
+    Row out;
+    out.reserve(p_.items.size());
+    for (const auto& item : p_.items) {
+      if (item.direct) {
+        out.push_back(src.at(*item.direct));
+      } else {
+        out.push_back(evalExpr(*item.expr, params_, src));
+      }
+    }
+    return out;
+  }
+
+  void runSingle(ResultSet& rs) {
+    const Table& table = *tables_[0];
+    const bool needSort = !p_.orderBy.empty() && !p_.sortElided;
+    const auto offset = static_cast<std::size_t>(p_.offset);
+
+    if (needSort) {
+      // Collect, then the shared distinct/sort/slice tail.
+      std::vector<SortableRow> rows;
+      scanAccess(p_.access, table, params_, stats_, [&](RowId id) {
+        const SingleRow src{&table.row(id)};
+        if (!passesFilters(src)) return true;
+        SortableRow r;
+        r.out = projectSingle(src);
+        r.keys.reserve(p_.orderBy.size());
+        for (const auto& ok : p_.orderBy) {
+          if (ok.outputIndex) r.keys.push_back(r.out[*ok.outputIndex]);
+          else r.keys.push_back(evalExpr(*ok.expr, params_, src));
+        }
+        rows.push_back(std::move(r));
+        return true;
+      });
+      finish(rows, rs);
+      return;
+    }
+
+    if (p_.distinct) {
+      // DISTINCT without a sort: stream with first-occurrence dedup; done
+      // once offset+limit distinct rows exist.
+      std::vector<Row> uniques;
+      const std::optional<std::size_t> want =
+          p_.limit ? std::optional<std::size_t>(offset + static_cast<std::size_t>(*p_.limit))
+                   : std::nullopt;
+      scanAccess(p_.access, table, params_, stats_, [&](RowId id) {
+        const SingleRow src{&table.row(id)};
+        if (!passesFilters(src)) return true;
+        Row out = projectSingle(src);
+        for (const Row& kept : uniques) {
+          bool equal = kept.size() == out.size();
+          for (std::size_t i = 0; equal && i < kept.size(); ++i) {
+            equal = kept[i].compare(out[i]) == 0;
+          }
+          if (equal) return true;
+        }
+        uniques.push_back(std::move(out));
+        return !(want && uniques.size() >= *want);
+      });
+      const std::size_t begin = std::min(uniques.size(), offset);
+      std::size_t end = uniques.size();
+      if (p_.limit) end = std::min(end, begin + static_cast<std::size_t>(*p_.limit));
+      for (std::size_t i = begin; i < end; ++i) rs.rows.push_back(std::move(uniques[i]));
+      return;
+    }
+
+    // Streaming with early exit: no sort pending (either no ORDER BY, or an
+    // ordered-index scan already yields rows in order), so the scan can
+    // stop at OFFSET+LIMIT — the rows a real engine would never touch are
+    // never examined, and never charged.
+    std::size_t skipped = 0;
+    scanAccess(p_.access, table, params_, stats_, [&](RowId id) {
+      const SingleRow src{&table.row(id)};
+      if (!passesFilters(src)) return true;
+      if (skipped < offset) {
+        ++skipped;
+        return true;
+      }
+      if (p_.limit && rs.rows.size() >= static_cast<std::size_t>(*p_.limit)) return false;
+      rs.rows.push_back(projectSingle(src));
+      return !(p_.limit && rs.rows.size() >= static_cast<std::size_t>(*p_.limit));
+    });
+  }
+
+  // ----- joins and/or grouping: flat bindings, no early exit -----
+  void runGeneric(ResultSet& rs) {
+    const std::size_t width = tables_.size();
+
+    // Base access + base-only filter pushdown.
+    std::vector<RowId> flat;  // bindings, `stride` ids each
+    std::size_t stride = 1;
+    scanAccess(p_.access, *tables_[0], params_, stats_, [&](RowId id) {
+      const SingleRow src{&tables_[0]->row(id)};
+      for (const auto& c : p_.baseFilter) {
+        if (!valueIsTrue(evalExpr(*c, params_, src))) return true;
+      }
+      flat.push_back(id);
+      return true;
+    });
+
+    // Join steps, widening each binding by one id.
+    for (std::size_t j = 0; j < p_.joins.size(); ++j) {
+      const SelectPlan::JoinStep& step = p_.joins[j];
+      const Table& inner = *tables_[j + 1];
+      const std::size_t innerBytes = inner.avgRowBytes();
+      std::vector<RowId> next;
+      const std::size_t n = flat.size() / stride;
+      for (std::size_t b = 0; b < n; ++b) {
+        const RowId* ids = flat.data() + b * stride;
+        auto extend = [&](RowId id) {
+          next.insert(next.end(), ids, ids + stride);
+          next.push_back(id);
+        };
+        switch (step.kind) {
+          case SelectPlan::JoinStep::Kind::PkLookup: {
+            stats_.usedIndex = true;
+            const Value key = evalExpr(*step.outerKey, params_, FlatRow{&tables_, ids});
+            if (key.isNull()) break;  // NULL never joins
+            if (auto id = inner.findByPk(key)) {
+              ++stats_.rowsExamined;
+              stats_.bytesExamined += innerBytes;
+              extend(*id);
+            }
+            break;
+          }
+          case SelectPlan::JoinStep::Kind::IndexLookup: {
+            stats_.usedIndex = true;
+            const Value key = evalExpr(*step.outerKey, params_, FlatRow{&tables_, ids});
+            if (key.isNull()) break;
+            for (RowId id : inner.findByIndex(step.innerColumn, key)) {
+              ++stats_.rowsExamined;
+              stats_.bytesExamined += innerBytes;
+              extend(id);
+            }
+            break;
+          }
+          case SelectPlan::JoinStep::Kind::ScanEq: {
+            const Value key = evalExpr(*step.outerKey, params_, FlatRow{&tables_, ids});
+            inner.forEachRow([&](RowId id) {
+              ++stats_.rowsExamined;
+              stats_.bytesExamined += innerBytes;
+              if (!key.isNull() && inner.row(id)[step.innerColumn] == key) extend(id);
+            });
+            break;
+          }
+          case SelectPlan::JoinStep::Kind::Cross:
+            inner.forEachRow([&](RowId id) {
+              ++stats_.rowsExamined;
+              stats_.bytesExamined += innerBytes;
+              extend(id);
+            });
+            break;
+        }
+      }
+      flat = std::move(next);
+      ++stride;
+    }
+
+    // Residual filter over fully bound rows.
+    if (!p_.residual.empty()) {
+      std::vector<RowId> kept;
+      const std::size_t n = flat.size() / stride;
+      for (std::size_t b = 0; b < n; ++b) {
+        const RowId* ids = flat.data() + b * stride;
+        const FlatRow src{&tables_, ids};
+        bool pass = true;
+        for (const auto& c : p_.residual) {
+          if (!valueIsTrue(evalExpr(*c, params_, src))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.insert(kept.end(), ids, ids + stride);
+      }
+      flat = std::move(kept);
+    }
+
+    (void)width;
+    std::vector<SortableRow> rows;
+    const std::size_t n = flat.size() / stride;
+    if (p_.grouped) {
+      projectGrouped(flat, stride, n, rows);
+    } else {
+      for (std::size_t b = 0; b < n; ++b) {
+        const FlatRow src{&tables_, flat.data() + b * stride};
+        SortableRow r;
+        r.out.reserve(p_.items.size());
+        for (const auto& item : p_.items) {
+          if (item.direct) r.out.push_back(src.at(*item.direct));
+          else r.out.push_back(evalExpr(*item.expr, params_, src));
+        }
+        r.keys.reserve(p_.orderBy.size());
+        for (const auto& ok : p_.orderBy) {
+          if (ok.outputIndex) r.keys.push_back(r.out[*ok.outputIndex]);
+          else r.keys.push_back(evalExpr(*ok.expr, params_, src));
+        }
+        rows.push_back(std::move(r));
+      }
+    }
+    finish(rows, rs);
+  }
+
+  void projectGrouped(const std::vector<RowId>& flat, std::size_t stride, std::size_t n,
+                      std::vector<SortableRow>& rows) {
+    // Group keys are compared with Value::compare via std::map, so group
+    // iteration (and thus pre-sort output order) is deterministic.
+    std::map<std::vector<Value>, std::vector<const RowId*>> groups;
+    for (std::size_t b = 0; b < n; ++b) {
+      const RowId* ids = flat.data() + b * stride;
+      const FlatRow src{&tables_, ids};
+      std::vector<Value> key;
+      key.reserve(p_.groupKeys.size());
+      for (const auto& g : p_.groupKeys) key.push_back(evalExpr(*g, params_, src));
+      groups[std::move(key)].push_back(ids);
+    }
+    if (groups.empty() && p_.groupKeys.empty()) {
+      groups[{}] = {};  // aggregates over an empty input produce one row
+    }
+    stats_.aggregatedGroups += groups.size();
+    for (auto& [key, members] : groups) {
+      const GroupView group{&tables_, &members};
+      if (members.empty() && !p_.groupKeys.empty()) continue;
+      if (p_.having && !members.empty() &&
+          !valueIsTrue(evalGrouped(*p_.having, params_, group))) {
+        continue;
+      }
+      SortableRow r;
+      r.out.reserve(p_.items.size());
+      for (const auto& item : p_.items) {
+        if (members.empty()) {
+          // COUNT over empty input is 0; anything else is NULL.
+          if (item.expr && item.expr->kind == Expr::Kind::Aggregate &&
+              item.expr->agg == AggFunc::Count) {
+            r.out.push_back(Value(std::int64_t{0}));
+          } else {
+            r.out.push_back(Value());
+          }
+        } else if (item.direct) {
+          r.out.push_back(group.member(0).at(*item.direct));
+        } else {
+          r.out.push_back(evalGrouped(*item.expr, params_, group));
+        }
+      }
+      r.keys.reserve(p_.orderBy.size());
+      for (const auto& ok : p_.orderBy) {
+        if (ok.outputIndex) {
+          r.keys.push_back(r.out[*ok.outputIndex]);
+        } else if (!members.empty()) {
+          r.keys.push_back(evalGrouped(*ok.expr, params_, group));
+        } else {
+          r.keys.push_back(Value());
+        }
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+
+  /// Shared tail: DISTINCT, ORDER BY, OFFSET/LIMIT.
+  void finish(std::vector<SortableRow>& rows, ResultSet& rs) {
+    if (p_.distinct) {
+      // First occurrence of each distinct projected row wins.
+      std::vector<SortableRow> unique;
+      unique.reserve(rows.size());
+      for (auto& row : rows) {
+        bool seen = false;
+        for (const auto& kept : unique) {
+          bool equal = kept.out.size() == row.out.size();
+          for (std::size_t i = 0; equal && i < kept.out.size(); ++i) {
+            equal = kept.out[i].compare(row.out[i]) == 0;
+          }
+          if (equal) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) unique.push_back(std::move(row));
+      }
+      rows = std::move(unique);
+    }
+
+    if (!p_.orderBy.empty()) {
+      stats_.rowsSorted += rows.size();
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const SortableRow& a, const SortableRow& b) {
+                         for (std::size_t i = 0; i < p_.orderBy.size(); ++i) {
+                           const int c = a.keys[i].compare(b.keys[i]);
+                           if (c != 0) return p_.orderBy[i].descending ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+
+    const std::size_t begin =
+        std::min<std::size_t>(rows.size(), static_cast<std::size_t>(p_.offset));
+    std::size_t end = rows.size();
+    if (p_.limit) end = std::min(end, begin + static_cast<std::size_t>(*p_.limit));
+    for (std::size_t i = begin; i < end; ++i) rs.rows.push_back(std::move(rows[i].out));
+  }
+
+  /// O(1) MAX/MIN/COUNT(*) from index metadata. Whether the table is empty
+  /// is checked here, at execution — the plan must stay data-independent.
+  ResultSet runAggFast() {
+    const Table& table = *tables_[0];
+    const AccessPath& a = p_.access;
+    ResultSet rs;
+    rs.columns.push_back(a.aggOutputName);
+    Row row;
+    switch (a.aggFast) {
+      case AccessPath::AggFastKind::CountStar:
+        row.push_back(Value(static_cast<std::int64_t>(table.size())));
+        stats_.rowsExamined += 1;
+        break;
+      case AccessPath::AggFastKind::MaxAutoPk: {
+        // The auto-increment counter bounds every live pk from above (explicit
+        // inserts bump it past themselves), but the row holding the newest id
+        // may have been deleted — probe downward until a live row answers.
+        Value found;
+        for (std::int64_t id = table.maxAssignedId(); id >= 1; --id) {
+          stats_.rowsExamined += 1;
+          if (table.findByPk(Value(id))) {
+            found = Value(id);
+            break;
+          }
+        }
+        row.push_back(std::move(found));
+        break;
+      }
+      case AccessPath::AggFastKind::IndexMin: {
+        // NULLs sort first in the index and MIN ignores them.
+        const auto* idx = table.orderedIndex(a.aggColumn);
+        const auto it = idx->upper_bound(Value());
+        row.push_back(it == idx->end() ? Value() : it->first);
+        stats_.rowsExamined += 1;
+        break;
+      }
+      case AccessPath::AggFastKind::IndexMax: {
+        // The largest key is NULL only when every value is NULL — and then
+        // MAX is NULL anyway.
+        const auto v = table.indexMax(a.aggColumn);
+        row.push_back(v && !v->isNull() ? *v : Value());
+        stats_.rowsExamined += 1;
+        break;
+      }
+      case AccessPath::AggFastKind::None:
+        throw std::runtime_error("malformed aggregate fast path");
+    }
+    rs.rows.push_back(std::move(row));
+    if (p_.offset > 0 || (p_.limit && *p_.limit == 0)) rs.rows.clear();
+    stats_.usedIndex = true;
+    stats_.rowsReturned += rs.rows.size();
+    stats_.resultBytes += rs.byteSize();
+    return rs;
+  }
+
+  const SelectPlan& p_;
+  std::span<const Value> params_;
+  ExecStats& stats_;
+  std::vector<const Table*> tables_;
+};
+
+// ---------------------------------------------------------------------------
+// Writes.
+
+/// Candidate rows for UPDATE/DELETE: access path plus residual re-check.
+std::vector<RowId> writeMatches(const Table& table, const AccessPath& access,
+                                const std::vector<CompiledExprPtr>& residual,
+                                std::span<const Value> params, ExecStats& stats) {
+  std::vector<RowId> out;
+  scanAccess(access, table, params, stats, [&](RowId id) {
+    const SingleRow src{&table.row(id)};
+    for (const auto& c : residual) {
+      if (!valueIsTrue(evalExpr(*c, params, src))) return true;
+    }
+    out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+ExecResult executeInsert(Database& db, const InsertPlan& p, std::span<const Value> params) {
   ExecResult result;
-  Table& table = db_.table(s.table);
-  const auto& schema = table.schema();
-  Row row(schema.columns.size());  // default NULLs
-
-  if (s.columns.empty()) {
-    if (s.values.size() != schema.columns.size()) {
-      throw std::runtime_error("INSERT value count mismatch for " + s.table);
-    }
-    for (std::size_t i = 0; i < s.values.size(); ++i) {
-      row[i] = coerce(evalStandalone(*s.values[i], params), schema.columns[i].type);
-    }
-  } else {
-    if (s.columns.size() != s.values.size()) {
-      throw std::runtime_error("INSERT column/value count mismatch for " + s.table);
-    }
-    for (std::size_t i = 0; i < s.columns.size(); ++i) {
-      auto c = schema.columnIndex(s.columns[i]);
-      if (!c) throw std::runtime_error("unknown column in INSERT: " + s.columns[i]);
-      row[*c] = coerce(evalStandalone(*s.values[i], params), schema.columns[*c].type);
-    }
+  Table& table = db.table(p.tableName);
+  Row row(p.columnCount);  // default NULLs
+  for (std::size_t i = 0; i < p.values.size(); ++i) {
+    row[p.targets[i].column] =
+        coerce(evalExpr(*p.values[i], params, NoRow{}), p.targets[i].type);
   }
   result.lastInsertId = table.insert(std::move(row));
   result.affectedRows = 1;
@@ -1066,77 +907,20 @@ ExecResult Executor::executeInsert(const InsertStmt& s, std::span<const Value> p
   return result;
 }
 
-ExecResult Executor::executeUpdate(const UpdateStmt& s, std::span<const Value> params) {
+ExecResult executeUpdate(Database& db, const UpdatePlan& p, std::span<const Value> params) {
   ExecResult result;
-  Table& table = db_.table(s.table);
-  const auto& schema = table.schema();
-  const auto matches = findMatches(db_, s.table, s.where.get(), params, result.stats);
-
-  // Pre-resolve assignment targets.
-  struct Target {
-    std::size_t column;
-    const Expr* value;
-  };
-  std::vector<Target> targets;
-  for (const auto& a : s.sets) {
-    auto c = schema.columnIndex(a.column);
-    if (!c) throw std::runtime_error("unknown column in UPDATE: " + a.column);
-    targets.push_back({*c, a.value.get()});
-  }
-
-  // Row-context evaluator (assignments may reference current values,
-  // e.g. SET qty = qty + 1).
-  struct RowEval {
-    const Table& table;
-    std::span<const Value> params;
-    Value eval(const Expr& e, const Row& row) const {
-      switch (e.kind) {
-        case Expr::Kind::Literal:
-          return e.literal;
-        case Expr::Kind::Param:
-          return params[e.paramIndex - 1];
-        case Expr::Kind::Column: {
-          auto c = table.schema().columnIndex(e.column);
-          if (!c) throw std::runtime_error("unknown column: " + e.column);
-          return row[*c];
-        }
-        case Expr::Kind::Binary: {
-          const Value a = eval(*e.lhs, row);
-          const Value b = eval(*e.rhs, row);
-          if (a.isNull() || b.isNull()) return Value();
-          switch (e.op) {
-            case BinOp::Add:
-              return (a.isInt() && b.isInt()) ? Value(a.asInt() + b.asInt())
-                                              : Value(a.asDouble() + b.asDouble());
-            case BinOp::Sub:
-              return (a.isInt() && b.isInt()) ? Value(a.asInt() - b.asInt())
-                                              : Value(a.asDouble() - b.asDouble());
-            case BinOp::Mul:
-              return (a.isInt() && b.isInt()) ? Value(a.asInt() * b.asInt())
-                                              : Value(a.asDouble() * b.asDouble());
-            case BinOp::Div:
-              return b.asDouble() == 0 ? Value() : Value(a.asDouble() / b.asDouble());
-            default:
-              throw std::runtime_error("unsupported operator in SET expression");
-          }
-        }
-        default:
-          throw std::runtime_error("unsupported expression in SET");
-      }
-    }
-  };
-  RowEval ev{table, params};
-
+  Table& table = db.table(p.tableName);
+  const auto matches = writeMatches(table, p.access, p.residual, params, result.stats);
   for (RowId id : matches) {
-    // Evaluate all assignments against the pre-update row, then apply.
+    // Evaluate every assignment against the pre-update row, then apply.
+    const SingleRow src{&table.row(id)};
     std::vector<Value> newValues;
-    newValues.reserve(targets.size());
-    for (const Target& t : targets) {
-      newValues.push_back(
-          coerce(ev.eval(*t.value, table.row(id)), schema.columns[t.column].type));
+    newValues.reserve(p.sets.size());
+    for (const auto& t : p.sets) {
+      newValues.push_back(coerce(evalExpr(*t.value, params, src), t.type));
     }
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      table.updateCell(id, targets[i].column, std::move(newValues[i]));
+    for (std::size_t i = 0; i < p.sets.size(); ++i) {
+      table.updateCell(id, p.sets[i].column, std::move(newValues[i]));
     }
   }
   result.affectedRows = matches.size();
@@ -1144,83 +928,63 @@ ExecResult Executor::executeUpdate(const UpdateStmt& s, std::span<const Value> p
   return result;
 }
 
-ExecResult Executor::executeDelete(const DeleteStmt& s, std::span<const Value> params) {
+ExecResult executeDelete(Database& db, const DeletePlan& p, std::span<const Value> params) {
   ExecResult result;
-  Table& table = db_.table(s.table);
-  const auto matches = findMatches(db_, s.table, s.where.get(), params, result.stats);
+  Table& table = db.table(p.tableName);
+  const auto matches = writeMatches(table, p.access, p.residual, params, result.stats);
   for (RowId id : matches) table.erase(id);
   result.affectedRows = matches.size();
   result.stats.rowsModified = matches.size();
   return result;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// SelectRunner::run — the SELECT pipeline: access path, joins, residual
-// filter, then projection/grouping/order/limit.
+// Executor entry points.
 
-namespace {
-
-ResultSet SelectRunner::run() {
-  tables_.clear();
-  tables_.push_back({stmt_.from.alias, &db_.table(stmt_.from.table)});
-  for (const auto& j : stmt_.joins) {
-    tables_.push_back({j.table.alias, &db_.table(j.table.table)});
+ExecResult Executor::executePlan(const Plan& plan, std::span<const Value> params) {
+  if (params.size() < plan.paramCount) {
+    throw std::runtime_error("statement needs " + std::to_string(plan.paramCount) +
+                             " parameters, got " + std::to_string(params.size()) + ": " +
+                             plan.text);
   }
-
-  std::vector<const Expr*> conjuncts;
-  splitConjuncts(stmt_.where.get(), conjuncts);
-
-  // Base table access.
-  std::vector<Binding> bindings;
-  {
-    auto baseRows = baseTableCandidates(conjuncts);
-    bindings.reserve(baseRows.size());
-    for (RowId id : baseRows) bindings.push_back(Binding{id});
-  }
-
-  // Push down conjuncts that reference only the base table before joining,
-  // so selective filters (e.g. LIKE on the driving table) do not fan out
-  // through the joins first.
-  if (!stmt_.joins.empty() && !conjuncts.empty() && !bindings.empty()) {
-    std::vector<const Expr*> baseOnly;
-    for (const Expr* c : conjuncts) {
-      if (referencesOnlyTable(*c, 0)) baseOnly.push_back(c);
+  switch (plan.kind) {
+    case Statement::Kind::Select: {
+      ExecResult result;
+      result.resultSet = SelectExec(db_, plan.select, params, result.stats).run();
+      return result;
     }
-    if (!baseOnly.empty()) {
-      std::vector<Binding> kept;
-      kept.reserve(bindings.size());
-      for (Binding& b : bindings) {
-        bool pass = true;
-        for (const Expr* c : baseOnly) {
-          if (!valueIsTrue(eval(*c, b))) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) kept.push_back(std::move(b));
-      }
-      bindings = std::move(kept);
-    }
+    case Statement::Kind::Insert:
+      return executeInsert(db_, plan.insert, params);
+    case Statement::Kind::Update:
+      return executeUpdate(db_, plan.update, params);
+    case Statement::Kind::Delete:
+      return executeDelete(db_, plan.del, params);
+    case Statement::Kind::LockTables:
+    case Statement::Kind::UnlockTables:
+      // Lock statements are handled by the DatabaseServer; executing them
+      // against the bare engine is a no-op.
+      return {};
   }
-
-  // Joins.
-  for (std::size_t j = 0; j < stmt_.joins.size(); ++j) {
-    joinTable(j + 1, &stmt_.joins[j], conjuncts, bindings);
-  }
-
-  // Residual WHERE filter.
-  if (stmt_.where) {
-    std::vector<Binding> filtered;
-    filtered.reserve(bindings.size());
-    for (Binding& b : bindings) {
-      if (valueIsTrue(eval(*stmt_.where, b))) filtered.push_back(std::move(b));
-    }
-    bindings = std::move(filtered);
-  }
-
-  return project(bindings);
+  throw std::runtime_error("unhandled statement kind");
 }
 
-}  // namespace
+ExecResult Executor::execute(const Statement& stmt, std::span<const Value> params) {
+  if (params.size() < stmt.paramCount) {
+    throw std::runtime_error("statement needs " + std::to_string(stmt.paramCount) +
+                             " parameters, got " + std::to_string(params.size()) + ": " +
+                             stmt.text);
+  }
+  return executePlan(*buildPlan(stmt, db_), params);
+}
+
+ExecResult Executor::execute(const PlannedStatement& stmt, std::span<const Value> params) {
+  return executePlan(*stmt.planFor(db_), params);
+}
+
+ExecResult Executor::query(std::string_view sql, std::span<const Value> params) {
+  return execute(*parseSql(sql), params);
+}
 
 }  // namespace mwsim::db

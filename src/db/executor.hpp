@@ -5,11 +5,18 @@
 
 #include "db/ast.hpp"
 #include "db/database.hpp"
+#include "db/plan.hpp"
 #include "db/result.hpp"
 
 namespace mwsim::db {
 
-/// Executes parsed statements against a Database.
+/// Executes planned statements against a Database.
+///
+/// Planning (name resolution, index selection, join ordering — see
+/// db/plan.hpp) is separated from execution: the hot middleware path plans a
+/// prepared statement once and re-executes the cached Plan with fresh
+/// parameter bindings, touching no per-execution allocations beyond the
+/// result rows themselves.
 ///
 /// The executor is synchronous and instantaneous (no simulated time); the
 /// simulated DatabaseServer charges CPU time from the ExecStats it returns.
@@ -17,18 +24,20 @@ class Executor {
  public:
   explicit Executor(Database& db) : db_(db) {}
 
-  /// Executes a statement with bound parameters (one Value per `?`).
+  /// Plans ad hoc, then executes (tests, data loading, one-off SQL).
   ExecResult execute(const Statement& stmt, std::span<const Value> params = {});
 
-  /// Convenience: parse + execute in one step (tests, data loading).
+  /// Executes through the statement's per-catalog plan cache — the prepared
+  /// statement hot path used by mw::StatementCache.
+  ExecResult execute(const PlannedStatement& stmt, std::span<const Value> params = {});
+
+  /// Executes a prebuilt plan directly (micro-benchmarks, plan tests).
+  ExecResult executePlan(const Plan& plan, std::span<const Value> params = {});
+
+  /// Convenience: parse + plan + execute in one step.
   ExecResult query(std::string_view sql, std::span<const Value> params = {});
 
  private:
-  ExecResult executeSelect(const SelectStmt& s, std::span<const Value> params);
-  ExecResult executeInsert(const InsertStmt& s, std::span<const Value> params);
-  ExecResult executeUpdate(const UpdateStmt& s, std::span<const Value> params);
-  ExecResult executeDelete(const DeleteStmt& s, std::span<const Value> params);
-
   Database& db_;
 };
 

@@ -78,6 +78,16 @@ class Table {
     }
   }
 
+  /// Like forEachRow, but stops as soon as `fn` returns false — so a scan
+  /// feeding LIMIT can quit without touching (or charging for) the rest of
+  /// the table.
+  template <typename Fn>
+  void forEachRowWhile(Fn&& fn) const {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!tombstone_[id] && !fn(id)) return;
+    }
+  }
+
   std::int64_t lastInsertId() const noexcept { return lastInsertId_; }
 
   /// Approximate bytes held by live rows (for the resource-usage benches).
@@ -103,6 +113,14 @@ class Table {
     auto it = secondary_.find(column);
     if (it == secondary_.end() || it->second.empty()) return std::nullopt;
     return it->second.rbegin()->first;
+  }
+
+  /// Direct read access to a secondary index's ordered entries, for
+  /// ordered-index scans (ORDER BY without a sort). Null when the column
+  /// carries no index.
+  const std::multimap<Value, RowId>* orderedIndex(std::size_t column) const {
+    auto it = secondary_.find(column);
+    return it == secondary_.end() ? nullptr : &it->second;
   }
 
  private:

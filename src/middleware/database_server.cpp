@@ -49,14 +49,15 @@ std::vector<TableLockNeed> locksNeeded(const db::Statement& stmt) {
 }  // namespace
 
 sim::Task<db::ExecResult> DatabaseServer::Connection::process(
-    std::shared_ptr<const db::Statement> stmt, std::vector<db::Value> params) {
+    std::shared_ptr<const db::PlannedStatement> planned, std::vector<db::Value> params) {
   DatabaseServer& srv = server_;
   ++srv.statements_;
+  const db::Statement& ast = planned->stmt();
 
-  if (stmt->kind == db::Statement::Kind::LockTables) {
+  if (ast.kind == db::Statement::Kind::LockTables) {
     co_await srv.machine_.compute(sim::fromMicros(
         srv.cost_.dbLockStatementUs +
-        srv.cost_.dbLockPerTableUs * static_cast<double>(stmt->lockTables.items.size())));
+        srv.cost_.dbLockPerTableUs * static_cast<double>(ast.lockTables.items.size())));
     // MySQL releases any previously held explicit locks when a new
     // LOCK TABLES statement runs.
     explicitLocks_.clear();
@@ -67,7 +68,7 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
     // Sort the requested tables so every connection acquires in the same
     // order (std::map gives us that for free).
     std::map<std::string, bool> wanted;
-    for (const auto& item : stmt->lockTables.items) {
+    for (const auto& item : ast.lockTables.items) {
       bool& w = wanted[item.table];
       w = w || item.write;
     }
@@ -87,7 +88,7 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
     co_return db::ExecResult{};
   }
 
-  if (stmt->kind == db::Statement::Kind::UnlockTables) {
+  if (ast.kind == db::Statement::Kind::UnlockTables) {
     co_await srv.machine_.compute(sim::fromMicros(
         srv.cost_.dbLockStatementUs +
         srv.cost_.dbLockPerTableUs * static_cast<double>(explicitLocks_.size())));
@@ -106,7 +107,7 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
 
   // Implicit per-statement locks for tables not covered by explicit locks.
   std::vector<sim::LockHold> implicit;
-  for (const auto& need : locksNeeded(*stmt)) {
+  for (const auto& need : locksNeeded(ast)) {
     if (explicitLocks_.contains(need.table)) continue;
     sim::RwLock& lock = srv.tableLock(need.table);
     if (need.write) {
@@ -116,9 +117,10 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
     }
   }
 
-  // Execute against the real engine (instantaneous), then charge the CPU
-  // demand the execution statistics imply, holding the locks throughout.
-  db::ExecResult result = srv.executor_.execute(*stmt, params);
+  // Execute against the real engine (instantaneous) via the statement's
+  // cached plan, then charge the CPU demand the execution statistics imply,
+  // holding the locks throughout.
+  db::ExecResult result = srv.executor_.execute(*planned, params);
   co_await srv.machine_.compute(srv.queryCpuCost(result.stats));
   co_return result;
   // `implicit` holds release here.

@@ -68,7 +68,9 @@ class DatabaseServer {
     Connection& operator=(const Connection&) = delete;
 
     /// Server-side processing: lock acquisition, CPU service, execution.
-    sim::Task<db::ExecResult> process(std::shared_ptr<const db::Statement> stmt,
+    /// Takes the cached planned statement, so repeated executions reuse the
+    /// per-catalog query plan.
+    sim::Task<db::ExecResult> process(std::shared_ptr<const db::PlannedStatement> stmt,
                                       std::vector<db::Value> params);
 
     bool holdsExplicitLocks() const noexcept { return !explicitLocks_.empty(); }

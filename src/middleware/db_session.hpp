@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/parser.hpp"
+#include "db/plan.hpp"
 #include "middleware/cost_model.hpp"
 #include "middleware/database_server.hpp"
 #include "net/network.hpp"
@@ -16,15 +17,19 @@
 namespace mwsim::mw {
 
 /// Process-wide prepared-statement cache: every distinct SQL string is
-/// parsed once (matching how the real drivers cache prepared statements).
+/// parsed once (matching how the real drivers cache prepared statements),
+/// and the cached entry carries its per-catalog query plans — so the hot
+/// path pays planning (name resolution, index selection, join ordering)
+/// once per statement, not once per execution.
 ///
 /// Thread-safe: it is the one piece of state shared between concurrently
 /// running simulations (parallel sweeps run one run per worker thread).
-/// Entries are immutable once inserted and parsing is a pure function of
-/// the SQL text, so cross-thread sharing cannot perturb results.
+/// Entries are immutable once inserted; parsing is a pure function of the
+/// SQL text and plans are pure functions of (SQL, catalog signature), so
+/// cross-thread sharing cannot perturb results.
 class StatementCache {
  public:
-  std::shared_ptr<const db::Statement> get(std::string_view sql) {
+  std::shared_ptr<const db::PlannedStatement> get(std::string_view sql) {
     {
       std::shared_lock lock(mu_);
       auto it = cache_.find(sql);
@@ -33,11 +38,24 @@ class StatementCache {
     // Parse outside any lock — pure and deterministic; if two threads race
     // on the same new statement, both parses yield equivalent objects and
     // the first insert wins.
-    auto stmt = db::parseSql(sql);
+    auto stmt = std::make_shared<db::PlannedStatement>(db::parseSql(sql));
     std::unique_lock lock(mu_);
     auto [it, inserted] = cache_.emplace(std::string(sql), std::move(stmt));
     (void)inserted;
     return it->second;
+  }
+
+  /// Drops every cached statement (and with it every cached plan). Used by
+  /// determinism tests to compare cold-cache and warm-cache runs.
+  void clear() {
+    std::unique_lock lock(mu_);
+    cache_.clear();
+  }
+
+  /// Number of cached statements (tests/benches).
+  std::size_t size() {
+    std::shared_lock lock(mu_);
+    return cache_.size();
   }
 
   static StatementCache& global() {
@@ -57,7 +75,8 @@ class StatementCache {
     bool operator()(std::string_view a, std::string_view b) const { return a == b; }
   };
   std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const db::Statement>, Hash, Eq> cache_;
+  std::unordered_map<std::string, std::shared_ptr<const db::PlannedStatement>, Hash, Eq>
+      cache_;
 };
 
 /// Builds a parameter vector for execute()/query().

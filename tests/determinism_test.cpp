@@ -17,6 +17,7 @@
 
 #include "core/dataset_cache.hpp"
 #include "core/experiment.hpp"
+#include "middleware/db_session.hpp"
 
 namespace mwsim::core {
 namespace {
@@ -92,6 +93,25 @@ TEST(DeterminismTest, PointSeedDependsOnlyOnCoordinates) {
   EXPECT_NE(s, pointSeed(1, Configuration::WsPhpDb, 200));
   EXPECT_NE(s, pointSeed(1, Configuration::WsServletDb, 100));
   EXPECT_NE(s, pointSeed(2, Configuration::WsPhpDb, 100));
+}
+
+TEST(DeterminismTest, PlanCacheWarmthDoesNotPerturbResults) {
+  // Plans live in the process-wide StatementCache and persist across runs.
+  // The determinism contract requires them to be pure functions of
+  // (SQL, catalog signature): a run against a cold cache (every statement
+  // parsed and planned fresh) must be bit-identical to one whose plans were
+  // all built by an earlier run — otherwise results would depend on which
+  // experiments happened to run earlier in the process.
+  auto p = tinyParams(App::Bookstore);
+  p.config = Configuration::WsServletDbSync;
+  mw::StatementCache::global().clear();
+  const auto cold = runExperiment(p);
+  EXPECT_GT(mw::StatementCache::global().size(), 0u);
+  const auto warm = runExperiment(p);
+  expectIdentical(cold, warm);
+  mw::StatementCache::global().clear();
+  const auto coldAgain = runExperiment(p);
+  expectIdentical(cold, coldAgain);
 }
 
 TEST(DeterminismTest, SweepPointsAreIndependentOfSweepShape) {

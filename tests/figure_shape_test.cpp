@@ -1,0 +1,79 @@
+/// Figure-shape regression tests: miniature versions of the paper's
+/// throughput figures, asserting the *qualitative* verdicts (which
+/// configuration beats which) rather than absolute numbers. They run at a
+/// tiny database scale and short windows so they fit in the unit-test
+/// budget, but deep enough into saturation that the orderings emerge for
+/// the same reasons as in the full benches:
+///
+///  * Figure 5 (bookstore, shopping mix): the Java-monitor (sync)
+///    configuration sustains higher throughput than the same topology using
+///    MySQL LOCK TABLES, because monitors serialize only the critical
+///    section instead of admitting no statements while a writer drains.
+///  * Figure 11 (auction, bidding mix): dedicated servlet machine beats
+///    PHP-in-the-web-server, which beats the co-located servlet engine,
+///    which beats the four-tier EJB configuration.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace mwsim::core {
+namespace {
+
+ExperimentParams saturatedParams(App app, int clients, int rampSec,
+                                 int measureSec) {
+  ExperimentParams p;
+  p.app = app;
+  p.mix = 1;  // shopping (bookstore) / bidding (auction)
+  p.clients = clients;
+  p.rampUp = rampSec * sim::kSecond;
+  p.measure = measureSec * sim::kSecond;
+  p.rampDown = 2 * sim::kSecond;
+  p.bookstoreScale = 0.02;
+  p.auctionHistoryScale = 0.10;
+  p.bbsHistoryScale = 0.01;
+  return p;
+}
+
+double throughputAt(ExperimentParams base, Configuration config) {
+  base.config = config;
+  base.seed = pointSeed(base.seed, config, base.clients);
+  return runExperiment(base).throughputIpm;
+}
+
+TEST(FigureShapeTest, Fig05BookstoreSyncBeatsLockTables) {
+  // Past the saturation knee the bookstore's write mix makes the LOCK
+  // TABLES configurations queue on the lock manager; the sync variant keeps
+  // the database busy and peaks higher (paper: ~28% higher).
+  const auto base = saturatedParams(App::Bookstore, 220, 8, 30);
+  const double lockTables = throughputAt(base, Configuration::WsServletDb);
+  const double sync = throughputAt(base, Configuration::WsServletDbSync);
+  EXPECT_GT(sync, lockTables)
+      << "sync " << sync << " ipm vs LOCK TABLES " << lockTables << " ipm";
+}
+
+TEST(FigureShapeTest, Fig11AuctionBiddingConfigurationOrdering) {
+  // Paper peaks: Ws-Servlet-DB 10,440 > WsPhp-DB 9,780 > WsServlet-DB
+  // 7,380 > EJB 4,136 ipm. The auction site is CPU-bound on the
+  // presentation tier, so adding a dedicated servlet machine wins, and the
+  // co-located servlet engine loses to cheap PHP. Those tier capacities are
+  // independent of database scale, so the client count must push demand
+  // (~8.3 ipm per client with 7 s think time) past the highest knee for the
+  // whole ordering to emerge. The EJB tier in particular needs a long
+  // ramp: its queue builds slowly at ~2.5x overload, and a short ramp
+  // measures the transient (inflated) completion rate instead of the
+  // steady-state capacity.
+  const auto base = saturatedParams(App::Auction, 1500, 20, 12);
+  const double sepServlet = throughputAt(base, Configuration::WsServletSepDb);
+  const double php = throughputAt(base, Configuration::WsPhpDb);
+  const double coServlet = throughputAt(base, Configuration::WsServletDb);
+  const double ejb = throughputAt(base, Configuration::WsServletEjbDb);
+  EXPECT_GT(sepServlet, php)
+      << "dedicated servlet " << sepServlet << " ipm vs PHP " << php << " ipm";
+  EXPECT_GT(php, coServlet)
+      << "PHP " << php << " ipm vs co-located servlet " << coServlet << " ipm";
+  EXPECT_GT(coServlet, ejb)
+      << "co-located servlet " << coServlet << " ipm vs EJB " << ejb << " ipm";
+}
+
+}  // namespace
+}  // namespace mwsim::core
