@@ -61,7 +61,61 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   opts.quick = argPresent(argc, argv, "--quick");
   opts.csv = argPresent(argc, argv, "--csv");
   opts.fullScale = argPresent(argc, argv, "--full-scale");
+  opts.breakdown = argPresent(argc, argv, "--breakdown");
+  if (const char* v = argValue(argc, argv, "--trace-out")) opts.traceOut = v;
+  if (opts.tracing() && !trace::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with -DMWSIM_TRACING=OFF; "
+                 "--breakdown/--trace-out will produce no output\n");
+  }
   return opts;
+}
+
+void printBreakdown(const char* configName, int clients, const trace::Report& report) {
+  std::printf("\nper-tier latency attribution: %s at %d clients\n", configName, clients);
+  if (report.traces == 0) {
+    std::printf("  (no traces collected — tracing compiled out?)\n");
+    return;
+  }
+  const double n = static_cast<double>(report.traces);
+  stats::TextTable table({"tier", "spans/req", "cpu-service", "cpu-queue", "lock-wait",
+                          "net-transfer", "other", "total ms/req"});
+  auto addRow = [&](const std::string& name, double spansPerReq,
+                    const std::array<sim::Duration, trace::kCategoryCount>& excl) {
+    std::vector<std::string> row{name, stats::fmt(spansPerReq, 1)};
+    sim::Duration total = 0;
+    for (std::size_t c = 0; c < trace::kCategoryCount; ++c) {
+      row.push_back(stats::fmt(static_cast<double>(excl[c]) / n / 1e6, 2));
+      total += excl[c];
+    }
+    row.push_back(stats::fmt(static_cast<double>(total) / n / 1e6, 2));
+    table.addRow(std::move(row));
+  };
+  double totalSpansPerReq = 0;
+  for (const trace::TierStats& tier : report.tiers) {
+    if (tier.spans == 0) continue;
+    totalSpansPerReq += static_cast<double>(tier.spans) / n;
+    addRow(tier.name, static_cast<double>(tier.spans) / n, tier.exclNs);
+  }
+  addRow("(all tiers)", totalSpansPerReq, report.exclNs);
+  std::printf("%s", table.str().c_str());
+  std::printf("end-to-end: mean %.1f ms, p90 %.1f ms over %llu traced interactions\n",
+              report.endToEndSec.mean() * 1e3, report.endToEndSec.percentile(90) * 1e3,
+              static_cast<unsigned long long>(report.traces));
+  std::fflush(stdout);
+}
+
+void writeTraceFile(const std::string& path, const trace::Report& report) {
+  const std::string json = trace::chromeTraceJson(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "  wrote %zu traces to %s\n", report.retained.size(),
+               path.c_str());
 }
 
 core::SweepOptions BenchOptions::sweepOptions() const {
@@ -100,9 +154,30 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
   stats::TextTable table(headers);
   stats::CsvWriter csv(headers);
 
-  // throughput[config][point]
-  const auto grid =
-      core::sweepGrid(opts.baseParams(spec), spec.configs, points, opts.sweepOptions());
+  // Points are built by hand (in sweepGrid's config-major order, via the
+  // same pointParams) so tracing can be switched on per point: results are
+  // unchanged either way, only observed.
+  const core::ExperimentParams base = opts.baseParams(spec);
+  std::vector<core::ExperimentParams> flatPoints;
+  flatPoints.reserve(spec.configs.size() * points.size());
+  for (auto config : spec.configs) {
+    for (int clients : points) {
+      core::ExperimentParams p = core::pointParams(base, config, clients);
+      if (opts.tracing() && clients == points.back()) {
+        p.trace.enabled = true;
+        // Verbatim span trees are only kept where JSON will be exported.
+        p.trace.maxRetainedTraces =
+            (!opts.traceOut.empty() && config == spec.configs.front()) ? 2000 : 0;
+      }
+      flatPoints.push_back(p);
+    }
+  }
+  const auto flat = core::runMany(flatPoints, opts.sweepOptions());
+  std::vector<std::vector<core::ExperimentResult>> grid(spec.configs.size());
+  for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+    grid[ci].assign(flat.begin() + static_cast<std::ptrdiff_t>(ci * points.size()),
+                    flat.begin() + static_cast<std::ptrdiff_t>((ci + 1) * points.size()));
+  }
   std::vector<std::vector<double>> curves(spec.configs.size());
   for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
     for (const auto& result : grid[ci]) curves[ci].push_back(result.throughputIpm);
@@ -131,6 +206,17 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
     std::printf("  %-22s %6.0f ipm at %d clients\n",
                 core::configurationName(spec.configs[ci]), best, bestClients);
   }
+  if (opts.breakdown) {
+    for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+      if (grid[ci].back().trace) {
+        printBreakdown(core::configurationName(spec.configs[ci]), points.back(),
+                       *grid[ci].back().trace);
+      }
+    }
+  }
+  if (!opts.traceOut.empty() && grid.front().back().trace) {
+    writeTraceFile(opts.traceOut, *grid.front().back().trace);
+  }
   if (opts.csv) std::printf("\nCSV:\n%s", csv.str().c_str());
   return 0;
 }
@@ -145,8 +231,33 @@ int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
   const std::vector<int> candidates =
       opts.quick ? thin(spec.peakCandidates) : spec.peakCandidates;
 
-  const auto grid = core::sweepGrid(opts.baseParams(spec), spec.configs, candidates,
-                                    opts.sweepOptions());
+  // Same manual point construction as runThroughputFigure: every candidate
+  // is traced (aggregates only) so the breakdown can be reported at
+  // whichever candidate turns out to be the peak.
+  const core::ExperimentParams base = opts.baseParams(spec);
+  std::vector<core::ExperimentParams> flatPoints;
+  flatPoints.reserve(spec.configs.size() * candidates.size());
+  for (auto config : spec.configs) {
+    for (int clients : candidates) {
+      core::ExperimentParams p = core::pointParams(base, config, clients);
+      if (opts.tracing()) {
+        p.trace.enabled = true;
+        p.trace.maxRetainedTraces =
+            (!opts.traceOut.empty() && config == spec.configs.front()) ? 2000 : 0;
+      }
+      flatPoints.push_back(p);
+    }
+  }
+  const auto flat = core::runMany(flatPoints, opts.sweepOptions());
+  std::vector<std::vector<core::ExperimentResult>> grid(spec.configs.size());
+  for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+    grid[ci].assign(flat.begin() + static_cast<std::ptrdiff_t>(ci * candidates.size()),
+                    flat.begin() +
+                        static_cast<std::ptrdiff_t>((ci + 1) * candidates.size()));
+  }
+
+  std::vector<core::ExperimentResult> peaks;
+  std::vector<int> peakClients;
   for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
     const auto config = spec.configs[ci];
     core::ExperimentResult best;
@@ -167,8 +278,21 @@ int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
                   std::to_string(bestClients), cell("WebServer"), cell("Database"),
                   cell("Servlet Container"), cell("EJB Server"),
                   web ? stats::fmt(web->nicMbps, 1) : "-"});
+    peaks.push_back(best);
+    peakClients.push_back(bestClients);
   }
   std::printf("%s", table.str().c_str());
+  if (opts.breakdown) {
+    for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+      if (peaks[ci].trace) {
+        printBreakdown(core::configurationName(spec.configs[ci]), peakClients[ci],
+                       *peaks[ci].trace);
+      }
+    }
+  }
+  if (!opts.traceOut.empty() && !peaks.empty() && peaks.front().trace) {
+    writeTraceFile(opts.traceOut, *peaks.front().trace);
+  }
   return 0;
 }
 

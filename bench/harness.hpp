@@ -38,6 +38,11 @@ struct FigureSpec {
 ///   --quick           halve the sweep points
 ///   --csv             also emit CSV
 ///   --full-scale      paper-sized database history tables
+///   --breakdown       per-tier latency attribution tables (throughput
+///                     figures: at the largest client count; CPU figures:
+///                     at each configuration's located peak)
+///   --trace-out FILE  Chrome-trace/Perfetto JSON for the first
+///                     configuration's traced point
 struct BenchOptions {
   double measureSec = 60;
   /// Single source of truth is ExperimentParams::rampUp; this only exists
@@ -48,12 +53,23 @@ struct BenchOptions {
   bool quick = false;
   bool csv = false;
   bool fullScale = false;
+  bool breakdown = false;
+  std::string traceOut;
+
+  bool tracing() const { return breakdown || !traceOut.empty(); }
 
   static BenchOptions parse(int argc, char** argv);
   core::ExperimentParams baseParams(const FigureSpec& spec) const;
   /// SweepOptions carrying --jobs plus a stderr per-point progress printer.
   core::SweepOptions sweepOptions() const;
 };
+
+/// Prints the per-tier attribution table for one traced point (the
+/// --breakdown output). Used by the figure runners and the table benches.
+void printBreakdown(const char* configName, int clients, const trace::Report& report);
+
+/// Writes Chrome-trace JSON to `path` (stderr note on success/failure).
+void writeTraceFile(const std::string& path, const trace::Report& report);
 
 /// Runs a throughput-vs-clients figure: one curve per configuration.
 int runThroughputFigure(const FigureSpec& spec, int argc, char** argv);

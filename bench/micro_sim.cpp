@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "sim/sim.hpp"
+#include "trace/scope.hpp"
+#include "trace/span.hpp"
 
 namespace {
 
@@ -116,6 +118,35 @@ void BM_RwLockReaderChurn(benchmark::State& state) {
   sim.shutdown();
 }
 BENCHMARK(BM_RwLockReaderChurn);
+
+void BM_TracedDelayRoundTrip(benchmark::State& state) {
+  // BM_CoroutineDelayRoundTrip with a span open across every suspension:
+  // measures the per-event cost of the tracing hooks when a request is
+  // actually traced (span capture at suspend, category add, restore at
+  // dispatch). Under -DMWSIM_TRACING=OFF this collapses to the untraced
+  // benchmark, so comparing the two builds isolates the hook cost.
+  Simulation sim;
+  mwsim::trace::Trace trace("bench", 0);
+  struct Driver {
+    static Task<> loop(Simulation& s, mwsim::trace::Trace& tr, std::uint64_t& n) {
+      mwsim::trace::SpanScope span(s, &tr, "bench");
+      for (;;) {
+        co_await s.delay(kMicrosecond);
+        ++n;
+      }
+    }
+  };
+  std::uint64_t iterations = 0;
+  sim.spawn(Driver::loop(sim, trace, iterations));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += kMicrosecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(iterations);
+  sim.shutdown();
+}
+BENCHMARK(BM_TracedDelayRoundTrip);
 
 }  // namespace
 

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Regenerates bench_results/ at the standard recorded settings
+# (120 s measurement, 45 s ramp-up, seed 1; see EXPERIMENTS.md).
+# stdout -> <bench>.txt, stderr (per-point progress) -> <bench>.log.
+# fig05 and fig12 also record per-tier latency attribution (--breakdown),
+# which EXPERIMENTS.md quotes.
+set -eu
+
+bin=${1:-build/bench}
+out=${2:-bench_results}
+args="--measure-sec 120 --rampup-sec 45 --seed 1"
+
+run() {
+  name=$1
+  shift
+  echo "== $name $*" >&2
+  "$bin/$name" $args "$@" > "$out/$name.txt" 2> "$out/$name.log"
+}
+
+run fig05_bookstore_shopping --breakdown
+run fig06_bookstore_shopping_cpu
+run fig07_bookstore_browsing
+run fig08_bookstore_browsing_cpu
+run fig09_bookstore_ordering
+run fig10_bookstore_ordering_cpu
+run fig11_auction_bidding
+run fig12_auction_bidding_cpu --breakdown
+run fig13_auction_browsing
+run fig14_auction_browsing_cpu
+run tabA_bookstore_resources
+run tabB_auction_resources
+echo "done" >&2

@@ -182,7 +182,10 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
     }
   }();
   wl::WorkloadStats stats;
-  wl::ClientFarm farm(simulation, webServer, mix, params.clients, stats, params.seed);
+  trace::Collector collector(params.trace);
+  wl::ClientFarm farm(simulation, webServer, mix, params.clients, stats, params.seed,
+                      7 * sim::kSecond, 15 * sim::kMinute,
+                      collector.enabled() ? &collector : nullptr);
   farm.start();
 
   // Usage metering, in the paper's figure order.
@@ -195,9 +198,11 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   // Phases: ramp-up, measurement, ramp-down (paper §4.5).
   simulation.runUntil(params.rampUp);
   stats.measuring = true;
+  collector.setMeasuring(true);
   usage.start(simulation.now());
   simulation.runUntil(params.rampUp + params.measure);
   stats.measuring = false;
+  collector.setMeasuring(false);
   usage.stop(simulation.now());
   simulation.runUntil(params.rampUp + params.measure + params.rampDown);
   // Tear down all client processes while every referenced object is alive.
@@ -219,7 +224,11 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
     result.contendedLockAcquisitions += lock->contendedAcquisitions();
     result.lockWaitSeconds += sim::toSeconds(lock->totalWait());
   }
+  result.lockManagerWaitSeconds = sim::toSeconds(dbServer.lockManager().totalWait());
   result.databaseBytes = database.approxBytes();
+  if (collector.enabled()) {
+    result.trace = std::make_shared<const trace::Report>(collector.report());
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
 #include "stats/usage.hpp"
+#include "trace/collector.hpp"
 
 namespace mwsim::core {
 
@@ -62,6 +64,11 @@ struct ExperimentParams {
   double bbsHistoryScale = 0.05;
 
   mw::CostModel cost;
+
+  /// Per-request tracing (off by default). Enabling it never changes
+  /// simulated results: spans observe virtual time the scheduler already
+  /// decided.
+  trace::Options trace;
 };
 
 /// Everything a bench needs to print one figure row.
@@ -85,8 +92,16 @@ struct ExperimentResult {
   std::uint64_t lockAcquisitions = 0;
   std::uint64_t contendedLockAcquisitions = 0;
   double lockWaitSeconds = 0.0;
+  /// Wait on the server's global lock-manager mutex (LOCK_open). Tracked
+  /// separately from table-lock wait: folding it in silently understated the
+  /// fig05 drain stalls before this field existed.
+  double lockManagerWaitSeconds = 0.0;
 
   std::size_t databaseBytes = 0;
+
+  /// Per-tier latency attribution (only when params.trace.enabled).
+  /// shared_ptr keeps ExperimentResult cheaply copyable.
+  std::shared_ptr<const trace::Report> trace;
 
   const stats::MachineUsage* machine(const std::string& name) const {
     for (const auto& u : usage) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/scope.hpp"
+
 namespace mwsim::mw {
 
 namespace {
@@ -52,6 +54,7 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
     std::shared_ptr<const db::PlannedStatement> planned, std::vector<db::Value> params) {
   DatabaseServer& srv = server_;
   ++srv.statements_;
+  trace::SpanScope dbserverSpan(srv.sim_, "dbserver");
   const db::Statement& ast = planned->stmt();
 
   if (ast.kind == db::Statement::Kind::LockTables) {

@@ -95,6 +95,11 @@ class DatabaseServer {
     return locks_;
   }
 
+  /// The global lock-manager mutex, exposed so experiment results can report
+  /// its wait time (previously dropped from lock-wait accounting even though
+  /// its drain stalls are the fig05 mechanism).
+  const sim::Mutex& lockManager() const noexcept { return lockManager_; }
+
  private:
   friend class Connection;
 

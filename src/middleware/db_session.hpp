@@ -13,6 +13,7 @@
 #include "middleware/cost_model.hpp"
 #include "middleware/database_server.hpp"
 #include "net/network.hpp"
+#include "trace/scope.hpp"
 
 namespace mwsim::mw {
 
@@ -120,6 +121,7 @@ class DbSession {
 
   sim::Task<db::ExecResult> execute(std::string_view sql,
                                     std::vector<db::Value> params = {}) {
+    trace::SpanScope dbSpan(sim_, "db");
     auto stmt = StatementCache::global().get(sql);
     const double perQueryUs =
         driver_ == DriverKind::Jdbc ? cost_.jdbcPerQueryUs : cost_.phpDriverPerQueryUs;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/scope.hpp"
+
 namespace mwsim::mw {
 
 const std::string& EntityManager::pkColumn(const std::string& table) const {
@@ -145,6 +147,7 @@ sim::Task<> EntityManager::commit() {
 }
 
 sim::Task<Page> EjbGenerator::generate(const Request& request) {
+  trace::SpanScope servletSpan(sim_, "servlet");
   // Web server -> servlet engine over AJP12 (always separate machines in
   // the Ws-Servlet-EJB-DB configuration).
   co_await web_.compute(sim::fromMicros(cost_.ajpPerRequestUs));
@@ -154,25 +157,34 @@ sim::Task<Page> EjbGenerator::generate(const Request& request) {
 
   // Servlet -> EJB session facade over RMI (one coarse-grained call).
   co_await servlet_.compute(sim::fromMicros(cost_.rmiClientPerCallUs));
-  co_await net_.send(servlet_, ejb_, cost_.rmiRequestBytes);
-  co_await ejb_.compute(
-      sim::fromMicros(cost_.rmiServerPerCallUs + cost_.ejbBeanOpUs));  // facade bean
 
-  // The facade method runs on the EJB machine with container-managed
-  // persistence through the container's own JDBC connection.
-  DbSession db(sim_, net_, ejb_, dbServer_, DriverKind::Jdbc, cost_);
-  EntityManager em(ejb_, db, cost_);
-  EjbContext ctx{sim_, ejb_, em, db, rng_, cost_};
-  Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
-  co_await em.commit();
-  page.queryCount += static_cast<int>(em.statementsIssued());
-  page.dataBytes += em.dataBytes();
+  Page page;
+  std::size_t payload = 0;
+  {
+    // The "ejb" span covers the remote call as the servlet experiences it:
+    // RMI request on the wire, facade + CMP work on the EJB machine, and
+    // the marshaled reply back.
+    trace::SpanScope ejbSpan(sim_, "ejb");
+    co_await net_.send(servlet_, ejb_, cost_.rmiRequestBytes);
+    co_await ejb_.compute(
+        sim::fromMicros(cost_.rmiServerPerCallUs + cost_.ejbBeanOpUs));  // facade bean
 
-  // Marshal the reply value graph back to the servlet.
-  const std::size_t payload = cost_.rmiRequestBytes + page.dataBytes;
-  co_await ejb_.compute(
-      sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
-  co_await net_.send(ejb_, servlet_, payload);
+    // The facade method runs on the EJB machine with container-managed
+    // persistence through the container's own JDBC connection.
+    DbSession db(sim_, net_, ejb_, dbServer_, DriverKind::Jdbc, cost_);
+    EntityManager em(ejb_, db, cost_);
+    EjbContext ctx{sim_, ejb_, em, db, rng_, cost_};
+    page = co_await logic_.invoke(request.interaction, ctx, *request.session);
+    co_await em.commit();
+    page.queryCount += static_cast<int>(em.statementsIssued());
+    page.dataBytes += em.dataBytes();
+
+    // Marshal the reply value graph back to the servlet.
+    payload = cost_.rmiRequestBytes + page.dataBytes;
+    co_await ejb_.compute(
+        sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
+    co_await net_.send(ejb_, servlet_, payload);
+  }
   co_await servlet_.compute(
       sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
 

@@ -2,6 +2,7 @@
 
 #include "middleware/application.hpp"
 #include "middleware/db_session.hpp"
+#include "trace/scope.hpp"
 
 namespace mwsim::mw {
 
@@ -19,6 +20,7 @@ class PhpModule final : public DynamicContentGenerator {
         cost_(cost), rng_(sim::deriveSeed(seed, /*tag=*/0x9a9)) {}
 
   sim::Task<Page> generate(const Request& request) override {
+    trace::SpanScope phpSpan(sim_, "php");
     co_await web_.compute(sim::fromMicros(cost_.phpRequestUs));
 
     // Each Apache process has its own persistent database connection; a

@@ -2,6 +2,7 @@
 
 #include "middleware/application.hpp"
 #include "middleware/db_session.hpp"
+#include "trace/scope.hpp"
 
 namespace mwsim::mw {
 
@@ -22,6 +23,7 @@ class ServletEngine final : public DynamicContentGenerator {
         monitors_(simulation), rng_(sim::deriveSeed(seed, /*tag=*/0x70a)) {}
 
   sim::Task<Page> generate(const Request& request) override {
+    trace::SpanScope servletSpan(sim_, "servlet");
     const bool remote = &engine_ != &web_;
 
     // Web server side of the AJP12 dispatch.

@@ -6,6 +6,7 @@
 #include "middleware/cost_model.hpp"
 #include "net/network.hpp"
 #include "sim/resource.hpp"
+#include "trace/scope.hpp"
 
 namespace mwsim::mw {
 
@@ -21,7 +22,10 @@ class WebServer {
   WebServer(sim::Simulation& simulation, net::Machine& machine, net::Network& network,
             net::Machine& clientFarm, const CostModel& cost)
       : sim_(simulation), machine_(machine), net_(network), clients_(clientFarm), cost_(cost),
-        processPool_(simulation, cost.webProcessLimit, machine.name() + ".httpd") {}
+        // Waiting for an httpd slot is queueing for compute capacity, not
+        // lock contention, so it traces as cpu-queue.
+        processPool_(simulation, cost.webProcessLimit, machine.name() + ".httpd",
+                     trace::Category::CpuQueue) {}
 
   void setGenerator(DynamicContentGenerator* generator) { generator_ = generator; }
 
@@ -40,6 +44,7 @@ class WebServer {
     assert(generator_ != nullptr);
     co_await net_.send(clients_, machine_, cost_.httpRequestBytes);
 
+    trace::SpanScope webSpan(sim_, "web");
     sim::ResourceHold process = co_await processPool_.acquire();
     co_await machine_.compute(sim::fromMicros(
         cost_.webRequestUs + cost_.webPerActiveProcessUs * processPool_.inUse()));

@@ -21,13 +21,13 @@ class Nic {
  public:
   Nic(sim::Simulation& simulation, double bitsPerSecond, std::string name)
       : sim_(simulation),
-        link_(simulation, 1, name + ".nic"),
+        link_(simulation, 1, name + ".nic", trace::Category::NetTransfer),
         bitsPerSecond_(bitsPerSecond) {}
 
   /// Occupies the link long enough to serialize `bytes`.
   sim::Task<> transfer(std::size_t bytes) {
     sim::ResourceHold hold = co_await link_.acquire();
-    co_await sim_.delay(serializationTime(bytes));
+    co_await sim_.delay(serializationTime(bytes), trace::Category::NetTransfer);
     bytes_ += bytes;
     packets_ += packetsFor(bytes);
   }

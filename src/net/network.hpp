@@ -43,7 +43,7 @@ class Network {
     traffic.bytes += bytes;
     traffic.packets += Nic::packetsFor(bytes);
     co_await from.nic().transfer(bytes);
-    co_await sim_.delay(propagation_);
+    co_await sim_.delay(propagation_, trace::Category::NetTransfer);
     co_await to.nic().transfer(bytes);
   }
 

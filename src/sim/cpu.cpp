@@ -33,7 +33,12 @@ double CpuResource::busyCoreSeconds() const noexcept {
 
 void CpuResource::addJob(Duration work, std::coroutine_handle<> h) {
   advance();
-  jobs_.emplace(v_ + toSeconds(work), h);
+  Job job{h, nullptr, work, sim_.now()};
+  if constexpr (trace::kEnabled) {
+    job.span = sim_.currentSpan();
+    if (job.span != nullptr) sim_.setCurrentSpan(nullptr);  // cleared at suspension
+  }
+  jobs_.emplace(v_ + toSeconds(work), job);
   scheduleNextCompletion();
 }
 
@@ -54,14 +59,31 @@ void CpuResource::scheduleNextCompletion() {
 void CpuResource::onCompletionEvent(std::uint64_t epoch) {
   if (epoch != epoch_) return;  // superseded by a later arrival/departure
   advance();
-  std::vector<std::coroutine_handle<>> finished;
+  std::vector<Job> finished;
   while (!jobs_.empty() && jobs_.begin()->first <= v_ + kVEpsilon) {
     finished.push_back(jobs_.begin()->second);
     jobs_.erase(jobs_.begin());
   }
   completed_ += finished.size();
   scheduleNextCompletion();
-  for (auto h : finished) h.resume();
+  for (const Job& job : finished) {
+    if constexpr (trace::kEnabled) {
+      if (job.span != nullptr) {
+        const Duration elapsed = sim_.now() - job.enqueued;
+        // Batched completions within kVEpsilon (and the +1ns event round-up)
+        // can make elapsed differ slightly from the ideal; clamp so service
+        // never exceeds either demand or elapsed, and the split stays exact.
+        const Duration service = elapsed < job.work ? elapsed : job.work;
+        job.span->add(trace::Category::CpuService, service);
+        job.span->add(trace::Category::CpuQueue, elapsed - service);
+        sim_.setCurrentSpan(job.span);
+        job.handle.resume();
+        sim_.setCurrentSpan(nullptr);
+        continue;
+      }
+    }
+    job.handle.resume();
+  }
 }
 
 }  // namespace mwsim::sim

@@ -38,6 +38,17 @@ class CpuResource {
     void await_resume() const noexcept {}
   };
 
+  /// Per-job bookkeeping. `span`/`enqueued`/`work` exist so that, at
+  /// completion, elapsed wall (virtual) time can be split into pure service
+  /// (= demand) and processor-sharing slowdown (= queueing) and attributed
+  /// to the job's request span.
+  struct Job {
+    std::coroutine_handle<> handle;
+    trace::Span* span = nullptr;
+    Duration work = 0;
+    SimTime enqueued = 0;
+  };
+
   /// Awaitable that completes after `work` ns of CPU demand has been served.
   Awaiter consume(Duration work) { return Awaiter{*this, work}; }
 
@@ -67,7 +78,7 @@ class CpuResource {
   int cores_;
   std::string name_;
   // Key: virtual time at which the job finishes; equal keys keep FIFO order.
-  std::multimap<double, std::coroutine_handle<>> jobs_;
+  std::multimap<double, Job> jobs_;
   double v_ = 0.0;  // virtual per-job service received, in seconds
   SimTime lastUpdate_ = 0;
   mutable double busyIntegral_ = 0.0;  // core-seconds

@@ -31,7 +31,10 @@ void Resource::release() noexcept {
     // between now and the waiter's resumption.
     ++inUse_;
     totalWait_ += sim_.now() - w.enqueued;
-    sim_.post([h = w.handle] { h.resume(); });
+    if constexpr (trace::kEnabled) {
+      if (w.span != nullptr) w.span->add(waitCategory_, sim_.now() - w.enqueued);
+    }
+    sim_.post([h = w.handle] { h.resume(); }, w.span);
   }
 }
 

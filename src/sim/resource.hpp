@@ -42,8 +42,14 @@ class [[nodiscard]] ResourceHold {
 /// overtakes a queued waiter.
 class Resource {
  public:
-  Resource(Simulation& sim, int capacity, std::string name = {})
-      : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+  /// `waitCategory` is the trace category charged for time spent queued on
+  /// this resource. Mutexes and locks default to LockWait; pools whose wait
+  /// is really queueing for compute (process/thread pools) pass CpuQueue,
+  /// and NIC links pass NetTransfer.
+  Resource(Simulation& sim, int capacity, std::string name = {},
+           trace::Category waitCategory = trace::Category::LockWait)
+      : sim_(sim), capacity_(capacity), name_(std::move(name)),
+        waitCategory_(waitCategory) {
     assert(capacity > 0);
   }
   Resource(const Resource&) = delete;
@@ -58,7 +64,12 @@ class Resource {
     }
     void await_suspend(std::coroutine_handle<> h) {
       suspended = true;
-      res.waiters_.push_back(Waiter{h, res.sim_.now()});
+      trace::Span* span = nullptr;
+      if constexpr (trace::kEnabled) {
+        span = res.sim_.currentSpan();
+        if (span != nullptr) res.sim_.setCurrentSpan(nullptr);  // cleared at suspension
+      }
+      res.waiters_.push_back(Waiter{h, res.sim_.now(), span});
     }
     ResourceHold await_resume() noexcept {
       // When resumed from the wait queue, release() already reserved the
@@ -89,6 +100,7 @@ class Resource {
   struct Waiter {
     std::coroutine_handle<> handle;
     SimTime enqueued;
+    trace::Span* span = nullptr;
   };
 
   void take() noexcept;
@@ -98,6 +110,7 @@ class Resource {
   int capacity_;
   int inUse_ = 0;
   std::string name_;
+  trace::Category waitCategory_ = trace::Category::LockWait;
   std::deque<Waiter> waiters_;
   std::uint64_t acquisitions_ = 0;
   Duration totalWait_ = 0;

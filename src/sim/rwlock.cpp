@@ -37,17 +37,29 @@ void RwLock::grantNext() noexcept {
       activeWriter_ = true;
       --writersWaiting_;
       totalWait_ += sim_.now() - front.enqueued;
+      if constexpr (trace::kEnabled) {
+        if (front.span != nullptr) {
+          front.span->add(trace::Category::LockWait, sim_.now() - front.enqueued);
+        }
+      }
       auto h = front.handle;
+      auto* span = front.span;
       waiters_.pop_front();
-      sim_.post([h] { h.resume(); });
+      sim_.post([h] { h.resume(); }, span);
       return;  // exclusive: nothing else can be granted
     }
     // Grant a reader and continue granting consecutive readers.
     ++activeReaders_;
     totalWait_ += sim_.now() - front.enqueued;
+    if constexpr (trace::kEnabled) {
+      if (front.span != nullptr) {
+        front.span->add(trace::Category::LockWait, sim_.now() - front.enqueued);
+      }
+    }
     auto h = front.handle;
+    auto* span = front.span;
     waiters_.pop_front();
-    sim_.post([h] { h.resume(); });
+    sim_.post([h] { h.resume(); }, span);
   }
 }
 

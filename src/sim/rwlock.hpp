@@ -58,7 +58,12 @@ class RwLock {
       suspended = true;
       if (write) ++lock.writersWaiting_;
       ++lock.contended_;
-      lock.waiters_.push_back(Waiter{h, write, lock.sim_.now()});
+      trace::Span* span = nullptr;
+      if constexpr (trace::kEnabled) {
+        span = lock.sim_.currentSpan();
+        if (span != nullptr) lock.sim_.setCurrentSpan(nullptr);  // cleared at suspension
+      }
+      lock.waiters_.push_back(Waiter{h, write, lock.sim_.now(), span});
     }
     LockHold await_resume() noexcept {
       // When resumed from the queue, grantNext() already updated the lock
@@ -92,6 +97,7 @@ class RwLock {
     std::coroutine_handle<> handle;
     bool write;
     SimTime enqueued;
+    trace::Span* span = nullptr;
   };
 
   void take(bool write) noexcept {

@@ -32,9 +32,9 @@ Simulation::Simulation(std::uint64_t seed)
 
 Simulation::~Simulation() { shutdown(); }
 
-void Simulation::schedule(Duration delay, std::function<void()> fn) {
+void Simulation::schedule(Duration delay, std::function<void()> fn, trace::Span* span) {
   assert(delay >= 0 && "cannot schedule events in the past");
-  queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn)});
+  queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn), span});
 }
 
 void Simulation::spawn(Task<> task) {
@@ -62,6 +62,17 @@ void Simulation::dispatchOne() {
   assert(ev.time >= now_);
   now_ = ev.time;
   ++eventsProcessed_;
+  // Ambient-span contract: currentSpan_ is null between events (every
+  // suspension point clears it after capturing), so only traced events —
+  // a small minority even in traced runs — pay the publish/clear stores.
+  if constexpr (trace::kEnabled) {
+    if (ev.span != nullptr) {
+      currentSpan_ = ev.span;
+      ev.fn();
+      currentSpan_ = nullptr;
+      return;
+    }
+  }
   ev.fn();
 }
 

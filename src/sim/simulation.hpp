@@ -10,6 +10,7 @@
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "trace/span.hpp"
 
 namespace mwsim::sim {
 
@@ -68,23 +69,52 @@ class Simulation {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules a callback `delay` nanoseconds from now (delay >= 0).
-  void schedule(Duration delay, std::function<void()> fn);
+  /// `span` is the trace span to make current while the callback runs —
+  /// the resumption half of the capture/restore protocol that keeps the
+  /// ambient current span correct across coroutine suspensions.
+  void schedule(Duration delay, std::function<void()> fn, trace::Span* span = nullptr);
 
   /// Schedules a callback at the current simulated time, after all
   /// already-queued events for this instant.
-  void post(std::function<void()> fn) { schedule(0, std::move(fn)); }
+  void post(std::function<void()> fn, trace::Span* span = nullptr) {
+    schedule(0, std::move(fn), span);
+  }
+
+  /// The span of the request whose coroutine chain is currently executing,
+  /// or null when tracing is off / no traced request is running. Maintained
+  /// by SpanScope (open/close) and by every primitive's suspend/resume
+  /// path; the dispatcher resets it around each event.
+  trace::Span* currentSpan() const noexcept { return currentSpan_; }
+  void setCurrentSpan(trace::Span* s) noexcept { currentSpan_ = s; }
 
   /// Awaitable that suspends the current coroutine for `d` nanoseconds.
+  /// The elapsed time is attributed to the current span (if any) under
+  /// `cat`: a pure delay's duration is known up front, so attribution
+  /// happens at suspension and the span pointer rides on the event.
   struct DelayAwaiter {
     Simulation& sim;
     Duration d;
+    trace::Category cat = trace::Category::Other;
     bool await_ready() const noexcept { return d <= 0; }
     void await_suspend(std::coroutine_handle<> h) const {
-      sim.schedule(d, [h] { h.resume(); });
+      trace::Span* span = nullptr;
+      if constexpr (trace::kEnabled) {
+        span = sim.currentSpan_;
+        if (span) {
+          span->add(cat, d);
+          // Every suspension clears the ambient span (the resume path
+          // republishes it), so the dispatcher touches it only for traced
+          // events — see dispatchOne().
+          sim.currentSpan_ = nullptr;
+        }
+      }
+      sim.schedule(d, [h] { h.resume(); }, span);
     }
     void await_resume() const noexcept {}
   };
-  DelayAwaiter delay(Duration d) { return DelayAwaiter{*this, d}; }
+  DelayAwaiter delay(Duration d, trace::Category cat = trace::Category::Other) {
+    return DelayAwaiter{*this, d, cat};
+  }
 
   /// Reschedules the current coroutine behind all events queued for "now".
   DelayAwaiter yield() { return DelayAwaiter{*this, 1}; }
@@ -122,6 +152,10 @@ class Simulation {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
+    // Span to restore as current while fn runs. Carried here rather than in
+    // the lambda capture so resumption closures stay within std::function's
+    // small-buffer size (no per-event heap allocation).
+    trace::Span* span = nullptr;
     bool operator>(const Event& other) const noexcept {
       return time != other.time ? time > other.time : seq > other.seq;
     }
@@ -141,6 +175,7 @@ class Simulation {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, std::coroutine_handle<detail::RootPromise>> roots_;
   std::exception_ptr pendingError_;
+  trace::Span* currentSpan_ = nullptr;
 };
 
 }  // namespace mwsim::sim

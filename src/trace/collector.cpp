@@ -1,0 +1,160 @@
+#include "trace/collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+namespace mwsim::trace {
+
+namespace {
+
+/// Tiers are reported in stack order regardless of which configuration (and
+/// therefore which subset of tiers) a run exercises.
+constexpr const char* kCanonicalTiers[] = {
+    "interaction", "web", "php", "servlet", "ejb", "db", "dbserver",
+};
+
+double toSecondsD(sim::Duration ns) { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace
+
+int Collector::tierIndex(const char* name) {
+  for (std::size_t i = 0; i < report_.tiers.size(); ++i) {
+    if (report_.tiers[i].name == name) return static_cast<int>(i);
+  }
+  report_.tiers.push_back(TierStats{});
+  report_.tiers.back().name = name;
+  return static_cast<int>(report_.tiers.size()) - 1;
+}
+
+int Collector::interactionIndex(const std::string& name) {
+  auto it = std::lower_bound(
+      report_.interactions.begin(), report_.interactions.end(), name,
+      [](const InteractionStats& s, const std::string& n) { return s.name < n; });
+  if (it != report_.interactions.end() && it->name == name) {
+    return static_cast<int>(it - report_.interactions.begin());
+  }
+  it = report_.interactions.insert(it, InteractionStats{});
+  it->name = name;
+  return static_cast<int>(it - report_.interactions.begin());
+}
+
+void Collector::add(Trace&& trace) {
+  if (!measuring_) return;
+  const Span* root = trace.root();
+  if (root == nullptr) return;
+
+  if (report_.tiers.empty()) {
+    for (const char* t : kCanonicalTiers) tierIndex(t);
+  }
+
+  std::array<sim::Duration, kCategoryCount> treeExcl{};
+  for (const Span& s : trace.spans()) {
+    TierStats& tier = report_.tiers[static_cast<std::size_t>(tierIndex(s.name))];
+    ++tier.spans;
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      tier.exclNs[c] += s.excl[c];
+      treeExcl[c] += s.excl[c];
+    }
+    tier.inclusiveSec.record(toSecondsD(s.inclusiveNs()));
+  }
+
+  ++report_.traces;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) report_.exclNs[c] += treeExcl[c];
+  report_.endToEndSec.record(toSecondsD(root->inclusiveNs()));
+
+  InteractionStats& inter =
+      report_.interactions[static_cast<std::size_t>(interactionIndex(trace.interaction()))];
+  ++inter.count;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) inter.exclNs[c] += treeExcl[c];
+  inter.endToEndSec.record(toSecondsD(root->inclusiveNs()));
+
+  if (report_.retained.size() < options_.maxRetainedTraces) {
+    RetainedTrace kept;
+    kept.interaction = trace.interaction();
+    kept.clientId = trace.clientId();
+    std::unordered_map<const Span*, int> index;
+    index.reserve(trace.spans().size());
+    int i = 0;
+    for (const Span& s : trace.spans()) index.emplace(&s, i++);
+    kept.spans.reserve(trace.spans().size());
+    for (const Span& s : trace.spans()) {
+      RetainedSpan out;
+      out.name = s.name;
+      out.parent = s.parent == nullptr ? -1 : index.at(s.parent);
+      out.start = s.start;
+      out.end = s.end;
+      out.excl = s.excl;
+      kept.spans.push_back(std::move(out));
+    }
+    report_.retained.push_back(std::move(kept));
+  }
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendMicros(std::string& out, sim::Duration ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string chromeTraceJson(const Report& report) {
+  std::string out;
+  out.reserve(256 + report.retained.size() * 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"mwsim\"}}";
+  for (const RetainedTrace& t : report.retained) {
+    for (const RetainedSpan& s : t.spans) {
+      out += ",\n{\"name\":\"";
+      appendEscaped(out, s.name);
+      out += "\",\"cat\":\"";
+      appendEscaped(out, t.interaction);
+      out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+      out += std::to_string(t.clientId);
+      out += ",\"ts\":";
+      appendMicros(out, s.start);
+      out += ",\"dur\":";
+      appendMicros(out, s.end - s.start);
+      out += ",\"args\":{\"interaction\":\"";
+      appendEscaped(out, t.interaction);
+      out += "\"";
+      for (std::size_t c = 0; c < kCategoryCount; ++c) {
+        if (s.excl[c] == 0) continue;
+        out += ",\"";
+        out += categoryName(static_cast<Category>(c));
+        out += "_us\":";
+        appendMicros(out, s.excl[c]);
+      }
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace mwsim::trace

@@ -5,6 +5,8 @@
 
 #include "middleware/web_server.hpp"
 #include "stats/histogram.hpp"
+#include "trace/collector.hpp"
+#include "trace/scope.hpp"
 #include "workload/mix.hpp"
 
 namespace mwsim::wl {
@@ -39,12 +41,16 @@ struct WorkloadStats {
 /// 5.3.1.1 / 6.2.1.2.
 class ClientFarm {
  public:
+  /// `collector`, when non-null and enabled, receives a span tree for every
+  /// interaction that starts and completes inside the measurement window.
   ClientFarm(sim::Simulation& simulation, mw::WebServer& webServer, const MixMatrix& mix,
              int clientCount, WorkloadStats& stats, std::uint64_t seed,
              sim::Duration thinkMean = 7 * sim::kSecond,
-             sim::Duration sessionMean = 15 * sim::kMinute)
+             sim::Duration sessionMean = 15 * sim::kMinute,
+             trace::Collector* collector = nullptr)
       : sim_(simulation), web_(webServer), mix_(mix), clients_(clientCount), stats_(stats),
-        seed_(seed), thinkMean_(thinkMean), sessionMean_(sessionMean) {}
+        seed_(seed), thinkMean_(thinkMean), sessionMean_(sessionMean),
+        collector_(collector) {}
 
   /// Spawns every client process. Clients stagger their starts over one
   /// think time so arrivals do not all align at t=0.
@@ -67,7 +73,23 @@ class ClientFarm {
       while (sim_.now() < sessionEnd) {
         mw::Request request{mix_.stateName(state), &session};
         const sim::SimTime start = sim_.now();
-        mw::InteractionResult result = co_await web_.serve(request);
+        mw::InteractionResult result{};
+        // Tracing must not perturb the simulation: the traced path differs
+        // only in observing virtual time, never in what it awaits.
+        const bool traced = trace::kEnabled && collector_ != nullptr &&
+                            collector_->enabled() && collector_->measuring();
+        if (traced) {
+          trace::Trace trace(request.interaction, clientId);
+          {
+            trace::SpanScope rootSpan(sim_, &trace, "interaction");
+            result = co_await web_.serve(request);
+          }
+          // add() drops the trace if the measurement window closed while
+          // the interaction was in flight, keeping aggregates in-window.
+          collector_->add(std::move(trace));
+        } else {
+          result = co_await web_.serve(request);
+        }
         stats_.record(request.interaction, mix_.isReadWrite(state),
                       sim::toSeconds(sim_.now() - start), result);
         co_await sim_.delay(
@@ -85,6 +107,7 @@ class ClientFarm {
   std::uint64_t seed_;
   sim::Duration thinkMean_;
   sim::Duration sessionMean_;
+  trace::Collector* collector_ = nullptr;
 };
 
 }  // namespace mwsim::wl

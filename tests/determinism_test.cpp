@@ -66,6 +66,7 @@ void expectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
   EXPECT_EQ(a.contendedLockAcquisitions, b.contendedLockAcquisitions);
   EXPECT_EQ(a.lockWaitSeconds, b.lockWaitSeconds);
+  EXPECT_EQ(a.lockManagerWaitSeconds, b.lockManagerWaitSeconds);
   EXPECT_EQ(a.databaseBytes, b.databaseBytes);
 }
 
@@ -170,6 +171,50 @@ TEST(DeterminismTest, ProgressHookSeesEveryPointExactlyOnce) {
   EXPECT_EQ(results.size(), 3u);
   std::sort(seen.begin(), seen.end());
   EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DeterminismTest, TracingDoesNotPerturbSimulatedResults) {
+  // Tracing is observation-only: a traced run must report stats
+  // byte-identical to the untraced run of the same params.
+  auto p = tinyParams(App::Bookstore);
+  p.config = Configuration::WsServletDb;
+  const auto untraced = runExperiment(p);
+  p.trace.enabled = true;
+  const auto traced = runExperiment(p);
+  expectIdentical(untraced, traced);
+  EXPECT_EQ(untraced.trace, nullptr);
+  if (trace::kEnabled) {  // an -DMWSIM_TRACING=OFF build collects nothing
+    ASSERT_NE(traced.trace, nullptr);
+    EXPECT_GT(traced.trace->traces, 0u);
+  } else {
+    EXPECT_EQ(traced.trace, nullptr);
+  }
+}
+
+TEST(DeterminismTest, TracedSweepIsJobsInvariantIncludingJson) {
+  // A traced sweep must be byte-identical across --jobs 1 and --jobs N:
+  // the stats AND the serialized trace JSON.
+  auto base = tinyParams(App::Auction);
+  base.trace.enabled = true;
+  const std::vector<Configuration> configs{Configuration::WsPhpDb,
+                                           Configuration::WsServletEjbDb};
+  const std::vector<int> clients{15, 30};
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = sweepGrid(base, configs, clients, SweepOptions{});
+  const auto b = sweepGrid(base, configs, clients, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+    for (std::size_t p = 0; p < a[c].size(); ++p) {
+      expectIdentical(a[c][p], b[c][p]);
+      if (!trace::kEnabled) continue;  // stats identity still checked above
+      ASSERT_NE(a[c][p].trace, nullptr);
+      ASSERT_NE(b[c][p].trace, nullptr);
+      EXPECT_EQ(trace::chromeTraceJson(*a[c][p].trace),
+                trace::chromeTraceJson(*b[c][p].trace));
+    }
+  }
 }
 
 TEST(DatasetCacheTest, SweepSharesOneDataset) {
