@@ -33,9 +33,10 @@ int main(int argc, char** argv) {
   sim::Rng dataRng(1);
   apps::bookstore::populate(database, scale, dataRng);
   mw::DatabaseServer dbServer(simulation, dbMachine, database, cost);
+  mw::DbCluster dbCluster(dbServer);
 
   apps::bookstore::BookstoreLogic logic(scale);
-  mw::PhpModule php(simulation, network, web, dbServer, logic, cost, 7);
+  mw::PhpModule php(simulation, network, web, dbCluster, logic, cost, 7);
   mw::WebServer webServer(simulation, web, network, clientFarm, cost);
   webServer.setGenerator(&php);
 

@@ -8,7 +8,9 @@ set -eu
 
 bin=${1:-build/bench}
 out=${2:-bench_results}
-args="--measure-sec 120 --rampup-sec 45 --seed 1"
+# Sweep points are independent and byte-identical for any --jobs value
+# (see tests/determinism_test.cpp), so regen always uses every core.
+args="--measure-sec 120 --rampup-sec 45 --seed 1 --jobs $(nproc)"
 
 run() {
   name=$1
@@ -29,4 +31,5 @@ run fig13_auction_browsing
 run fig14_auction_browsing_cpu
 run tabA_bookstore_resources
 run tabB_auction_resources
+run ext_cluster_scaling --breakdown
 echo "done" >&2

@@ -16,6 +16,8 @@
 #include "apps/bookstore/bookstore.hpp"
 #include "apps/bookstore/bookstore_ejb.hpp"
 #include "apps/bookstore/schema.hpp"
+#include "middleware/db_cluster.hpp"
+#include "middleware/dispatch.hpp"
 #include "middleware/ejb.hpp"
 #include "middleware/php_module.hpp"
 #include "middleware/servlet_engine.hpp"
@@ -23,24 +25,6 @@
 #include "workload/client.hpp"
 
 namespace mwsim::core {
-
-const char* configurationName(Configuration c) {
-  switch (c) {
-    case Configuration::WsPhpDb: return "WsPhp-DB";
-    case Configuration::WsServletDb: return "WsServlet-DB";
-    case Configuration::WsServletDbSync: return "WsServlet-DB(sync)";
-    case Configuration::WsServletSepDb: return "Ws-Servlet-DB";
-    case Configuration::WsServletSepDbSync: return "Ws-Servlet-DB(sync)";
-    case Configuration::WsServletEjbDb: return "Ws-Servlet-EJB-DB";
-  }
-  return "?";
-}
-
-std::vector<Configuration> allConfigurations() {
-  return {Configuration::WsPhpDb,          Configuration::WsServletDb,
-          Configuration::WsServletDbSync,  Configuration::WsServletSepDb,
-          Configuration::WsServletSepDbSync, Configuration::WsServletEjbDb};
-}
 
 const char* mixName(App app, int mix) {
   switch (app) {
@@ -67,37 +51,68 @@ const char* mixName(App app, int mix) {
   return "?";
 }
 
+namespace {
+
+/// Tier names are also the replica-0 machine names, so single-replica
+/// topologies report under exactly the legacy names.
+constexpr const char* kWebTier = "WebServer";
+constexpr const char* kDbTier = "Database";
+constexpr const char* kServletTier = "Servlet Container";
+constexpr const char* kEjbTier = "EJB Server";
+
+std::string instanceName(const char* tier, int replica) {
+  return replica == 0 ? std::string(tier)
+                      : std::string(tier) + "#" + std::to_string(replica + 1);
+}
+
+std::vector<std::unique_ptr<net::Machine>> makeTier(sim::Simulation& simulation,
+                                                    const char* tier,
+                                                    const TierSpec& spec) {
+  std::vector<std::unique_ptr<net::Machine>> out;
+  out.reserve(static_cast<std::size_t>(spec.replicas));
+  for (int i = 0; i < spec.replicas; ++i) {
+    out.push_back(std::make_unique<net::Machine>(simulation, instanceName(tier, i),
+                                                 spec.cores, spec.nicBitsPerSecond));
+  }
+  return out;
+}
+
+/// Per-replica middleware seed: replica 0 keeps the legacy derivation so a
+/// one-replica tier is bit-identical to the pre-topology construction.
+std::uint64_t replicaSeed(std::uint64_t seed, int replica) {
+  return replica == 0 ? seed
+                      : sim::deriveSeed(seed, 0x5E71E7ULL + static_cast<std::uint64_t>(replica));
+}
+
+}  // namespace
+
 ExperimentResult runExperiment(const ExperimentParams& params) {
   sim::Simulation simulation(params.seed);
   net::Network network(simulation);
+
+  const Topology topo =
+      params.topology ? *params.topology : canonicalTopology(params.config);
+  validateTopology(topo);
 
   // Machines. The client farm gets an effectively infinite NIC — the paper
   // uses "enough client emulation machines" that clients never bottleneck;
   // traffic to clients still loads the web server's own NIC.
   net::Machine clients(simulation, "clients", /*cores=*/64, /*nic=*/1e12);
-  net::Machine web(simulation, "WebServer");
-  net::Machine dbMachine(simulation, "Database");
-
-  const bool hasSeparateServlet = params.config == Configuration::WsServletSepDb ||
-                                  params.config == Configuration::WsServletSepDbSync ||
-                                  params.config == Configuration::WsServletEjbDb;
-  const bool hasEjb = params.config == Configuration::WsServletEjbDb;
-  const bool syncLocking = params.config == Configuration::WsServletDbSync ||
-                           params.config == Configuration::WsServletSepDbSync;
-
-  std::unique_ptr<net::Machine> servletMachine;
-  if (hasSeparateServlet) {
-    servletMachine = std::make_unique<net::Machine>(simulation, "Servlet Container");
+  auto webMachines = makeTier(simulation, kWebTier, topo.web);
+  auto dbMachines = makeTier(simulation, kDbTier, topo.db);
+  std::vector<std::unique_ptr<net::Machine>> servletMachines;
+  if (topo.hasServletTier()) {
+    servletMachines = makeTier(simulation, kServletTier, topo.servlet);
   }
-  std::unique_ptr<net::Machine> ejbMachine;
-  if (hasEjb) {
-    ejbMachine = std::make_unique<net::Machine>(simulation, "EJB Server");
+  std::vector<std::unique_ptr<net::Machine>> ejbMachines;
+  if (topo.hasEjbTier()) {
+    ejbMachines = makeTier(simulation, kEjbTier, topo.ejb);
   }
 
-  // Database content: a private clone of the cached prototype for
-  // (app, scale, population seed). Identical to populating from scratch
-  // with the same Rng, minus the population cost on every run but the
-  // first (see DatasetCache).
+  // Database content: every backend gets its own private clone of the
+  // cached prototype for (app, scale, population seed) — identical to
+  // populating each from scratch with the same Rng, minus the population
+  // cost on every run but the first (see DatasetCache).
   apps::bookstore::Scale bookScale;
   bookScale.scale = params.bookstoreScale;
   apps::auction::Scale auctionScale;
@@ -109,22 +124,44 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
                                                        : params.bbsHistoryScale;
   const std::uint64_t dataSeed =
       params.dataSeed != 0 ? params.dataSeed : sim::deriveSeed(params.seed, /*tag=*/0xDB);
-  db::Database database = DatasetCache::global().get(params.app, appScale, dataSeed);
-  // Coarse memory accounting for the resource-usage reports (paper §5.1 /
-  // §6.1): the database holds the tables plus server overhead; the web
-  // server's processes plus the static-image buffer cache; JVM heaps for
-  // the servlet/EJB tiers.
-  dbMachine.addMemory(static_cast<std::int64_t>(database.approxBytes()) + 48'000'000);
-  web.addMemory(params.app == App::Bookstore ? 70'000'000 + 183'000'000
-                                             : 110'000'000);  // images live on disk
-  if (servletMachine) servletMachine->addMemory(95'000'000);
-  if (ejbMachine) ejbMachine->addMemory(190'000'000);
+  std::vector<db::Database> databases;
+  databases.reserve(dbMachines.size());
+  std::size_t databaseBytes = 0;
+  for (std::size_t i = 0; i < dbMachines.size(); ++i) {
+    databases.push_back(DatasetCache::global().get(params.app, appScale, dataSeed));
+    // Coarse memory accounting (paper §5.1 / §6.1): each replica holds its
+    // own full copy of the tables plus server overhead — replicated
+    // databases multiply the footprint, they do not share it.
+    const std::size_t bytes = databases.back().approxBytes();
+    databaseBytes += bytes;
+    dbMachines[i]->addMemory(topo.db.memoryBytes != 0
+                                 ? topo.db.memoryBytes
+                                 : static_cast<std::int64_t>(bytes) + 48'000'000);
+  }
+  for (auto& m : webMachines) {
+    // The web server's processes plus the static-image buffer cache
+    // (images live on disk for the non-bookstore apps).
+    m->addMemory(topo.web.memoryBytes != 0
+                     ? topo.web.memoryBytes
+                     : (params.app == App::Bookstore ? 70'000'000 + 183'000'000
+                                                     : 110'000'000));
+  }
+  for (auto& m : servletMachines) {
+    m->addMemory(topo.servlet.memoryBytes != 0 ? topo.servlet.memoryBytes : 95'000'000);
+  }
+  for (auto& m : ejbMachines) {
+    m->addMemory(topo.ejb.memoryBytes != 0 ? topo.ejb.memoryBytes : 190'000'000);
+  }
 
-  mw::DatabaseServer dbServer(simulation, dbMachine, database, params.cost);
+  std::vector<net::Machine*> dbMachinePtrs;
+  for (auto& m : dbMachines) dbMachinePtrs.push_back(m.get());
+  mw::DbCluster dbCluster(simulation, params.cost, topo.dbPolicy, dbMachinePtrs,
+                          std::move(databases));
 
   // Business logic.
   std::unique_ptr<mw::SqlBusinessLogic> sqlLogic;
   std::unique_ptr<mw::EjbBusinessLogic> ejbLogic;
+  const bool hasEjb = topo.generator == GeneratorKind::Ejb;
   switch (params.app) {
     case App::Bookstore:
       if (hasEjb) ejbLogic = std::make_unique<apps::bookstore::BookstoreEjbLogic>(bookScale);
@@ -140,35 +177,70 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
       break;
   }
 
-  // Dynamic-content generator per configuration.
-  std::unique_ptr<mw::DynamicContentGenerator> generator;
-  switch (params.config) {
-    case Configuration::WsPhpDb:
-      generator = std::make_unique<mw::PhpModule>(simulation, network, web, dbServer,
-                                                  *sqlLogic, params.cost, params.seed);
+  // Dynamic-content generators. Tiers that run one engine per replica
+  // (dedicated servlet containers) get a dispatching wrapper; single-engine
+  // tiers take the direct path, event-identical to the legacy construction.
+  net::Machine& web0 = *webMachines[0];
+  sim::NamedMutexSet servletMonitors(simulation);  // shared across JVM replicas
+  std::vector<std::unique_ptr<mw::DynamicContentGenerator>> engines;
+  std::unique_ptr<mw::DispatchingGenerator> dispatcher;
+  mw::DynamicContentGenerator* generator = nullptr;
+  switch (topo.generator) {
+    case GeneratorKind::Php:
+      engines.push_back(std::make_unique<mw::PhpModule>(
+          simulation, network, web0, dbCluster, *sqlLogic, params.cost, params.seed));
       break;
-    case Configuration::WsServletDb:
-    case Configuration::WsServletDbSync:
-      generator = std::make_unique<mw::ServletEngine>(simulation, network, web, web,
-                                                      dbServer, *sqlLogic, syncLocking,
-                                                      params.cost, params.seed);
+    case GeneratorKind::Servlet:
+      if (topo.servletColocated) {
+        // One engine shared by all web replicas; each request's JVM work
+        // runs on the replica that took it (request.web).
+        engines.push_back(std::make_unique<mw::ServletEngine>(
+            simulation, network, web0, web0, dbCluster, *sqlLogic, topo.syncLocking,
+            params.cost, params.seed, &servletMonitors));
+      } else {
+        for (std::size_t s = 0; s < servletMachines.size(); ++s) {
+          engines.push_back(std::make_unique<mw::ServletEngine>(
+              simulation, network, web0, *servletMachines[s], dbCluster, *sqlLogic,
+              topo.syncLocking, params.cost,
+              replicaSeed(params.seed, static_cast<int>(s)), &servletMonitors));
+        }
+      }
       break;
-    case Configuration::WsServletSepDb:
-    case Configuration::WsServletSepDbSync:
-      generator = std::make_unique<mw::ServletEngine>(
-          simulation, network, web, *servletMachine, dbServer, *sqlLogic, syncLocking,
-          params.cost, params.seed);
+    case GeneratorKind::Ejb: {
+      std::vector<net::Machine*> ejbPtrs;
+      for (auto& m : ejbMachines) ejbPtrs.push_back(m.get());
+      for (std::size_t s = 0; s < servletMachines.size(); ++s) {
+        engines.push_back(std::make_unique<mw::EjbGenerator>(
+            simulation, network, web0, *servletMachines[s], ejbPtrs, dbCluster,
+            *ejbLogic, params.cost, replicaSeed(params.seed, static_cast<int>(s))));
+      }
       break;
-    case Configuration::WsServletEjbDb:
-      generator = std::make_unique<mw::EjbGenerator>(simulation, network, web,
-                                                     *servletMachine, *ejbMachine,
-                                                     dbServer, *ejbLogic, params.cost,
-                                                     params.seed);
-      break;
+    }
+  }
+  if (engines.size() == 1) {
+    generator = engines.front().get();
+  } else {
+    std::vector<mw::DynamicContentGenerator*> children;
+    for (auto& e : engines) children.push_back(e.get());
+    dispatcher =
+        std::make_unique<mw::DispatchingGenerator>(std::move(children), topo.servletDispatch);
+    generator = dispatcher.get();
   }
 
-  mw::WebServer webServer(simulation, web, network, clients, params.cost);
-  webServer.setGenerator(generator.get());
+  std::vector<std::unique_ptr<mw::WebServer>> webServers;
+  for (auto& m : webMachines) {
+    webServers.push_back(
+        std::make_unique<mw::WebServer>(simulation, *m, network, clients, params.cost));
+    webServers.back()->setGenerator(generator);
+  }
+  mw::HttpService* frontend = webServers.front().get();
+  std::unique_ptr<mw::LoadBalancer> balancer;
+  if (webServers.size() > 1) {
+    std::vector<mw::WebServer*> replicas;
+    for (auto& w : webServers) replicas.push_back(w.get());
+    balancer = std::make_unique<mw::LoadBalancer>(std::move(replicas), topo.webDispatch);
+    frontend = balancer.get();
+  }
 
   // Workload.
   const wl::MixMatrix mix = [&] {
@@ -183,17 +255,17 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   }();
   wl::WorkloadStats stats;
   trace::Collector collector(params.trace);
-  wl::ClientFarm farm(simulation, webServer, mix, params.clients, stats, params.seed,
+  wl::ClientFarm farm(simulation, *frontend, mix, params.clients, stats, params.seed,
                       7 * sim::kSecond, 15 * sim::kMinute,
                       collector.enabled() ? &collector : nullptr);
   farm.start();
 
-  // Usage metering, in the paper's figure order.
+  // Usage metering, in the paper's figure order, one entry per instance.
   stats::UsageWindow usage;
-  usage.addMachine(&web);
-  usage.addMachine(&dbMachine);
-  if (servletMachine) usage.addMachine(servletMachine.get());
-  if (ejbMachine) usage.addMachine(ejbMachine.get());
+  for (auto& m : webMachines) usage.addMachine(m.get(), kWebTier);
+  for (auto& m : dbMachines) usage.addMachine(m.get(), kDbTier);
+  for (auto& m : servletMachines) usage.addMachine(m.get(), kServletTier);
+  for (auto& m : ejbMachines) usage.addMachine(m.get(), kEjbTier);
 
   // Phases: ramp-up, measurement, ramp-down (paper §4.5).
   simulation.runUntil(params.rampUp);
@@ -217,28 +289,36 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   result.meanResponseSeconds = stats.responseSeconds.mean();
   result.p90ResponseSeconds = stats.responseSeconds.percentile(90);
   result.usage = usage.usage();
+  result.tierUsage = stats::aggregateByTier(result.usage);
   for (const auto& [key, traffic] : network.matrix()) result.traffic[key] = traffic;
-  for (const auto& [table, lock] : dbServer.tableLocks()) {
-    (void)table;
-    result.lockAcquisitions += lock->readAcquisitions() + lock->writeAcquisitions();
-    result.contendedLockAcquisitions += lock->contendedAcquisitions();
-    result.lockWaitSeconds += sim::toSeconds(lock->totalWait());
+  for (std::size_t b = 0; b < dbCluster.size(); ++b) {
+    const mw::DatabaseServer& backend = dbCluster.backend(b);
+    for (const auto& [table, lock] : backend.tableLocks()) {
+      (void)table;
+      result.lockAcquisitions += lock->readAcquisitions() + lock->writeAcquisitions();
+      result.contendedLockAcquisitions += lock->contendedAcquisitions();
+      result.lockWaitSeconds += sim::toSeconds(lock->totalWait());
+    }
+    result.lockManagerWaitSeconds += sim::toSeconds(backend.lockManager().totalWait());
   }
-  result.lockManagerWaitSeconds = sim::toSeconds(dbServer.lockManager().totalWait());
-  result.databaseBytes = database.approxBytes();
+  result.databaseBytes = databaseBytes;
+  for (const auto& w : webServers) result.webErrors += w->errorCount();
   if (collector.enabled()) {
     result.trace = std::make_shared<const trace::Report>(collector.report());
   }
   return result;
 }
 
-std::uint64_t pointSeed(std::uint64_t rootSeed, Configuration config, int clients) {
-  // Two chained SplitMix64 steps: first mix in the configuration, then the
-  // client count. Collision-free in practice and — crucially — a pure
-  // function of the point's coordinates.
-  const std::uint64_t withConfig =
-      sim::deriveSeed(rootSeed, 0x5EED0000ULL + static_cast<std::uint64_t>(config));
-  return sim::deriveSeed(withConfig, static_cast<std::uint64_t>(clients));
+std::uint64_t pointSeed(std::uint64_t rootSeed, App app, int mix, Configuration config,
+                        int clients) {
+  // Chained SplitMix64 steps over the point's *full* coordinates.
+  // The pre-fix derivation hashed only (config, clients), so figure benches
+  // sharing those coordinates — e.g. the bookstore's shopping and browsing
+  // sweeps at one client count — ran correlated random streams.
+  std::uint64_t s = sim::deriveSeed(rootSeed, 0xA44ULL + static_cast<std::uint64_t>(app));
+  s = sim::deriveSeed(s, 0x313ULL + static_cast<std::uint64_t>(mix));
+  s = sim::deriveSeed(s, 0x5EED0000ULL + static_cast<std::uint64_t>(config));
+  return sim::deriveSeed(s, static_cast<std::uint64_t>(clients));
 }
 
 ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
@@ -246,7 +326,7 @@ ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
   ExperimentParams p = base;
   p.config = config;
   p.clients = clients;
-  p.seed = pointSeed(base.seed, config, clients);
+  p.seed = pointSeed(base.seed, base.app, base.mix, config, clients);
   // All points of one sweep share the sweep's dataset: the population seed
   // stays tied to the *root* seed (exactly what a standalone run with
   // dataSeed = 0 derives), not to the per-point seed.

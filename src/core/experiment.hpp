@@ -4,9 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/topology.hpp"
 #include "middleware/cost_model.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
@@ -16,19 +18,6 @@
 
 namespace mwsim::core {
 
-/// The six software/hardware configurations of the paper's Figure 4.
-enum class Configuration {
-  WsPhpDb,             // PHP module in the web server; DB on its own machine
-  WsServletDb,         // servlet engine co-located with the web server
-  WsServletDbSync,     // + Java-monitor locking instead of LOCK TABLES
-  WsServletSepDb,      // servlet engine on a dedicated machine
-  WsServletSepDbSync,  // + Java-monitor locking
-  WsServletEjbDb,      // web, servlet, EJB and DB each on their own machine
-};
-
-const char* configurationName(Configuration c);
-std::vector<Configuration> allConfigurations();
-
 /// Which benchmark application drives the run. BulletinBoard is the RUBBoS
 /// benchmark the paper skipped, implemented here to test its §7 prediction
 /// that the results mirror the auction site.
@@ -37,6 +26,11 @@ enum class App { Bookstore, Auction, BulletinBoard };
 /// Parameters for one measurement run (one point on a throughput curve).
 struct ExperimentParams {
   Configuration config = Configuration::WsPhpDb;
+  /// Explicit topology override. Unset runs canonicalTopology(config) — the
+  /// paper's configuration on single machines; set it to scale tiers out
+  /// (replicas, cores, NICs, dispatch policies). `config` still names the
+  /// run and seeds the sweep-point hash.
+  std::optional<Topology> topology;
   App app = App::Bookstore;
   /// Bookstore: 0 browsing, 1 shopping, 2 ordering. Auction: 0 browsing,
   /// 1 bidding.
@@ -82,8 +76,14 @@ struct ExperimentResult {
 
   /// Per-machine usage over the measurement window, in the paper's order:
   /// WebServer, Database, Servlet Container, EJB Server (absent tiers are
-  /// omitted).
+  /// omitted). Replicated tiers contribute one entry per instance
+  /// ("WebServer", "WebServer#2", ...), grouped per tier in that order.
   std::vector<stats::MachineUsage> usage;
+
+  /// Usage aggregated over each tier's replicas (see stats::aggregateByTier).
+  /// Identical to `usage` rows for single-replica tiers apart from `name`
+  /// being the tier name.
+  std::vector<stats::MachineUsage> tierUsage;
 
   /// Traffic between machine pairs over the whole run (bytes/packets).
   std::map<std::pair<std::string, std::string>, net::LinkTraffic> traffic;
@@ -97,14 +97,28 @@ struct ExperimentResult {
   /// fig05 drain stalls before this field existed.
   double lockManagerWaitSeconds = 0.0;
 
+  /// Dataset bytes across every database replica's own clone.
   std::size_t databaseBytes = 0;
+
+  /// Dynamic-content requests answered with an error page, summed over web
+  /// replicas. Nonzero means the run is degraded — cluster tests assert 0.
+  std::uint64_t webErrors = 0;
 
   /// Per-tier latency attribution (only when params.trace.enabled).
   /// shared_ptr keeps ExperimentResult cheaply copyable.
   std::shared_ptr<const trace::Report> trace;
 
+  /// Per-instance lookup by unique machine name ("WebServer", "WebServer#2").
   const stats::MachineUsage* machine(const std::string& name) const {
     for (const auto& u : usage) {
+      if (u.name == name) return &u;
+    }
+    return nullptr;
+  }
+
+  /// Per-tier lookup by tier name (aggregated over replicas).
+  const stats::MachineUsage* tier(const std::string& name) const {
+    for (const auto& u : tierUsage) {
       if (u.name == name) return &u;
     }
     return nullptr;
@@ -117,14 +131,17 @@ struct ExperimentResult {
 /// each call owns its whole simulation substrate.
 ExperimentResult runExperiment(const ExperimentParams& params);
 
-/// Seed for one sweep point, derived as hash(rootSeed, config, clients).
-/// Depending only on the point's coordinates (never its position in the
-/// sweep, the jobs count, or scheduling) makes every point's result
-/// independent of how the sweep is shaped or parallelised.
-std::uint64_t pointSeed(std::uint64_t rootSeed, Configuration config, int clients);
+/// Seed for one sweep point, derived as hash(rootSeed, app, mix, config,
+/// clients) — the point's *full* coordinates. Depending only on those
+/// coordinates (never the point's position in the sweep, the jobs count, or
+/// scheduling) makes every point's result independent of how the sweep is
+/// shaped or parallelised; including app and mix keeps different figures'
+/// random streams uncorrelated at equal (config, clients).
+std::uint64_t pointSeed(std::uint64_t rootSeed, App app, int mix, Configuration config,
+                        int clients);
 
 /// The params for one sweep point: base with (config, clients) applied,
-/// seed = pointSeed(base.seed, config, clients), and dataSeed pinned to the
+/// seed = pointSeed over the full coordinates, and dataSeed pinned to the
 /// base seed's population stream so all points share one cached dataset.
 ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
                              int clients);

@@ -1,0 +1,110 @@
+#include "core/topology.hpp"
+
+#include <stdexcept>
+
+namespace mwsim::core {
+
+const char* configurationName(Configuration c) {
+  switch (c) {
+    case Configuration::WsPhpDb: return "WsPhp-DB";
+    case Configuration::WsServletDb: return "WsServlet-DB";
+    case Configuration::WsServletDbSync: return "WsServlet-DB(sync)";
+    case Configuration::WsServletSepDb: return "Ws-Servlet-DB";
+    case Configuration::WsServletSepDbSync: return "Ws-Servlet-DB(sync)";
+    case Configuration::WsServletEjbDb: return "Ws-Servlet-EJB-DB";
+  }
+  return "?";
+}
+
+std::vector<Configuration> allConfigurations() {
+  return {Configuration::WsPhpDb,          Configuration::WsServletDb,
+          Configuration::WsServletDbSync,  Configuration::WsServletSepDb,
+          Configuration::WsServletSepDbSync, Configuration::WsServletEjbDb};
+}
+
+Topology canonicalTopology(Configuration c) {
+  Topology t;
+  switch (c) {
+    case Configuration::WsPhpDb:
+      t.generator = GeneratorKind::Php;
+      break;
+    case Configuration::WsServletDb:
+      t.generator = GeneratorKind::Servlet;
+      t.servletColocated = true;
+      break;
+    case Configuration::WsServletDbSync:
+      t.generator = GeneratorKind::Servlet;
+      t.servletColocated = true;
+      t.syncLocking = true;
+      break;
+    case Configuration::WsServletSepDb:
+      t.generator = GeneratorKind::Servlet;
+      break;
+    case Configuration::WsServletSepDbSync:
+      t.generator = GeneratorKind::Servlet;
+      t.syncLocking = true;
+      break;
+    case Configuration::WsServletEjbDb:
+      t.generator = GeneratorKind::Ejb;
+      break;
+  }
+  return t;
+}
+
+namespace {
+
+void checkTier(const char* name, const TierSpec& spec) {
+  if (spec.replicas < 1) {
+    throw std::invalid_argument(std::string(name) + " tier needs at least one replica");
+  }
+  if (spec.cores < 1) {
+    throw std::invalid_argument(std::string(name) + " tier needs at least one core");
+  }
+  if (!(spec.nicBitsPerSecond > 0.0)) {
+    throw std::invalid_argument(std::string(name) + " tier needs positive NIC bandwidth");
+  }
+  if (spec.memoryBytes < 0) {
+    throw std::invalid_argument(std::string(name) + " tier memory cannot be negative");
+  }
+}
+
+}  // namespace
+
+void validateTopology(const Topology& t) {
+  checkTier("web", t.web);
+  checkTier("db", t.db);
+  if (t.hasServletTier()) checkTier("servlet", t.servlet);
+  if (t.hasEjbTier()) checkTier("ejb", t.ejb);
+  if (t.syncLocking && t.generator != GeneratorKind::Servlet) {
+    throw std::invalid_argument(
+        "sync locking needs JVM monitors: only the servlet generator supports it");
+  }
+  if (t.servletColocated && t.generator == GeneratorKind::Ejb) {
+    throw std::invalid_argument("the EJB pipeline always runs a dedicated servlet tier");
+  }
+  if (t.servletColocated && t.generator == GeneratorKind::Php) {
+    throw std::invalid_argument("servletColocated is meaningless for the PHP generator");
+  }
+}
+
+std::string topologySummary(const Topology& t) {
+  const char* gen = t.generator == GeneratorKind::Php       ? "php"
+                    : t.generator == GeneratorKind::Servlet ? "servlet"
+                                                            : "ejb";
+  std::string out = gen;
+  if (t.syncLocking) out += "(sync)";
+  auto tier = [](const char* name, const TierSpec& spec, const char* policy) {
+    std::string s = std::string(" ") + name;
+    s += "×" + std::to_string(spec.replicas);
+    if (policy != nullptr && spec.replicas > 1) s += std::string("(") + policy + ")";
+    return s;
+  };
+  out += tier("web", t.web, dispatchName(t.webDispatch));
+  if (t.servletColocated) out += " servlet=colocated";
+  if (t.hasServletTier()) out += tier("servlet", t.servlet, dispatchName(t.servletDispatch));
+  if (t.hasEjbTier()) out += tier("ejb", t.ejb, nullptr);
+  out += tier("db", t.db, dbPolicyName(t.dbPolicy));
+  return out;
+}
+
+}  // namespace mwsim::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "middleware/policy.hpp"
+
+namespace mwsim::core {
+
+/// The six software/hardware configurations of the paper's Figure 4.
+enum class Configuration {
+  WsPhpDb,             // PHP module in the web server; DB on its own machine
+  WsServletDb,         // servlet engine co-located with the web server
+  WsServletDbSync,     // + Java-monitor locking instead of LOCK TABLES
+  WsServletSepDb,      // servlet engine on a dedicated machine
+  WsServletSepDbSync,  // + Java-monitor locking
+  WsServletEjbDb,      // web, servlet, EJB and DB each on their own machine
+};
+
+const char* configurationName(Configuration c);
+std::vector<Configuration> allConfigurations();
+
+/// Which middleware generates the dynamic content.
+enum class GeneratorKind { Php, Servlet, Ejb };
+
+/// One tier of machines. All replicas of a tier are identical.
+struct TierSpec {
+  int replicas = 1;
+  int cores = 1;
+  double nicBitsPerSecond = 100e6;
+  /// Memory charged to each replica; 0 uses the tier's model default (the
+  /// paper's measured footprints, and for the database tier the size of the
+  /// replica's own dataset clone plus server overhead).
+  std::int64_t memoryBytes = 0;
+};
+
+/// A complete experiment topology as data — what the hard-coded
+/// `switch (params.config)` used to construct imperatively. The paper's six
+/// configurations are canned Topologies (canonicalTopology); cluster
+/// experiments scale the tier replica counts and pick dispatch policies.
+struct Topology {
+  GeneratorKind generator = GeneratorKind::Php;
+  /// Java-monitor critical sections instead of LOCK TABLES (Servlet only).
+  bool syncLocking = false;
+  /// Servlet engine shares the web tier's machines (no dedicated tier).
+  bool servletColocated = false;
+
+  TierSpec web;
+  TierSpec servlet;  // meaningful only when hasServletTier()
+  TierSpec ejb;      // meaningful only when hasEjbTier()
+  TierSpec db;
+
+  mw::Dispatch webDispatch = mw::Dispatch::RoundRobin;
+  mw::Dispatch servletDispatch = mw::Dispatch::RoundRobin;
+  mw::DbPolicy dbPolicy = mw::DbPolicy::MasterReplica;
+
+  bool hasServletTier() const {
+    return (generator == GeneratorKind::Servlet && !servletColocated) ||
+           generator == GeneratorKind::Ejb;
+  }
+  bool hasEjbTier() const { return generator == GeneratorKind::Ejb; }
+};
+
+/// The data-driven equivalent of one of the paper's six configurations
+/// (proven event-identical to the legacy construction by the topology
+/// equivalence tests).
+Topology canonicalTopology(Configuration c);
+
+/// Throws std::invalid_argument on inconsistent topologies (zero replicas,
+/// sync locking outside the servlet generator, co-located EJB, ...).
+void validateTopology(const Topology& t);
+
+/// Human-readable one-liner, e.g. "php web×2(round-robin) db×2(master-replica)".
+std::string topologySummary(const Topology& t);
+
+}  // namespace mwsim::core

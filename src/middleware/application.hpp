@@ -48,4 +48,15 @@ class DynamicContentGenerator {
   virtual sim::Task<Page> generate(const Request& request) = 0;
 };
 
+/// Whatever the client farm talks HTTP to: a single web server, or a load
+/// balancer fronting several replicas.
+class HttpService {
+ public:
+  virtual ~HttpService() = default;
+  /// `request` must stay alive until the returned task completes (callers
+  /// co_await immediately; do not pass a temporary — GCC 12 miscompiles
+  /// by-value coroutine parameters initialized from braced temporaries).
+  virtual sim::Task<InteractionResult> serve(const Request& request) = 0;
+};
+
 }  // namespace mwsim::mw

@@ -12,6 +12,7 @@
 #include "db/plan.hpp"
 #include "middleware/cost_model.hpp"
 #include "middleware/database_server.hpp"
+#include "middleware/db_cluster.hpp"
 #include "net/network.hpp"
 #include "trace/scope.hpp"
 
@@ -100,23 +101,46 @@ enum class DriverKind {
   Jdbc,         // type 4 JDBC driver, interpreted Java: dearer
 };
 
-/// One client-side database session: a driver plus a server connection.
+/// One client-side database session: a driver plus a server connection per
+/// backend.
 ///
 /// execute() models the full round trip: driver CPU on the host machine,
 /// request over the LAN, server-side locking/CPU/execution, response over
-/// the LAN, and driver decode CPU.
+/// the LAN, and driver decode CPU. Against a single server the session is
+/// exactly the legacy one-connection round trip; against a replicated
+/// DbCluster the driver routes reads per the cluster policy and applies
+/// writes to every backend before acknowledging (see DbCluster).
 class DbSession {
  public:
   DbSession(sim::Simulation& simulation, net::Network& network, net::Machine& host,
             DatabaseServer& server, DriverKind driver, const CostModel& cost)
-      : sim_(simulation), net_(network), host_(host), server_(server), driver_(driver),
-        cost_(cost), conn_(server.connect()) {}
+      : sim_(simulation), net_(network), host_(host), server_(&server), driver_(driver),
+        cost_(cost) {
+    conns_.push_back(server.connect());
+  }
+  DbSession(sim::Simulation& simulation, net::Network& network, net::Machine& host,
+            DbCluster& cluster, DriverKind driver, const CostModel& cost)
+      : sim_(simulation), net_(network), host_(host), server_(&cluster.primary()),
+        driver_(driver), cost_(cost) {
+    if (cluster.size() > 1) {
+      cluster_ = &cluster;
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        conns_.push_back(cluster.backend(i).connect());
+      }
+    } else {
+      // Size-1 clusters take the legacy single-server path so canned
+      // topologies stay event-identical to the hard-coded construction.
+      conns_.push_back(cluster.primary().connect());
+    }
+  }
   DbSession(DbSession&&) = default;
   DbSession(const DbSession&) = delete;
   DbSession& operator=(const DbSession&) = delete;
   ~DbSession() {
     // Teardown safety net: never leave table locks dangling.
-    if (conn_) conn_->releaseExplicitLocks();
+    for (auto& conn : conns_) {
+      if (conn) conn->releaseExplicitLocks();
+    }
   }
 
   sim::Task<db::ExecResult> execute(std::string_view sql,
@@ -130,10 +154,15 @@ class DbSession {
 
     co_await host_.compute(sim::fromMicros(perQueryUs));
     co_await sim_.delay(sim::fromMicros(cost_.clientTurnaroundUs));
-    co_await net_.send(host_, server_.machine(), cost_.dbRequestBytes + sql.size());
-    db::ExecResult result = co_await conn_->process(std::move(stmt), std::move(params));
-    co_await net_.send(server_.machine(), host_,
-                       cost_.dbResponseBytes + result.stats.resultBytes);
+    db::ExecResult result;
+    if (cluster_ == nullptr) {
+      co_await net_.send(host_, server_->machine(), cost_.dbRequestBytes + sql.size());
+      result = co_await conns_[0]->process(std::move(stmt), std::move(params));
+      co_await net_.send(server_->machine(), host_,
+                         cost_.dbResponseBytes + result.stats.resultBytes);
+    } else {
+      result = co_await clusterProcess(std::move(stmt), sql.size(), std::move(params));
+    }
     co_await host_.compute(
         sim::fromMicros(perByteUs * static_cast<double>(result.stats.resultBytes)));
     ++statements_;
@@ -142,7 +171,8 @@ class DbSession {
   }
 
   net::Machine& host() noexcept { return host_; }
-  DatabaseServer& server() noexcept { return server_; }
+  /// The primary backend (catalog/content identical on every backend).
+  DatabaseServer& server() noexcept { return *server_; }
 
   /// Statements issued through this session (fills Page::queryCount).
   std::uint64_t statements() const noexcept { return statements_; }
@@ -150,13 +180,91 @@ class DbSession {
   std::size_t resultBytes() const noexcept { return resultBytes_; }
 
  private:
+  /// Replicated round trip (cluster size > 1).
+  sim::Task<db::ExecResult> clusterProcess(std::shared_ptr<const db::PlannedStatement> stmt,
+                                           std::size_t sqlBytes,
+                                           std::vector<db::Value> params) {
+    DbCluster& cluster = *cluster_;
+    const db::Statement::Kind kind = stmt->stmt().kind;
+    const std::size_t requestBytes = cost_.dbRequestBytes + sqlBytes;
+
+    if (kind == db::Statement::Kind::LockTables ||
+        kind == db::Statement::Kind::UnlockTables) {
+      // Explicit locking fans out to every backend in fixed backend order;
+      // ordered acquisition across connections prevents lock-order
+      // deadlocks, just like the sorted table order does within one server.
+      db::ExecResult first;
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        co_await net_.send(host_, cluster.backend(i).machine(), requestBytes);
+        db::ExecResult r = co_await conns_[i]->process(stmt, params);
+        co_await net_.send(cluster.backend(i).machine(), host_,
+                           cost_.dbResponseBytes + r.stats.resultBytes);
+        if (i == 0) first = std::move(r);
+      }
+      co_return first;
+    }
+
+    const bool underLocks = conns_[0]->holdsExplicitLocks();
+    if (kind == db::Statement::Kind::Select) {
+      // Reads scale out: route to one backend. Inside a LOCK TABLES section
+      // the read must run on a connection that holds the locks; backend 0
+      // is that connection's canonical home (all backends hold the locks,
+      // pinning keeps the routing deterministic and simple).
+      std::size_t target = 0;
+      if (!underLocks) {
+        target = cluster.policy() == DbPolicy::ShardedByKey
+                     ? cluster.shardFor(*stmt, params)
+                     : cluster.routeRead();
+      }
+      DatabaseServer& backend = cluster.backend(target);
+      co_await net_.send(host_, backend.machine(), requestBytes);
+      db::ExecResult result = co_await conns_[target]->process(std::move(stmt),
+                                                               std::move(params));
+      co_await net_.send(backend.machine(), host_,
+                         cost_.dbResponseBytes + result.stats.resultBytes);
+      co_return result;
+    }
+
+    // Write: apply on a primary, then mirror to every other backend before
+    // acknowledging, so all copies stay identical and later statements are
+    // never stale. The cluster-wide write stream makes concurrent writers
+    // apply in one global order on every copy; a connection holding
+    // explicit table locks skips the stream — its mutual exclusion already
+    // comes from LOCK TABLES held on all backends, and waiting for the
+    // stream while holding those locks could deadlock against a plain
+    // writer holding the stream and waiting for a table lock.
+    const std::size_t primaryIdx =
+        (cluster.policy() == DbPolicy::ShardedByKey && !underLocks)
+            ? cluster.shardFor(*stmt, params)
+            : 0;
+    DatabaseServer& primary = cluster.backend(primaryIdx);
+    sim::ResourceHold stream;
+    if (!underLocks) {
+      stream = co_await cluster.writeStream()->acquire();
+    }
+    co_await net_.send(host_, primary.machine(), requestBytes);
+    db::ExecResult result = co_await conns_[primaryIdx]->process(stmt, params);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (i == primaryIdx) continue;
+      co_await net_.send(primary.machine(), cluster.backend(i).machine(), requestBytes);
+      db::ExecResult mirrored = co_await conns_[i]->process(stmt, params);
+      (void)mirrored;
+      co_await net_.send(cluster.backend(i).machine(), primary.machine(),
+                         cost_.dbResponseBytes);
+    }
+    co_await net_.send(primary.machine(), host_,
+                       cost_.dbResponseBytes + result.stats.resultBytes);
+    co_return result;
+  }
+
   sim::Simulation& sim_;
   net::Network& net_;
   net::Machine& host_;
-  DatabaseServer& server_;
+  DatabaseServer* server_;
+  DbCluster* cluster_ = nullptr;  // null: legacy single-server round trips
   DriverKind driver_;
   const CostModel& cost_;
-  std::unique_ptr<DatabaseServer::Connection> conn_;
+  std::vector<std::unique_ptr<DatabaseServer::Connection>> conns_;
   std::uint64_t statements_ = 0;
   std::size_t resultBytes_ = 0;
 };

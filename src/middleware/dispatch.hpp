@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "middleware/application.hpp"
+#include "middleware/policy.hpp"
+#include "middleware/web_server.hpp"
+
+namespace mwsim::mw {
+
+/// Deterministic replica selection with in-flight accounting. Selection
+/// depends only on the sequence of pick/arrive/depart calls, which the
+/// single-threaded simulation kernel orders deterministically.
+class ReplicaPicker {
+ public:
+  ReplicaPicker(std::size_t replicas, Dispatch policy)
+      : policy_(policy), inflight_(replicas, 0) {
+    assert(replicas > 0);
+  }
+
+  std::size_t pick() {
+    if (policy_ == Dispatch::RoundRobin) {
+      const std::size_t i = next_;
+      next_ = (next_ + 1) % inflight_.size();
+      return i;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < inflight_.size(); ++i) {
+      if (inflight_[i] < inflight_[best]) best = i;
+    }
+    return best;
+  }
+
+  void arrive(std::size_t i) { ++inflight_[i]; }
+  void depart(std::size_t i) { --inflight_[i]; }
+  int inflight(std::size_t i) const { return inflight_[i]; }
+
+ private:
+  Dispatch policy_;
+  std::size_t next_ = 0;
+  std::vector<int> inflight_;
+};
+
+/// Fans requests out over per-replica content generators (one ServletEngine
+/// or EjbGenerator per servlet-container replica). The experiment wiring
+/// bypasses this wrapper when there is only one replica, so single-replica
+/// topologies stay event-identical to the legacy construction.
+class DispatchingGenerator final : public DynamicContentGenerator {
+ public:
+  DispatchingGenerator(std::vector<DynamicContentGenerator*> children, Dispatch policy)
+      : children_(std::move(children)), picker_(children_.size(), policy) {}
+
+  sim::Task<Page> generate(const Request& request) override {
+    const std::size_t i = picker_.pick();
+    picker_.arrive(i);
+    Inflight guard{&picker_, i};
+    Page page = co_await children_[i]->generate(request);
+    co_return page;
+  }
+
+ private:
+  struct Inflight {
+    ReplicaPicker* picker;
+    std::size_t index;
+    ~Inflight() { picker->depart(index); }
+  };
+
+  std::vector<DynamicContentGenerator*> children_;
+  ReplicaPicker picker_;
+};
+
+/// L4 load balancer in front of replicated web servers. The experiment
+/// wiring hands the client farm a WebServer directly when there is one
+/// replica; the balancer only exists in replicated topologies.
+class LoadBalancer final : public HttpService {
+ public:
+  LoadBalancer(std::vector<WebServer*> replicas, Dispatch policy)
+      : replicas_(std::move(replicas)), picker_(replicas_.size(), policy) {}
+
+  sim::Task<InteractionResult> serve(const Request& request) override {
+    const std::size_t i = picker_.pick();
+    picker_.arrive(i);
+    Inflight guard{&picker_, i};
+    InteractionResult result = co_await replicas_[i]->serve(request);
+    co_return result;
+  }
+
+ private:
+  struct Inflight {
+    ReplicaPicker* picker;
+    std::size_t index;
+    ~Inflight() { picker->depart(index); }
+  };
+
+  std::vector<WebServer*> replicas_;
+  ReplicaPicker picker_;
+};
+
+}  // namespace mwsim::mw

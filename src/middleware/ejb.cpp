@@ -148,10 +148,17 @@ sim::Task<> EntityManager::commit() {
 
 sim::Task<Page> EjbGenerator::generate(const Request& request) {
   trace::SpanScope servletSpan(sim_, "servlet");
+  // The web side runs on whichever replica took the request; the servlet
+  // machine is this instance's own (one EjbGenerator per servlet replica);
+  // the EJB machine rotates over the cluster view held by the RMI stubs.
+  net::Machine& web = request.web != nullptr ? *request.web : web_;
+  net::Machine& ejb = *ejbMachines_[nextEjb_];
+  nextEjb_ = (nextEjb_ + 1) % ejbMachines_.size();
+
   // Web server -> servlet engine over AJP12 (always separate machines in
   // the Ws-Servlet-EJB-DB configuration).
-  co_await web_.compute(sim::fromMicros(cost_.ajpPerRequestUs));
-  if (&web_ != &servlet_) co_await net_.send(web_, servlet_, cost_.ajpRequestBytes);
+  co_await web.compute(sim::fromMicros(cost_.ajpPerRequestUs));
+  if (&web != &servlet_) co_await net_.send(web, servlet_, cost_.ajpRequestBytes);
   co_await servlet_.compute(
       sim::fromMicros(cost_.ajpPerRequestUs + cost_.servletRequestUs));
 
@@ -165,15 +172,15 @@ sim::Task<Page> EjbGenerator::generate(const Request& request) {
     // RMI request on the wire, facade + CMP work on the EJB machine, and
     // the marshaled reply back.
     trace::SpanScope ejbSpan(sim_, "ejb");
-    co_await net_.send(servlet_, ejb_, cost_.rmiRequestBytes);
-    co_await ejb_.compute(
+    co_await net_.send(servlet_, ejb, cost_.rmiRequestBytes);
+    co_await ejb.compute(
         sim::fromMicros(cost_.rmiServerPerCallUs + cost_.ejbBeanOpUs));  // facade bean
 
     // The facade method runs on the EJB machine with container-managed
     // persistence through the container's own JDBC connection.
-    DbSession db(sim_, net_, ejb_, dbServer_, DriverKind::Jdbc, cost_);
-    EntityManager em(ejb_, db, cost_);
-    EjbContext ctx{sim_, ejb_, em, db, rng_, cost_};
+    DbSession db(sim_, net_, ejb, db_, DriverKind::Jdbc, cost_);
+    EntityManager em(ejb, db, cost_);
+    EjbContext ctx{sim_, ejb, em, db, rng_, cost_};
     page = co_await logic_.invoke(request.interaction, ctx, *request.session);
     co_await em.commit();
     page.queryCount += static_cast<int>(em.statementsIssued());
@@ -181,9 +188,9 @@ sim::Task<Page> EjbGenerator::generate(const Request& request) {
 
     // Marshal the reply value graph back to the servlet.
     payload = cost_.rmiRequestBytes + page.dataBytes;
-    co_await ejb_.compute(
+    co_await ejb.compute(
         sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
-    co_await net_.send(ejb_, servlet_, payload);
+    co_await net_.send(ejb, servlet_, payload);
   }
   co_await servlet_.compute(
       sim::fromMicros(cost_.rmiPerByteUs * static_cast<double>(payload)));
@@ -193,10 +200,10 @@ sim::Task<Page> EjbGenerator::generate(const Request& request) {
   co_await servlet_.compute(sim::fromMicros(
       (cost_.servletPerHtmlByteUs + cost_.ajpPerByteUs) *
       static_cast<double>(page.htmlBytes)));
-  if (&web_ != &servlet_) {
-    co_await net_.send(servlet_, web_, page.htmlBytes + cost_.ajpRequestBytes);
+  if (&web != &servlet_) {
+    co_await net_.send(servlet_, web, page.htmlBytes + cost_.ajpRequestBytes);
   }
-  co_await web_.compute(
+  co_await web.compute(
       sim::fromMicros(cost_.ajpPerByteUs * static_cast<double>(page.htmlBytes)));
   co_return page;
 }

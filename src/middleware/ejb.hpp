@@ -129,22 +129,33 @@ class EjbBusinessLogic {
 /// (session facade pattern, paper Figure 3).
 class EjbGenerator final : public DynamicContentGenerator {
  public:
+  /// Replica-aware form: the servlet rotates its RMI calls over the EJB
+  /// machines (the stubs' round-robin cluster view).
   EjbGenerator(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
-               net::Machine& servletMachine, net::Machine& ejbMachine, DatabaseServer& dbServer,
-               EjbBusinessLogic& logic, const CostModel& cost, std::uint64_t seed)
+               net::Machine& servletMachine, std::vector<net::Machine*> ejbMachines,
+               DbCluster& db, EjbBusinessLogic& logic, const CostModel& cost,
+               std::uint64_t seed)
       : sim_(simulation), net_(network), web_(webMachine), servlet_(servletMachine),
-        ejb_(ejbMachine), dbServer_(dbServer), logic_(logic), cost_(cost),
+        ejbMachines_(std::move(ejbMachines)), db_(db), logic_(logic), cost_(cost),
         rng_(sim::deriveSeed(seed, /*tag=*/0xe1b)) {}
+
+  /// Single-EJB-machine convenience (the paper's Ws-Servlet-EJB-DB).
+  EjbGenerator(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
+               net::Machine& servletMachine, net::Machine& ejbMachine, DbCluster& db,
+               EjbBusinessLogic& logic, const CostModel& cost, std::uint64_t seed)
+      : EjbGenerator(simulation, network, webMachine, servletMachine,
+                     std::vector<net::Machine*>{&ejbMachine}, db, logic, cost, seed) {}
 
   sim::Task<Page> generate(const Request& request) override;
 
  private:
   sim::Simulation& sim_;
   net::Network& net_;
-  net::Machine& web_;
+  net::Machine& web_;  // fallback when the request carries no replica
   net::Machine& servlet_;
-  net::Machine& ejb_;
-  DatabaseServer& dbServer_;
+  std::vector<net::Machine*> ejbMachines_;
+  std::size_t nextEjb_ = 0;
+  DbCluster& db_;
   EjbBusinessLogic& logic_;
   const CostModel& cost_;
   sim::Rng rng_;

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <string>
 
+namespace mwsim::net {
+class Machine;
+}
+
 namespace mwsim::mw {
 
 struct ClientSession;
@@ -11,6 +15,11 @@ struct ClientSession;
 struct Request {
   std::string interaction;
   ClientSession* session = nullptr;
+  /// The web-server machine serving this request. Filled in by
+  /// WebServer::serve before the generator runs, so content generators
+  /// shared across web replicas charge the web-side work (AJP relay, PHP
+  /// interpretation) to the replica that actually took the request.
+  net::Machine* web = nullptr;
 };
 
 /// The page produced by the dynamic content generator.

@@ -14,26 +14,28 @@ namespace mwsim::mw {
 class PhpModule final : public DynamicContentGenerator {
  public:
   PhpModule(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
-            DatabaseServer& dbServer, SqlBusinessLogic& logic, const CostModel& cost,
+            DbCluster& db, SqlBusinessLogic& logic, const CostModel& cost,
             std::uint64_t seed)
-      : sim_(simulation), net_(network), web_(webMachine), dbServer_(dbServer), logic_(logic),
+      : sim_(simulation), net_(network), web_(webMachine), db_(db), logic_(logic),
         cost_(cost), rng_(sim::deriveSeed(seed, /*tag=*/0x9a9)) {}
 
   sim::Task<Page> generate(const Request& request) override {
     trace::SpanScope phpSpan(sim_, "php");
-    co_await web_.compute(sim::fromMicros(cost_.phpRequestUs));
+    // The module runs inside whichever web replica took the request.
+    net::Machine& web = request.web != nullptr ? *request.web : web_;
+    co_await web.compute(sim::fromMicros(cost_.phpRequestUs));
 
     // Each Apache process has its own persistent database connection; a
     // fresh session per request models the same isolation.
-    DbSession db(sim_, net_, web_, dbServer_, DriverKind::NativeMySql, cost_);
-    AppContext ctx{sim_, web_, db, LockStrategy::DatabaseLocks,
+    DbSession db(sim_, net_, web, db_, DriverKind::NativeMySql, cost_);
+    AppContext ctx{sim_, web, db, LockStrategy::DatabaseLocks,
                    /*appMonitors=*/nullptr, rng_, cost_};
     Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
     page.queryCount += static_cast<int>(db.statements());
     page.dataBytes += db.resultBytes();
 
     // Interpreting the generation loop: cost proportional to emitted HTML.
-    co_await web_.compute(sim::fromMicros(
+    co_await web.compute(sim::fromMicros(
         cost_.phpPerHtmlByteUs * static_cast<double>(page.htmlBytes)));
     co_return page;
   }
@@ -41,8 +43,8 @@ class PhpModule final : public DynamicContentGenerator {
  private:
   sim::Simulation& sim_;
   net::Network& net_;
-  net::Machine& web_;
-  DatabaseServer& dbServer_;
+  net::Machine& web_;  // fallback when the request carries no replica
+  DbCluster& db_;
   SqlBusinessLogic& logic_;
   const CostModel& cost_;
   sim::Rng rng_;

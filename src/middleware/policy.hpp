@@ -1,0 +1,42 @@
+#pragma once
+
+/// Leaf header for the cluster dispatch/routing policy enums. Kept free of
+/// other middleware includes so core/topology.hpp and db_cluster.hpp can use
+/// the enums without pulling in the generator stack (db_cluster is itself
+/// reachable from application.hpp via app_context → db_session, so anything
+/// it includes must not loop back into application.hpp).
+
+namespace mwsim::mw {
+
+/// How requests are spread over the replicas of a stateless tier (web
+/// servers behind an L4 switch, servlet containers behind mod_jk).
+enum class Dispatch {
+  RoundRobin,        // strict rotation, the classic switch default
+  LeastOutstanding,  // fewest in-flight requests, ties to the lowest index
+};
+
+inline const char* dispatchName(Dispatch d) {
+  switch (d) {
+    case Dispatch::RoundRobin: return "round-robin";
+    case Dispatch::LeastOutstanding: return "least-outstanding";
+  }
+  return "?";
+}
+
+/// How a replicated database tier is used by the drivers.
+enum class DbPolicy {
+  MasterReplica,  // reads fan out over every backend, writes are applied
+                  // everywhere in one serialized stream
+  ShardedByKey,   // the driver routes each statement to a key-owner backend;
+                  // writes still replicate so all backends stay identical
+};
+
+inline const char* dbPolicyName(DbPolicy p) {
+  switch (p) {
+    case DbPolicy::MasterReplica: return "master-replica";
+    case DbPolicy::ShardedByKey: return "sharded-by-key";
+  }
+  return "?";
+}
+
+}  // namespace mwsim::mw

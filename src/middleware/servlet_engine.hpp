@@ -15,57 +15,71 @@ namespace mwsim::mw {
 /// "(sync)" configurations.
 class ServletEngine final : public DynamicContentGenerator {
  public:
+  /// `sharedMonitors`, when non-null, replaces the engine's own monitor set
+  /// — replicated servlet containers in a sync configuration must share one
+  /// set, modeling the distributed-lock service a real cluster would need
+  /// for cross-JVM critical sections (paper §7).
   ServletEngine(sim::Simulation& simulation, net::Network& network, net::Machine& webMachine,
-                net::Machine& engineMachine, DatabaseServer& dbServer, SqlBusinessLogic& logic,
-                bool syncLocking, const CostModel& cost, std::uint64_t seed)
+                net::Machine& engineMachine, DbCluster& db, SqlBusinessLogic& logic,
+                bool syncLocking, const CostModel& cost, std::uint64_t seed,
+                sim::NamedMutexSet* sharedMonitors = nullptr)
       : sim_(simulation), net_(network), web_(webMachine), engine_(engineMachine),
-        dbServer_(dbServer), logic_(logic), syncLocking_(syncLocking), cost_(cost),
-        monitors_(simulation), rng_(sim::deriveSeed(seed, /*tag=*/0x70a)) {}
+        colocated_(&engineMachine == &webMachine), db_(db), logic_(logic),
+        syncLocking_(syncLocking), cost_(cost), monitors_(simulation),
+        activeMonitors_(sharedMonitors != nullptr ? sharedMonitors : &monitors_),
+        rng_(sim::deriveSeed(seed, /*tag=*/0x70a)) {}
 
   sim::Task<Page> generate(const Request& request) override {
     trace::SpanScope servletSpan(sim_, "servlet");
-    const bool remote = &engine_ != &web_;
+    // The web side of the exchange runs on whichever replica took the
+    // request; a co-located engine shares that machine, a dedicated engine
+    // is this instance's own.
+    net::Machine& web = request.web != nullptr ? *request.web : web_;
+    net::Machine& engine = colocated_ ? web : engine_;
+    const bool remote = !colocated_;
 
     // Web server side of the AJP12 dispatch.
-    co_await web_.compute(sim::fromMicros(cost_.ajpPerRequestUs));
-    if (remote) co_await net_.send(web_, engine_, cost_.ajpRequestBytes);
+    co_await web.compute(sim::fromMicros(cost_.ajpPerRequestUs));
+    if (remote) co_await net_.send(web, engine, cost_.ajpRequestBytes);
 
     // Servlet container side.
-    co_await engine_.compute(
+    co_await engine.compute(
         sim::fromMicros(cost_.ajpPerRequestUs + cost_.servletRequestUs));
 
-    DbSession db(sim_, net_, engine_, dbServer_, DriverKind::Jdbc, cost_);
-    AppContext ctx{sim_, engine_, db,
+    DbSession db(sim_, net_, engine, db_, DriverKind::Jdbc, cost_);
+    AppContext ctx{sim_, engine, db,
                    syncLocking_ ? LockStrategy::AppSync : LockStrategy::DatabaseLocks,
-                   &monitors_, rng_, cost_};
+                   activeMonitors_, rng_, cost_};
     Page page = co_await logic_.invoke(request.interaction, ctx, *request.session);
     page.queryCount += static_cast<int>(db.statements());
     page.dataBytes += db.resultBytes();
 
     // Page generation in the JVM plus the engine's side of relaying the
     // dynamic content back over AJP.
-    co_await engine_.compute(sim::fromMicros(
+    co_await engine.compute(sim::fromMicros(
         (cost_.servletPerHtmlByteUs + cost_.ajpPerByteUs) *
         static_cast<double>(page.htmlBytes)));
-    if (remote) co_await net_.send(engine_, web_, page.htmlBytes + cost_.ajpRequestBytes);
+    if (remote) co_await net_.send(engine, web, page.htmlBytes + cost_.ajpRequestBytes);
     // Web server's side of consuming the AJP stream.
-    co_await web_.compute(sim::fromMicros(
+    co_await web.compute(sim::fromMicros(
         cost_.ajpPerByteUs * static_cast<double>(page.htmlBytes)));
     co_return page;
   }
 
-  sim::NamedMutexSet& monitors() noexcept { return monitors_; }
+  sim::NamedMutexSet& monitors() noexcept { return *activeMonitors_; }
 
  private:
   sim::Simulation& sim_;
   net::Network& net_;
-  net::Machine& web_;
+  net::Machine& web_;     // fallback when the request carries no replica
   net::Machine& engine_;
-  DatabaseServer& dbServer_;
+  bool colocated_;
+  DbCluster& db_;
   SqlBusinessLogic& logic_;
   bool syncLocking_;
   const CostModel& cost_;
   sim::NamedMutexSet monitors_;
+  sim::NamedMutexSet* activeMonitors_;
   sim::Rng rng_;
 };
 

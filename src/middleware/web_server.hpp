@@ -17,7 +17,7 @@ namespace mwsim::mw {
 /// connection: request upload, dynamic generation, embedded-image fetches,
 /// and response download. The process slot is held for the whole
 /// interaction (keep-alive semantics).
-class WebServer {
+class WebServer final : public HttpService {
  public:
   WebServer(sim::Simulation& simulation, net::Machine& machine, net::Network& network,
             net::Machine& clientFarm, const CostModel& cost)
@@ -40,7 +40,7 @@ class WebServer {
   /// task completes (callers co_await immediately; do not pass a temporary
   /// — GCC 12 miscompiles by-value coroutine parameters initialized from
   /// braced temporaries).
-  sim::Task<InteractionResult> serve(const Request& request) {
+  sim::Task<InteractionResult> serve(const Request& request) override {
     assert(generator_ != nullptr);
     co_await net_.send(clients_, machine_, cost_.httpRequestBytes);
 
@@ -49,9 +49,14 @@ class WebServer {
     co_await machine_.compute(sim::fromMicros(
         cost_.webRequestUs + cost_.webPerActiveProcessUs * processPool_.inUse()));
 
+    // Generators can be shared across web replicas; stamping the request
+    // with this replica's machine routes the generator's web-side work here.
+    Request routed = request;
+    routed.web = &machine_;
+
     Page page;
     try {
-      page = co_await generator_->generate(request);
+      page = co_await generator_->generate(routed);
     } catch (const std::exception&) {
       // A failed script/servlet produces a 500 error page; the server (and
       // the client's session) keeps going — one bad interaction must not

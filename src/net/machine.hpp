@@ -65,7 +65,11 @@ class Machine {
       : name_(std::move(name)),
         cpu_(simulation, cores, name_ + ".cpu"),
         nic_(simulation, nicBitsPerSecond, name_),
-        cpuScale_(cpuScale) {}
+        cpuScale_(cpuScale) {
+    // Machine names key the usage and traffic reports; a duplicate would
+    // silently alias two machines' records, so it is a hard error.
+    simulation.claimName(name_);
+  }
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -145,6 +148,16 @@ class Simulation {
 
   std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Claims a unique component name within this simulation. Machines claim
+  /// their names at construction so a topology that accidentally creates two
+  /// machines with one name fails loudly instead of silently aliasing their
+  /// usage/traffic records.
+  void claimName(const std::string& name) {
+    if (!claimedNames_.insert(name).second) {
+      throw std::invalid_argument("duplicate machine name in one simulation: " + name);
+    }
+  }
+
  private:
   friend struct detail::RootPromise;
 
@@ -176,6 +189,7 @@ class Simulation {
   std::unordered_map<std::uint64_t, std::coroutine_handle<detail::RootPromise>> roots_;
   std::exception_ptr pendingError_;
   trace::Span* currentSpan_ = nullptr;
+  std::set<std::string> claimedNames_;
 };
 
 }  // namespace mwsim::sim

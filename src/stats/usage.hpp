@@ -9,9 +9,13 @@
 namespace mwsim::stats {
 
 /// Per-machine resource usage over a measurement window — the simulated
-/// equivalent of the paper's sysstat sampling.
+/// equivalent of the paper's sysstat sampling. Also used (via
+/// aggregateByTier) for one row per *tier*, where `name` is the tier name
+/// and the figures are combined over the tier's replicas.
 struct MachineUsage {
   std::string name;
+  std::string tier;             // tier this machine belongs to (default: name)
+  int cores = 1;
   double cpuUtilization = 0.0;  // fraction of cores busy, 0..1
   double nicMbps = 0.0;         // combined send+receive megabits/s
   double nicUtilization = 0.0;  // fraction of link bandwidth
@@ -23,7 +27,12 @@ struct MachineUsage {
 /// measurement phase, stop() at the end, then read usage().
 class UsageWindow {
  public:
-  void addMachine(const net::Machine* machine) { machines_.push_back(machine); }
+  /// `tier` groups replicated machines for aggregateByTier; empty means the
+  /// machine is its own tier (the single-machine default).
+  void addMachine(const net::Machine* machine, std::string tier = {}) {
+    machines_.push_back(machine);
+    tiers_.push_back(tier.empty() ? machine->name() : std::move(tier));
+  }
 
   void start(sim::SimTime now) {
     startTime_ = now;
@@ -53,6 +62,8 @@ class UsageWindow {
       const Snapshot& b = stopSnapshots_[i];
       MachineUsage u;
       u.name = m->name();
+      u.tier = tiers_[i];
+      u.cores = m->cpu().cores();
       u.cpuUtilization = (b.cpuBusy - a.cpuBusy) / (seconds * m->cpu().cores());
       const double bits = static_cast<double>(b.nicBytes - a.nicBytes) * 8.0;
       u.nicMbps = bits / seconds / 1e6;
@@ -75,10 +86,50 @@ class UsageWindow {
   };
 
   std::vector<const net::Machine*> machines_;
+  std::vector<std::string> tiers_;
   std::vector<Snapshot> startSnapshots_;
   std::vector<Snapshot> stopSnapshots_;
   sim::SimTime startTime_ = 0;
   sim::SimTime stopTime_ = 0;
 };
+
+/// Collapses per-instance usage to one row per tier, preserving first-seen
+/// tier order. CPU utilization is the core-weighted mean (the tier's busy
+/// fraction of its combined cores); NIC utilization is the plain mean over
+/// instances (replicas have one link each); traffic, packets and memory sum.
+inline std::vector<MachineUsage> aggregateByTier(
+    const std::vector<MachineUsage>& perInstance) {
+  std::vector<MachineUsage> out;
+  std::vector<int> instances;
+  for (const MachineUsage& u : perInstance) {
+    MachineUsage* t = nullptr;
+    std::size_t idx = 0;
+    for (; idx < out.size(); ++idx) {
+      if (out[idx].tier == u.tier) {
+        t = &out[idx];
+        break;
+      }
+    }
+    if (t == nullptr) {
+      out.emplace_back();
+      instances.push_back(0);
+      t = &out.back();
+      t->name = u.tier;
+      t->tier = u.tier;
+      t->cores = 0;
+      idx = out.size() - 1;
+    }
+    t->cpuUtilization = (t->cpuUtilization * t->cores + u.cpuUtilization * u.cores) /
+                        (t->cores + u.cores);
+    t->nicUtilization =
+        (t->nicUtilization * instances[idx] + u.nicUtilization) / (instances[idx] + 1);
+    t->cores += u.cores;
+    t->nicMbps += u.nicMbps;
+    t->nicPackets += u.nicPackets;
+    t->memoryBytes += u.memoryBytes;
+    ++instances[idx];
+  }
+  return out;
+}
 
 }  // namespace mwsim::stats

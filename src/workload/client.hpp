@@ -43,7 +43,7 @@ class ClientFarm {
  public:
   /// `collector`, when non-null and enabled, receives a span tree for every
   /// interaction that starts and completes inside the measurement window.
-  ClientFarm(sim::Simulation& simulation, mw::WebServer& webServer, const MixMatrix& mix,
+  ClientFarm(sim::Simulation& simulation, mw::HttpService& webServer, const MixMatrix& mix,
              int clientCount, WorkloadStats& stats, std::uint64_t seed,
              sim::Duration thinkMean = 7 * sim::kSecond,
              sim::Duration sessionMean = 15 * sim::kMinute,
@@ -100,7 +100,7 @@ class ClientFarm {
   }
 
   sim::Simulation& sim_;
-  mw::WebServer& web_;
+  mw::HttpService& web_;
   const MixMatrix& mix_;
   int clients_;
   WorkloadStats& stats_;

@@ -55,6 +55,12 @@ void expectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
     EXPECT_EQ(a.usage[i].nicPackets, b.usage[i].nicPackets);
     EXPECT_EQ(a.usage[i].memoryBytes, b.usage[i].memoryBytes);
   }
+  ASSERT_EQ(a.tierUsage.size(), b.tierUsage.size());
+  for (std::size_t i = 0; i < a.tierUsage.size(); ++i) {
+    EXPECT_EQ(a.tierUsage[i].name, b.tierUsage[i].name);
+    EXPECT_EQ(a.tierUsage[i].cpuUtilization, b.tierUsage[i].cpuUtilization);
+    EXPECT_EQ(a.tierUsage[i].memoryBytes, b.tierUsage[i].memoryBytes);
+  }
   ASSERT_EQ(a.traffic.size(), b.traffic.size());
   for (auto ita = a.traffic.begin(), itb = b.traffic.begin(); ita != a.traffic.end();
        ++ita, ++itb) {
@@ -68,6 +74,7 @@ void expectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.lockWaitSeconds, b.lockWaitSeconds);
   EXPECT_EQ(a.lockManagerWaitSeconds, b.lockManagerWaitSeconds);
   EXPECT_EQ(a.databaseBytes, b.databaseBytes);
+  EXPECT_EQ(a.webErrors, b.webErrors);
 }
 
 TEST(DeterminismTest, RepeatedRunsAreBitIdentical) {
@@ -89,11 +96,15 @@ TEST(DeterminismTest, CachedCloneMatchesFreshPopulation) {
 }
 
 TEST(DeterminismTest, PointSeedDependsOnlyOnCoordinates) {
-  const auto s = pointSeed(1, Configuration::WsPhpDb, 100);
-  EXPECT_EQ(s, pointSeed(1, Configuration::WsPhpDb, 100));
-  EXPECT_NE(s, pointSeed(1, Configuration::WsPhpDb, 200));
-  EXPECT_NE(s, pointSeed(1, Configuration::WsServletDb, 100));
-  EXPECT_NE(s, pointSeed(2, Configuration::WsPhpDb, 100));
+  const auto s = pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100);
+  EXPECT_EQ(s, pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100));
+  EXPECT_NE(s, pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 200));
+  EXPECT_NE(s, pointSeed(1, App::Auction, 1, Configuration::WsServletDb, 100));
+  EXPECT_NE(s, pointSeed(2, App::Auction, 1, Configuration::WsPhpDb, 100));
+  // Regression: the pre-fix hash dropped app and mix, so figures sharing a
+  // (config, clients) grid reused correlated random streams.
+  EXPECT_NE(s, pointSeed(1, App::Bookstore, 1, Configuration::WsPhpDb, 100));
+  EXPECT_NE(s, pointSeed(1, App::Auction, 0, Configuration::WsPhpDb, 100));
 }
 
 TEST(DeterminismTest, PlanCacheWarmthDoesNotPerturbResults) {

@@ -36,7 +36,7 @@ ExperimentParams saturatedParams(App app, int clients, int rampSec,
 
 double throughputAt(ExperimentParams base, Configuration config) {
   base.config = config;
-  base.seed = pointSeed(base.seed, config, base.clients);
+  base.seed = pointSeed(base.seed, base.app, base.mix, config, base.clients);
   return runExperiment(base).throughputIpm;
 }
 

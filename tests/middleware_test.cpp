@@ -57,6 +57,9 @@ class MiddlewareTest : public ::testing::Test {
   net::Machine dbMachine_;
   db::Database database_;
   DatabaseServer dbServer_;
+  /// Size-1 wrapper for the generators (they are written against the
+  /// replicated database interface; one backend takes the legacy path).
+  DbCluster dbCluster_{dbServer_};
 };
 
 TEST_F(MiddlewareTest, DbSessionRoundTripTakesTime) {
@@ -230,7 +233,7 @@ class StubLogic final : public SqlBusinessLogic {
 TEST_F(MiddlewareTest, PhpPipelineServesPage) {
   StubLogic logic;
   WebServer ws(simulation_, web_, network_, clients_, cost_);
-  PhpModule php(simulation_, network_, web_, dbServer_, logic, cost_, 7);
+  PhpModule php(simulation_, network_, web_, dbCluster_, logic, cost_, 7);
   ws.setGenerator(&php);
 
   ClientSession session;
@@ -251,7 +254,7 @@ TEST_F(MiddlewareTest, PhpPipelineServesPage) {
 TEST_F(MiddlewareTest, SecurePageChargesSsl) {
   StubLogic logic;
   WebServer ws(simulation_, web_, network_, clients_, cost_);
-  PhpModule php(simulation_, network_, web_, dbServer_, logic, cost_, 7);
+  PhpModule php(simulation_, network_, web_, dbCluster_, logic, cost_, 7);
   ws.setGenerator(&php);
   ClientSession session;
 
@@ -273,7 +276,7 @@ TEST_F(MiddlewareTest, RemoteServletMovesCpuOffWebServer) {
 
   // Co-located servlet engine.
   WebServer ws1(simulation_, web_, network_, clients_, cost_);
-  ServletEngine co(simulation_, network_, web_, web_, dbServer_, logic, false, cost_, 7);
+  ServletEngine co(simulation_, network_, web_, web_, dbCluster_, logic, false, cost_, 7);
   ws1.setGenerator(&co);
   ClientSession s1;
   simulation_.spawn([](WebServer& w, ClientSession& s) -> Task<> {
@@ -286,7 +289,7 @@ TEST_F(MiddlewareTest, RemoteServletMovesCpuOffWebServer) {
 
   // Dedicated servlet machine.
   WebServer ws2(simulation_, web_, network_, clients_, cost_);
-  ServletEngine remote(simulation_, network_, web_, servletMachine_, dbServer_, logic, false,
+  ServletEngine remote(simulation_, network_, web_, servletMachine_, dbCluster_, logic, false,
                        cost_, 7);
   ws2.setGenerator(&remote);
   ClientSession s2;
@@ -306,7 +309,7 @@ TEST_F(MiddlewareTest, ServletCostsMoreWebCpuThanPhpWhenColocated) {
   StubLogic logic;
   WebServer ws(simulation_, web_, network_, clients_, cost_);
 
-  PhpModule php(simulation_, network_, web_, dbServer_, logic, cost_, 7);
+  PhpModule php(simulation_, network_, web_, dbCluster_, logic, cost_, 7);
   ws.setGenerator(&php);
   ClientSession s1;
   simulation_.spawn([](WebServer& w, ClientSession& s) -> Task<> {
@@ -316,7 +319,7 @@ TEST_F(MiddlewareTest, ServletCostsMoreWebCpuThanPhpWhenColocated) {
   simulation_.run();
   const double phpCpu = web_.cpu().busyCoreSeconds();
 
-  ServletEngine servlet(simulation_, network_, web_, web_, dbServer_, logic, false, cost_, 7);
+  ServletEngine servlet(simulation_, network_, web_, web_, dbCluster_, logic, false, cost_, 7);
   ws.setGenerator(&servlet);
   ClientSession s2;
   simulation_.spawn([](WebServer& w, ClientSession& s) -> Task<> {
@@ -355,7 +358,7 @@ class StubEjbLogic final : public EjbBusinessLogic {
 TEST_F(MiddlewareTest, EjbPipelineIssuesNPlusOneQueries) {
   StubEjbLogic logic;
   WebServer ws(simulation_, web_, network_, clients_, cost_);
-  EjbGenerator gen(simulation_, network_, web_, servletMachine_, ejbMachine_, dbServer_, logic,
+  EjbGenerator gen(simulation_, network_, web_, servletMachine_, ejbMachine_, dbCluster_, logic,
                    cost_, 7);
   ws.setGenerator(&gen);
   ClientSession session;

@@ -1,0 +1,225 @@
+/// Tests for the topology-as-data experiment construction:
+///
+///  * equivalence: every one of the paper's six configurations, expressed as
+///    its canned Topology, produces results bit-identical to the legacy
+///    `params.config`-only path (which itself now runs through
+///    canonicalTopology — the test pins the canned topologies to the shapes
+///    the figure benches were validated against);
+///  * replication: replicated tiers keep the determinism contract (repeated
+///    runs, parallel sweeps, and traced runs are bit-identical) and unique
+///    per-instance machine identities ("WebServer", "WebServer#2", ...);
+///  * validation: inconsistent topologies are rejected up front.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "net/network.hpp"
+
+namespace mwsim::core {
+namespace {
+
+ExperimentParams tinyParams(App app) {
+  ExperimentParams p;
+  p.app = app;
+  p.mix = 1;
+  p.clients = 25;
+  p.rampUp = 5 * sim::kSecond;
+  p.measure = 20 * sim::kSecond;
+  p.rampDown = 2 * sim::kSecond;
+  p.bookstoreScale = 0.02;
+  p.auctionHistoryScale = 0.01;
+  p.bbsHistoryScale = 0.01;
+  return p;
+}
+
+/// Bit-exact equality across every field the benches print, including the
+/// per-tier aggregates and the web error counter.
+void expectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.throughputIpm, b.throughputIpm);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.readWriteInteractions, b.readWriteInteractions);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.meanResponseSeconds, b.meanResponseSeconds);
+  EXPECT_EQ(a.p90ResponseSeconds, b.p90ResponseSeconds);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    EXPECT_EQ(a.usage[i].name, b.usage[i].name);
+    EXPECT_EQ(a.usage[i].tier, b.usage[i].tier);
+    EXPECT_EQ(a.usage[i].cpuUtilization, b.usage[i].cpuUtilization);
+    EXPECT_EQ(a.usage[i].nicMbps, b.usage[i].nicMbps);
+    EXPECT_EQ(a.usage[i].nicUtilization, b.usage[i].nicUtilization);
+    EXPECT_EQ(a.usage[i].nicPackets, b.usage[i].nicPackets);
+    EXPECT_EQ(a.usage[i].memoryBytes, b.usage[i].memoryBytes);
+  }
+  ASSERT_EQ(a.tierUsage.size(), b.tierUsage.size());
+  for (std::size_t i = 0; i < a.tierUsage.size(); ++i) {
+    EXPECT_EQ(a.tierUsage[i].name, b.tierUsage[i].name);
+    EXPECT_EQ(a.tierUsage[i].cpuUtilization, b.tierUsage[i].cpuUtilization);
+    EXPECT_EQ(a.tierUsage[i].nicMbps, b.tierUsage[i].nicMbps);
+    EXPECT_EQ(a.tierUsage[i].memoryBytes, b.tierUsage[i].memoryBytes);
+  }
+  ASSERT_EQ(a.traffic.size(), b.traffic.size());
+  for (auto ita = a.traffic.begin(), itb = b.traffic.begin(); ita != a.traffic.end();
+       ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.messages, itb->second.messages);
+    EXPECT_EQ(ita->second.bytes, itb->second.bytes);
+    EXPECT_EQ(ita->second.packets, itb->second.packets);
+  }
+  EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
+  EXPECT_EQ(a.contendedLockAcquisitions, b.contendedLockAcquisitions);
+  EXPECT_EQ(a.lockWaitSeconds, b.lockWaitSeconds);
+  EXPECT_EQ(a.lockManagerWaitSeconds, b.lockManagerWaitSeconds);
+  EXPECT_EQ(a.databaseBytes, b.databaseBytes);
+  EXPECT_EQ(a.webErrors, b.webErrors);
+}
+
+TEST(TopologyEquivalenceTest, CannedTopologiesMatchLegacyConstruction) {
+  // The acceptance bar for the refactor: spelling a configuration out as
+  // data must not move a single event. Auction exercises every generator;
+  // the sync variants add the bookstore's monitor path.
+  for (const auto config : allConfigurations()) {
+    auto legacy = tinyParams(App::Auction);
+    legacy.config = config;
+    auto data = legacy;
+    data.topology = canonicalTopology(config);
+    SCOPED_TRACE(configurationName(config));
+    expectIdentical(runExperiment(legacy), runExperiment(data));
+  }
+}
+
+TEST(TopologyEquivalenceTest, SyncBookstoreMatchesThroughMonitors) {
+  auto legacy = tinyParams(App::Bookstore);
+  legacy.config = Configuration::WsServletDbSync;
+  auto data = legacy;
+  data.topology = canonicalTopology(legacy.config);
+  expectIdentical(runExperiment(legacy), runExperiment(data));
+}
+
+Topology replicatedTopology() {
+  Topology t = canonicalTopology(Configuration::WsServletSepDb);
+  t.web.replicas = 2;
+  t.servlet.replicas = 2;
+  t.db.replicas = 2;
+  return t;
+}
+
+TEST(ClusterDeterminismTest, ReplicatedRunsAreBitIdentical) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsServletSepDb;
+  p.topology = replicatedTopology();
+  const auto a = runExperiment(p);
+  const auto b = runExperiment(p);
+  expectIdentical(a, b);
+  EXPECT_EQ(a.webErrors, 0u);
+}
+
+TEST(ClusterDeterminismTest, ParallelReplicatedSweepMatchesSequential) {
+  auto base = tinyParams(App::Auction);
+  base.config = Configuration::WsServletSepDb;
+  base.topology = replicatedTopology();
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = sweepClients(base, {15, 25, 35}, SweepOptions{});
+  const auto b = sweepClients(base, {15, 25, 35}, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expectIdentical(a[i], b[i]);
+}
+
+TEST(ClusterDeterminismTest, TracingDoesNotPerturbReplicatedRuns) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsServletSepDb;
+  p.topology = replicatedTopology();
+  const auto untraced = runExperiment(p);
+  p.trace.enabled = true;
+  const auto traced = runExperiment(p);
+  expectIdentical(untraced, traced);
+}
+
+TEST(ClusterDeterminismTest, ShardedAndLeastOutstandingVariantsAreDeterministic) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsPhpDb;
+  Topology t = canonicalTopology(p.config);
+  t.web.replicas = 3;
+  t.webDispatch = mw::Dispatch::LeastOutstanding;
+  t.db.replicas = 2;
+  t.dbPolicy = mw::DbPolicy::ShardedByKey;
+  p.topology = t;
+  const auto a = runExperiment(p);
+  const auto b = runExperiment(p);
+  expectIdentical(a, b);
+  EXPECT_EQ(a.webErrors, 0u);
+  EXPECT_GT(a.throughputIpm, 0.0);
+}
+
+TEST(ClusterTest, ReplicatedInstancesGetUniqueNamesAndTierAggregates) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsServletSepDb;
+  p.topology = replicatedTopology();
+  const auto r = runExperiment(p);
+  // Replica 0 keeps the legacy bare name so single-replica results and the
+  // paper-ordered usage table stay unchanged; later replicas are #N.
+  ASSERT_NE(r.machine("WebServer"), nullptr);
+  ASSERT_NE(r.machine("WebServer#2"), nullptr);
+  ASSERT_NE(r.machine("Servlet Container#2"), nullptr);
+  ASSERT_NE(r.machine("Database#2"), nullptr);
+  EXPECT_EQ(r.machine("WebServer#3"), nullptr);
+  EXPECT_EQ(r.machine("WebServer")->tier, "WebServer");
+  EXPECT_EQ(r.machine("WebServer#2")->tier, "WebServer");
+  // Tier aggregates: one row per tier, memory summed over the replicas.
+  ASSERT_NE(r.tier("Database"), nullptr);
+  EXPECT_EQ(r.tier("Database")->memoryBytes,
+            r.machine("Database")->memoryBytes + r.machine("Database#2")->memoryBytes);
+  EXPECT_EQ(r.tier("WebServer")->cores,
+            r.machine("WebServer")->cores + r.machine("WebServer#2")->cores);
+  // Both web replicas actually served traffic under round-robin dispatch.
+  EXPECT_GT(r.machine("WebServer")->cpuUtilization, 0.0);
+  EXPECT_GT(r.machine("WebServer#2")->cpuUtilization, 0.0);
+  // Every database replica holds its own full dataset clone.
+  EXPECT_EQ(static_cast<std::size_t>(r.tier("Database")->memoryBytes),
+            r.databaseBytes + 2u * 48'000'000u);
+}
+
+TEST(ClusterTest, DuplicateMachineNamesAreAHardError) {
+  sim::Simulation simulation(1);
+  net::Machine first(simulation, "WebServer");
+  EXPECT_THROW(net::Machine(simulation, "WebServer"), std::invalid_argument);
+}
+
+TEST(TopologyValidationTest, RejectsInconsistentTopologies) {
+  Topology t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 0;
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+
+  t = canonicalTopology(Configuration::WsPhpDb);
+  t.syncLocking = true;  // monitors need the servlet generator
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+
+  t = canonicalTopology(Configuration::WsServletEjbDb);
+  t.servletColocated = true;  // EJB always runs a dedicated servlet tier
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+
+  t = canonicalTopology(Configuration::WsPhpDb);
+  t.db.nicBitsPerSecond = 0.0;
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+
+  // An invalid override surfaces from runExperiment too.
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsPhpDb;
+  p.topology = canonicalTopology(p.config);
+  p.topology->db.replicas = -1;
+  EXPECT_THROW(runExperiment(p), std::invalid_argument);
+}
+
+TEST(TopologyValidationTest, SummaryNamesTheMovingParts) {
+  Topology t = replicatedTopology();
+  const auto s = topologySummary(t);
+  EXPECT_NE(s.find("servlet"), std::string::npos);
+  EXPECT_NE(s.find("web×2"), std::string::npos);
+  EXPECT_NE(s.find("db×2"), std::string::npos);
+  EXPECT_NE(s.find("master-replica"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwsim::core
