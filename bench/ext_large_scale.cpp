@@ -1,0 +1,176 @@
+/// Extension — kernel scaling sweep toward the million-client goal.
+///
+/// The paper's experiments stop near the capacity knee of one machine
+/// (hundreds of emulated browsers); the roadmap's north star is simulating
+/// the *same* closed-loop population at million-client scale. This bench
+/// measures the simulation kernel itself on a macro-shaped workload
+/// (TPC-W-style think times feeding a pooled, processor-shared service
+/// tier, the same shape as BM_ManyClients) while sweeping the client count
+/// toward the memory/throughput wall, reporting sustained events/sec and
+/// peak RSS at each population.
+///
+/// Flags:
+///   --clients a,b,...   populations to sweep (default 1000,10000,100000,1000000)
+///   --sim-seconds S     measured window of simulated time per point (default 5)
+///   --warmup-seconds S  simulated warmup before measuring (default 10)
+///   --seed N            simulation seed (default 1)
+///   --json FILE         also append machine-readable rows to FILE
+///   --help              print usage and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/resource.hpp"
+#include "sim/sim.hpp"
+
+using namespace mwsim;
+using namespace mwsim::sim;
+
+namespace {
+
+const char* argValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+std::vector<long> parseLongList(const char* text) {
+  std::vector<long> out;
+  std::string item;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) out.push_back(std::atol(item.c_str()));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+/// Peak resident set size in MiB, from /proc/self/status (Linux).
+double peakRssMib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  long kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<double>(kib) / 1024.0;
+}
+
+/// One closed-loop client: exponential think, acquire a pool slot, then a
+/// processor-shared CPU burst — the event mix (timer + queue + completion)
+/// of the paper's emulated-browser workloads, stripped of app logic.
+Task<> client(Simulation& s, CpuResource& cpu, Resource& pool, Rng& rng) {
+  for (;;) {
+    co_await s.delay(fromSeconds(rng.exponential(7.0)));
+    ResourceHold hold = co_await pool.acquire();
+    co_await cpu.consume(fromMicros(rng.uniformReal(200.0, 5000.0)));
+  }
+}
+
+struct Point {
+  long clients;
+  std::uint64_t events;
+  double wallSeconds;
+  double eventsPerSec;
+  double rssMib;
+};
+
+Point runPoint(long clients, double warmupSeconds, double simSeconds,
+               std::uint64_t seed) {
+  Simulation sim(seed);
+  // Service capacity scales with the population so the event mix keeps the
+  // same shape at every size instead of collapsing into pure think timers.
+  const int cores = static_cast<int>(clients / 128 < 2 ? 2 : clients / 128);
+  const int poolCap = static_cast<int>(clients / 64 < 16 ? 16 : clients / 64);
+  CpuResource cpu(sim, cores);
+  Resource pool(sim, poolCap, "pool", trace::Category::CpuQueue);
+  Rng rng(seed + 41);
+  for (long i = 0; i < clients; ++i) sim.spawn(client(sim, cpu, pool, rng));
+
+  sim.runUntil(fromSeconds(warmupSeconds));
+  const std::uint64_t before = sim.eventsProcessed();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.runUntil(fromSeconds(warmupSeconds + simSeconds));
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t events = sim.eventsProcessed() - before;
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  Point p;
+  p.clients = clients;
+  p.events = events;
+  p.wallSeconds = wall;
+  p.eventsPerSec = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  p.rssMib = peakRssMib();
+  sim.shutdown();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argValue(argc, argv, "--help") != nullptr ||
+      (argc > 1 && std::strcmp(argv[1], "--help") == 0)) {
+    std::printf(
+        "ext_large_scale: kernel events/sec and RSS vs client population\n"
+        "  --clients a,b,...  populations (default 1000,10000,100000,1000000)\n"
+        "  --sim-seconds S    measured simulated window (default 5)\n"
+        "  --warmup-seconds S simulated warmup (default 10)\n"
+        "  --seed N           simulation seed (default 1)\n"
+        "  --json FILE        append JSON rows to FILE\n");
+    return 0;
+  }
+  std::vector<long> clients = {1000, 10000, 100000, 1000000};
+  if (const char* v = argValue(argc, argv, "--clients")) clients = parseLongList(v);
+  double simSeconds = 5.0;
+  if (const char* v = argValue(argc, argv, "--sim-seconds")) simSeconds = std::atof(v);
+  double warmupSeconds = 10.0;
+  if (const char* v = argValue(argc, argv, "--warmup-seconds")) warmupSeconds = std::atof(v);
+  std::uint64_t seed = 1;
+  if (const char* v = argValue(argc, argv, "--seed")) seed = std::strtoull(v, nullptr, 10);
+  const char* jsonPath = argValue(argc, argv, "--json");
+
+  std::printf("# kernel large-scale sweep: seed=%llu warmup=%gs window=%gs\n",
+              static_cast<unsigned long long>(seed), warmupSeconds, simSeconds);
+  std::printf("%10s %14s %10s %14s %10s\n", "clients", "events", "wall_s",
+              "events_per_s", "rss_mib");
+  std::vector<Point> points;
+  for (long n : clients) {
+    const Point p = runPoint(n, warmupSeconds, simSeconds, seed);
+    points.push_back(p);
+    std::printf("%10ld %14llu %10.3f %14.0f %10.1f\n", p.clients,
+                static_cast<unsigned long long>(p.events), p.wallSeconds,
+                p.eventsPerSec, p.rssMib);
+    std::fflush(stdout);
+  }
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", jsonPath);
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "  {\"clients\": %ld, \"events\": %llu, \"wall_s\": %.3f, "
+                   "\"events_per_s\": %.0f, \"rss_mib\": %.1f}%s\n",
+                   p.clients, static_cast<unsigned long long>(p.events),
+                   p.wallSeconds, p.eventsPerSec, p.rssMib,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+  return 0;
+}

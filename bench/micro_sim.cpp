@@ -119,6 +119,42 @@ void BM_RwLockReaderChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_RwLockReaderChurn);
 
+void BM_ManyClients(benchmark::State& state) {
+  // Macro-shaped kernel benchmark: a closed-loop population the size of a
+  // figure-bench point (and beyond), where most clients are in think time
+  // and a bounded set is in flight through a pool + processor-sharing CPU.
+  // This is the event mix the figure benches and cluster sweeps put on the
+  // kernel, so events/sec here bounds how much simulated traffic one
+  // wall-clock second can carry.
+  const int clients = static_cast<int>(state.range(0));
+  Simulation sim;
+  CpuResource cpu(sim, 8);
+  Resource pool(sim, 128, "pool", mwsim::trace::Category::CpuQueue);
+  struct Driver {
+    static Task<> client(Simulation& s, CpuResource& c, Resource& p, Rng& rng) {
+      for (;;) {
+        co_await s.delay(fromSeconds(rng.exponential(7.0)));  // think time
+        ResourceHold hold = co_await p.acquire();
+        co_await c.consume(fromMicros(rng.uniformReal(200.0, 5000.0)));
+      }
+    }
+  };
+  Rng rng(42);
+  for (int i = 0; i < clients; ++i) sim.spawn(Driver::client(sim, cpu, pool, rng));
+  sim.runUntil(10 * kSecond);  // spread the population across its think phase
+  const std::uint64_t before = sim.eventsProcessed();
+  SimTime t = sim.now();
+  for (auto _ : state) {
+    t += 50 * kMillisecond;
+    sim.runUntil(t);
+  }
+  const auto events = static_cast<double>(sim.eventsProcessed() - before);
+  state.counters["events/s"] = benchmark::Counter(events, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  sim.shutdown();
+}
+BENCHMARK(BM_ManyClients)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
 void BM_TracedDelayRoundTrip(benchmark::State& state) {
   // BM_CoroutineDelayRoundTrip with a span open across every suspension:
   // measures the per-event cost of the tracing hooks when a request is

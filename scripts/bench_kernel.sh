@@ -1,0 +1,61 @@
+#!/bin/sh
+# Regenerates the repo-root kernel-throughput record BENCH_kernel.json:
+#  - micro_sim BM_ManyClients (events/sec at 1e4 and 1e5 closed-loop clients)
+#  - ext_large_scale population sweep (1e3..1e6 clients, events/sec + RSS)
+# Also refreshes bench_results/ext_large_scale.txt at the recorded settings
+# (seed 1, 10 s simulated warmup, 60 s simulated window per point).
+#
+# Usage: scripts/bench_kernel.sh [bench-bin-dir] [results-dir] [out-json]
+set -eu
+
+bin=${1:-build/bench}
+out=${2:-bench_results}
+json=${3:-BENCH_kernel.json}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== ext_large_scale" >&2
+"$bin/ext_large_scale" --seed 1 --sim-seconds 60 --json "$tmp/sweep.json" \
+  > "$out/ext_large_scale.txt" 2> "$out/ext_large_scale.log"
+
+echo "== micro_sim BM_ManyClients" >&2
+"$bin/micro_sim" --benchmark_filter='BM_ManyClients' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$tmp/micro.json" 2> "$out/ext_large_scale.log.bm" \
+  || { cat "$out/ext_large_scale.log.bm" >&2; exit 1; }
+rm -f "$out/ext_large_scale.log.bm"
+
+python3 - "$tmp/micro.json" "$tmp/sweep.json" "$json" <<'EOF'
+import json, sys
+
+micro_path, sweep_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(sweep_path) as f:
+    sweep = json.load(f)
+
+many = {}
+for b in micro.get("benchmarks", []):
+    # Aggregates look like "BM_ManyClients/10000_mean"; keep mean and median.
+    name = b.get("name", "")
+    if "BM_ManyClients" not in name or "events/s" not in b:
+        continue
+    base, _, agg = name.rpartition("_")
+    clients = base.split("/")[-1]
+    if agg in ("mean", "median"):
+        many.setdefault(clients, {})[agg] = round(b["events/s"])
+
+doc = {
+    "description": "Simulation-kernel event throughput record. "
+    "BM_ManyClients: google-benchmark closed-loop population, events/sec "
+    "(mean/median of 3 reps). large_scale_sweep: ext_large_scale at seed 1, "
+    "60 s simulated window, peak RSS from VmHWM.",
+    "BM_ManyClients": many,
+    "large_scale_sweep": sweep,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}", file=sys.stderr)
+EOF

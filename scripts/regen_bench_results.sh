@@ -32,4 +32,6 @@ run fig14_auction_browsing_cpu
 run tabA_bookstore_resources
 run tabB_auction_resources
 run ext_cluster_scaling --breakdown
+# Kernel-throughput record (different flag set; also writes BENCH_kernel.json).
+sh "$(dirname "$0")/bench_kernel.sh" "$bin" "$out"
 echo "done" >&2

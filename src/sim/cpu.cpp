@@ -1,5 +1,6 @@
 #include "sim/cpu.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace mwsim::sim {
@@ -12,6 +13,9 @@ constexpr double kVEpsilon = 2e-9;
 
 void CpuResource::advance() noexcept {
   const SimTime now = sim_.now();
+  // Both integrals already folded up to this instant: nothing can accrue
+  // over a zero-length interval, so the early-out is bit-identical.
+  if (now == lastUpdate_ && now == lastIntegralUpdate_) return;
   busyCoreSeconds();  // folds busy time up to now into the integral
   const double dt = toSeconds(now - lastUpdate_);
   if (dt > 0.0) v_ += dt * rate();
@@ -38,31 +42,46 @@ void CpuResource::addJob(Duration work, std::coroutine_handle<> h) {
     job.span = sim_.currentSpan();
     if (job.span != nullptr) sim_.setCurrentSpan(nullptr);  // cleared at suspension
   }
-  jobs_.emplace(v_ + toSeconds(work), job);
+  jobs_.push_back(PendingJob{v_ + toSeconds(work), jobSeq_++, job});
+  std::push_heap(jobs_.begin(), jobs_.end(), PendingJob::later);
   scheduleNextCompletion();
 }
 
 void CpuResource::scheduleNextCompletion() {
-  ++epoch_;
-  if (jobs_.empty()) return;
-  const double target = jobs_.begin()->first;
+  if (jobs_.empty()) {
+    completionSeq_ = kNoCompletion;
+    return;
+  }
+  const double target = jobs_.front().vfinish;
   const double r = rate();
   assert(r > 0.0);
+  // NB: keep this exact division sequence — rewriting it as `* n / cores`
+  // changes double rounding, which shifts completion event times by a
+  // nanosecond and breaks bit-identical replay of seeded experiments.
   double dtSeconds = (target - v_) / r;
   if (dtSeconds < 0.0) dtSeconds = 0.0;
   // Round up one ns so v_ is guaranteed to have passed the target when the
   // completion event fires.
   const Duration dt = fromSeconds(dtSeconds) + 1;
-  sim_.schedule(dt, [this, e = epoch_] { onCompletionEvent(e); });
+  completionSeq_ = sim_.scheduleCall(
+      dt,
+      [](void* self, std::uint64_t seq) {
+        static_cast<CpuResource*>(self)->onCompletionEvent(seq);
+      },
+      this);
 }
 
-void CpuResource::onCompletionEvent(std::uint64_t epoch) {
-  if (epoch != epoch_) return;  // superseded by a later arrival/departure
+void CpuResource::onCompletionEvent(std::uint64_t seq) {
+  if (seq != completionSeq_) return;  // superseded by a later arrival/departure
   advance();
-  std::vector<Job> finished;
-  while (!jobs_.empty() && jobs_.begin()->first <= v_ + kVEpsilon) {
-    finished.push_back(jobs_.begin()->second);
-    jobs_.erase(jobs_.begin());
+  // A resumed job may reenter this CPU (consume again completes 0-work
+  // jobs inline via a 1 ns event), so the batch buffer must be per-call;
+  // the pool keeps steady-state completions allocation-free anyway.
+  std::vector<Job> finished = takeScratch();
+  while (!jobs_.empty() && jobs_.front().vfinish <= v_ + kVEpsilon) {
+    std::pop_heap(jobs_.begin(), jobs_.end(), PendingJob::later);
+    finished.push_back(jobs_.back().job);
+    jobs_.pop_back();
   }
   completed_ += finished.size();
   scheduleNextCompletion();
@@ -84,6 +103,19 @@ void CpuResource::onCompletionEvent(std::uint64_t epoch) {
     }
     job.handle.resume();
   }
+  returnScratch(std::move(finished));
+}
+
+std::vector<CpuResource::Job> CpuResource::takeScratch() {
+  if (scratchPool_.empty()) return {};
+  std::vector<Job> v = std::move(scratchPool_.back());
+  scratchPool_.pop_back();
+  return v;
+}
+
+void CpuResource::returnScratch(std::vector<Job> v) {
+  v.clear();
+  scratchPool_.push_back(std::move(v));
 }
 
 }  // namespace mwsim::sim

@@ -3,8 +3,8 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -49,6 +49,23 @@ class CpuResource {
     SimTime enqueued = 0;
   };
 
+  /// Heap entry: jobs complete in ascending virtual finish time, FIFO on
+  /// exactly equal finish (seq is the arrival order, the tie-break the
+  /// multimap this replaces provided via insertion order).
+  struct PendingJob {
+    double vfinish;
+    std::uint64_t seq;
+    Job job;
+
+    /// Functor (not a function pointer) so the heap algorithms inline it.
+    struct Later {
+      bool operator()(const PendingJob& a, const PendingJob& b) const noexcept {
+        return a.vfinish != b.vfinish ? a.vfinish > b.vfinish : a.seq > b.seq;
+      }
+    };
+    static constexpr Later later = {};
+  };
+
   /// Awaitable that completes after `work` ns of CPU demand has been served.
   Awaiter consume(Duration work) { return Awaiter{*this, work}; }
 
@@ -64,7 +81,9 @@ class CpuResource {
   friend struct Awaiter;
 
   void addJob(Duration work, std::coroutine_handle<> h);
-  void onCompletionEvent(std::uint64_t epoch);
+  void onCompletionEvent(std::uint64_t seq);
+  std::vector<Job> takeScratch();
+  void returnScratch(std::vector<Job> v);
   void advance() noexcept;
   double rate() const noexcept {
     const std::size_t n = jobs_.size();
@@ -77,13 +96,24 @@ class CpuResource {
   Simulation& sim_;
   int cores_;
   std::string name_;
-  // Key: virtual time at which the job finishes; equal keys keep FIFO order.
-  std::multimap<double, Job> jobs_;
+  // Binary min-heap on (vfinish, seq): the flat, pooled replacement for a
+  // node-per-job multimap — arrivals and departures reuse the vector's
+  // storage instead of allocating.
+  std::vector<PendingJob> jobs_;
+  /// Recycled batch buffers for onCompletionEvent — a pool rather than a
+  /// single member because resumed jobs can reenter the CPU.
+  std::vector<std::vector<Job>> scratchPool_;
+  std::uint64_t jobSeq_ = 0;
   double v_ = 0.0;  // virtual per-job service received, in seconds
   SimTime lastUpdate_ = 0;
   mutable double busyIntegral_ = 0.0;  // core-seconds
   mutable SimTime lastIntegralUpdate_ = 0;
-  std::uint64_t epoch_ = 0;
+  /// Event seq of the live completion event; any completion event whose
+  /// seq differs was superseded by a later arrival/departure and is
+  /// ignored at dispatch. Seqs are unique for the simulation's lifetime,
+  /// so a stale event can never be mistaken for the live one.
+  static constexpr std::uint64_t kNoCompletion = ~std::uint64_t{0};
+  std::uint64_t completionSeq_ = kNoCompletion;
   std::uint64_t completed_ = 0;
 };
 

@@ -1,0 +1,153 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "trace/span.hpp"
+
+namespace mwsim::sim {
+
+// Event::spanKind packs the Kind into the low 3 bits of the Span pointer.
+static_assert(alignof(trace::Span) >= 8);
+static_assert(sizeof(Event) == 40);
+
+void EventQueue::pushWheel(const Event& ev) {
+  const SimTime t = ev.time;
+  assert(t >= cursor_);
+  const int level = levelFor(t);
+  if (level >= kLevels) {
+    heapPush(overflow_, ev);
+    return;
+  }
+  const int shift = shiftFor(level);
+  const int idx = static_cast<int>((t >> shift) & kSlotMask);
+  buckets_[level][idx].push_back(ev);
+  occupied_[level][idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  activeLevels_ |= 1u << level;
+}
+
+/// First occupied slot index at/after `cur` in circular order on `level`.
+/// The level must be non-empty.
+int EventQueue::nextOccupiedSlot(int level, int cur) const noexcept {
+  const std::uint64_t* occ = occupied_[level];
+  const int curWord = cur >> 6;
+  const int curBit = cur & 63;
+  std::uint64_t word = occ[curWord] & (~std::uint64_t{0} << curBit);
+  if (word != 0) return curWord * 64 + std::countr_zero(word);
+  for (int i = 1; i < kWords; ++i) {
+    const int wi = (curWord + i) & (kWords - 1);
+    word = occ[wi];
+    if (word != 0) return wi * 64 + std::countr_zero(word);
+  }
+  // Wrapped all the way around: only bits below curBit in the start word.
+  word = occ[curWord];
+  assert(word != 0);
+  return curWord * 64 + std::countr_zero(word);
+}
+
+void EventQueue::advance() {
+  assert(near_.empty() && size_ > 0);
+  for (;;) {
+    // The earliest occupied bucket window across all levels. On equal
+    // window start, the *higher* level wins: its bucket is coarser and may
+    // hold events from anywhere in the shared window, so it must cascade
+    // down before the level-0 bucket at that start can be migrated.
+    SimTime best = 0;
+    int bestLevel = -1;
+    int bestIdx = 0;
+    for (std::uint32_t mask = activeLevels_; mask != 0; mask &= mask - 1) {
+      const int level = std::countr_zero(mask);
+      const int shift = shiftFor(level);
+      const int cur = static_cast<int>((cursor_ >> shift) & kSlotMask);
+      const int slot = nextOccupiedSlot(level, cur);
+      const int dist = (slot - cur) & static_cast<int>(kSlotMask);
+      const SimTime slotTime = (((cursor_ >> shift) + dist)) << shift;
+      if (bestLevel < 0 || slotTime <= best) {
+        best = slotTime;
+        bestLevel = level;
+        bestIdx = slot;
+      }
+    }
+
+    if (bestLevel < 0) {
+      // Wheel empty: pull the overflow events that now fit under the top
+      // level's horizon and retry. Rare — only delays beyond the wheel
+      // span (~52 days) ever visit the overflow heap.
+      assert(!overflow_.empty());
+      const SimTime frontier =
+          (overflow_.front().time >> kGranularityBits) << kGranularityBits;
+      if (frontier > cursor_) cursor_ = frontier;
+      // Refill with the same placement test pushWheel uses, so a pulled
+      // event always lands in the wheel (the overflow front itself shares
+      // the cursor's level-0 window after the jump above, so the loop
+      // always makes progress).
+      while (!overflow_.empty() && levelFor(overflow_.front().time) < kLevels) {
+        pushWheel(heapPop(overflow_));
+      }
+      continue;
+    }
+
+    std::vector<Event>& bucket = buckets_[bestLevel][bestIdx];
+    assert(!bucket.empty());
+    std::uint64_t* occ = occupied_[bestLevel];
+    occ[bestIdx >> 6] &= ~(std::uint64_t{1} << (bestIdx & 63));
+    static_assert(kWords == 4);
+    if ((occ[0] | occ[1] | occ[2] | occ[3]) == 0) {
+      activeLevels_ &= ~(1u << bestLevel);
+    }
+
+    if (bestLevel == 0) {
+      // This level-0 window is the earliest anywhere: migrate it wholesale
+      // into the dispatch heap and advance the frontier past it.
+      cursor_ = best + (SimTime{1} << kGranularityBits);
+      near_.swap(bucket);
+      std::make_heap(near_.begin(), near_.end(), Event::later);
+      return;
+    }
+
+    // Cascade a coarser bucket down; its events re-insert at least one
+    // level lower (their windows shrink as the cursor catches up), so this
+    // terminates.
+    if (best > cursor_) cursor_ = best;
+    for (const Event& ev : bucket) pushWheel(ev);
+    bucket.clear();
+  }
+}
+
+void EventQueue::clear() noexcept {
+  near_.clear();
+  for (auto& level : buckets_) {
+    for (auto& bucket : level) bucket.clear();
+  }
+  for (auto& level : occupied_) {
+    for (std::uint64_t& word : level) word = 0;
+  }
+  activeLevels_ = 0;
+  overflow_.clear();
+  closures_.clear();
+  freeClosureSlots_.clear();
+  size_ = 0;
+  cursor_ = 0;
+}
+
+std::uint32_t EventQueue::storeClosure(std::function<void()> fn) {
+  assert(fn != nullptr);
+  if (!freeClosureSlots_.empty()) {
+    const std::uint32_t slot = freeClosureSlots_.back();
+    freeClosureSlots_.pop_back();
+    closures_[slot] = std::move(fn);
+    return slot;
+  }
+  closures_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(closures_.size() - 1);
+}
+
+std::function<void()> EventQueue::takeClosure(std::uint32_t slot) {
+  assert(slot < closures_.size());
+  assert(closures_[slot] != nullptr && "closure event dispatched twice");
+  std::function<void()> fn = std::move(closures_[slot]);
+  closures_[slot] = nullptr;
+  freeClosureSlots_.push_back(slot);
+  return fn;
+}
+
+}  // namespace mwsim::sim

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mwsim::trace {
+struct Span;
+}
+
+namespace mwsim::sim {
+
+/// One scheduled kernel event, keyed by (time, seq).
+///
+/// The struct is small and trivially copyable so the scheduler can move
+/// events between wheel buckets and the dispatch heap as plain value copies
+/// with no per-event allocation. The two hot payloads — "resume this
+/// coroutine handle" and "call this raw function with (ctx, arg)" — are
+/// stored inline; only the rare type-erased closure case (tests, ad-hoc
+/// callbacks) indirects through a free-list slot owned by the EventQueue.
+struct Event {
+  enum class Kind : std::uint8_t { Resume, Call, Closure };
+
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  union Payload {
+    std::coroutine_handle<> handle;  // Resume
+    struct {                         // Call: fn(ctx, event seq)
+      void (*fn)(void*, std::uint64_t);
+      void* ctx;
+    } call;
+    std::uint32_t closure;  // Closure: slot index in the EventQueue pool
+  } pay = {};
+  /// Span to restore as current while the payload runs (the resumption
+  /// half of the tracing capture/restore protocol), with the payload Kind
+  /// packed into the pointer's low bits — Span is 8-byte aligned (checked
+  /// in event_queue.cpp), and the packing keeps the whole Event at 40
+  /// bytes, which matters because wheel cascades are bound by event copy
+  /// traffic.
+  std::uintptr_t spanKind = 0;
+
+  void setSpanKind(trace::Span* s, Kind k) noexcept {
+    spanKind =
+        reinterpret_cast<std::uintptr_t>(s) | static_cast<std::uintptr_t>(k);
+  }
+  trace::Span* span() const noexcept {
+    return reinterpret_cast<trace::Span*>(spanKind & ~std::uintptr_t{7});
+  }
+  Kind kind() const noexcept { return static_cast<Kind>(spanKind & 7); }
+
+  /// Strict (time, seq) ordering; seq values are unique, so this is a
+  /// total order and equal keys cannot occur. A functor (not a function
+  /// pointer) so std::push_heap/pop_heap inline the comparison.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+  static constexpr Later later = {};
+};
+
+/// Pending-event container: a hierarchical timer wheel with an exact
+/// dispatch heap in front and a sorted overflow level behind.
+///
+/// Layout. `kLevels` wheel levels of `kSlots` buckets each; a level-`l`
+/// bucket spans `2^(kGranularityBits + l*kLevelBits)` ns (level 0 ≈ 1 ms,
+/// each level 256× coarser), so the wheel covers ~2^60 ns ≈ 36 years past
+/// the migration frontier `cursor_`; rarer events land in `overflow_`, a
+/// binary heap. The wide 256-way fan-out keeps cascade depth low — an
+/// event is copied at most once per level it descends, and most events
+/// cross at most two levels. The deliberately coarse level-0 bucket means
+/// short delays (sub-millisecond completion chains, posts) skip the wheel
+/// entirely and go straight into the small hot `near_` heap. Buckets are unsorted vectors (reused, so
+/// steady-state insertion allocates nothing) with a 256-bit occupancy
+/// bitmap per level — finding the next non-empty bucket is a handful of
+/// count-trailing-zeros word scans, never a tick-by-tick scan.
+///
+/// Ordering invariant (what makes dispatch order bit-identical to a
+/// (time, seq) priority queue): `near_` is an exact binary min-heap on
+/// (time, seq) holding every pending event with time < cursor_, and every
+/// wheel/overflow event has time >= cursor_. pop() therefore always
+/// returns the global (time, seq) minimum: events migrate from the wheel
+/// into `near_` only one whole level-0 bucket at a time, when `near_` is
+/// empty and that bucket's window [slot, slot + 2^kGranularityBits) is the
+/// earliest occupied window anywhere in the wheel; `cursor_` then advances
+/// to the window's end. Events scheduled mid-dispatch inside the current
+/// window (posts, yields, short delays) go straight into `near_` and merge
+/// in exact order via the heap.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Inserts an event; ev.time and ev.seq must already be set and ev.time
+  /// must be >= the time of the last popped event.
+  void push(const Event& ev) {
+    ++size_;
+    if (ev.time < cursor_) {
+      heapPush(near_, ev);
+    } else {
+      pushWheel(ev);
+    }
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Timestamp of the earliest pending event. Requires !empty(). May
+  /// migrate far events nearer, but never drops or reorders any.
+  SimTime nextTime() {
+    assert(size_ > 0);
+    if (near_.empty()) advance();
+    return near_.front().time;
+  }
+
+  /// Removes and returns the earliest event in exact (time, seq) order.
+  /// Requires !empty().
+  Event pop() {
+    assert(size_ > 0);
+    if (near_.empty()) advance();
+    --size_;
+    return heapPop(near_);
+  }
+
+  /// Drops every pending event (and any pooled closures they reference).
+  void clear() noexcept;
+
+  /// Parks a type-erased closure in the pool; the returned slot index is
+  /// carried by a Kind::Closure event. Slots are recycled through a free
+  /// list, so steady-state closure traffic allocates only inside
+  /// std::function itself (and not at all for small captures).
+  std::uint32_t storeClosure(std::function<void()> fn);
+
+  /// Moves the closure out of `slot` and frees the slot. A slot can be
+  /// taken exactly once per store — taking an empty slot (a double
+  /// dispatch) asserts.
+  std::function<void()> takeClosure(std::uint32_t slot);
+
+ private:
+  static constexpr int kLevelBits = 8;  // 256 buckets per level
+  static constexpr int kSlots = 1 << kLevelBits;
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  static constexpr int kWords = kSlots / 64;  // occupancy words per level
+  static constexpr int kLevels = 5;
+  static constexpr int kGranularityBits = 20;  // level-0 bucket ≈ 1.05 ms
+  static constexpr int shiftFor(int level) {
+    return kGranularityBits + level * kLevelBits;
+  }
+
+  /// Wheel level for an event at time `t` given the current cursor:
+  /// the lowest level at which t and cursor_ share every bit above the
+  /// slot index, so the slot is within one revolution of the cursor and
+  /// indices never alias. (A carry can make this one level coarser than
+  /// the minimal fitting level — harmless, the event just cascades once
+  /// more.) May return kLevels or more, meaning "overflow".
+  int levelFor(SimTime t) const noexcept {
+    const std::uint64_t x =
+        static_cast<std::uint64_t>(t ^ cursor_) >> kGranularityBits;
+    return x == 0 ? 0 : (std::bit_width(x) - 1) / kLevelBits;
+  }
+
+  void pushWheel(const Event& ev);
+  int nextOccupiedSlot(int level, int cur) const noexcept;
+  void advance();
+
+  static void heapPush(std::vector<Event>& heap, const Event& ev) {
+    heap.push_back(ev);
+    std::push_heap(heap.begin(), heap.end(), Event::later);
+  }
+  static Event heapPop(std::vector<Event>& heap) {
+    std::pop_heap(heap.begin(), heap.end(), Event::later);
+    Event ev = heap.back();
+    heap.pop_back();
+    return ev;
+  }
+
+  std::uint64_t size_ = 0;
+  /// Migration frontier, always a multiple of the level-0 bucket width:
+  /// near_ holds exactly the pending events with time < cursor_.
+  SimTime cursor_ = 0;
+  std::vector<Event> near_;  // binary min-heap on (time, seq)
+  std::vector<Event> buckets_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kWords] = {};
+  /// Bit l set iff level l holds any event — lets advance() visit only the
+  /// levels that actually hold events.
+  std::uint32_t activeLevels_ = 0;
+  std::vector<Event> overflow_;  // binary min-heap on (time, seq)
+
+  std::vector<std::function<void()>> closures_;
+  std::vector<std::uint32_t> freeClosureSlots_;
+};
+
+}  // namespace mwsim::sim

@@ -34,12 +34,15 @@ void Resource::release() noexcept {
     if constexpr (trace::kEnabled) {
       if (w.span != nullptr) w.span->add(waitCategory_, sim_.now() - w.enqueued);
     }
-    sim_.post([h = w.handle] { h.resume(); }, w.span);
+    sim_.postResume(w.handle, w.span);
   }
 }
 
 void Resource::updateIntegral() const noexcept {
   const SimTime now = sim_.now();
+  // Same-instant transitions (batched completions, chained acquire/release)
+  // accrue exactly zero, so the skip is bit-identical to the += 0.0.
+  if (now == lastUpdate_) return;
   busyIntegral_ += toSeconds(now - lastUpdate_) * inUse_;
   lastUpdate_ = now;
 }

@@ -2,12 +2,12 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "sim/ring_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -111,7 +111,7 @@ class Resource {
   int inUse_ = 0;
   std::string name_;
   trace::Category waitCategory_ = trace::Category::LockWait;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
   std::uint64_t acquisitions_ = 0;
   Duration totalWait_ = 0;
   mutable SimTime lastUpdate_ = 0;

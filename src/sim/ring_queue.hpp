@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mwsim::sim {
+
+/// Minimal FIFO queue over a power-of-two ring buffer.
+///
+/// Replaces std::deque in kernel wait queues: a deque allocates and frees
+/// 512-byte node blocks as elements stream through it, which shows up as
+/// steady-state malloc traffic when tens of thousands of waiters churn
+/// through a saturated resource. The ring reuses one flat allocation and
+/// only ever reallocates to grow, so steady-state push/pop is a couple of
+/// stores. T must be default-constructible and move-assignable.
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T& front() noexcept { return buf_[head_]; }
+  const T& front() const noexcept { return buf_[head_]; }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() noexcept {
+    buf_[head_] = T{};  // drop any owned state now, not at overwrite
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace mwsim::sim

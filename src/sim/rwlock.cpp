@@ -45,7 +45,7 @@ void RwLock::grantNext() noexcept {
       auto h = front.handle;
       auto* span = front.span;
       waiters_.pop_front();
-      sim_.post([h] { h.resume(); }, span);
+      sim_.postResume(h, span);
       return;  // exclusive: nothing else can be granted
     }
     // Grant a reader and continue granting consecutive readers.
@@ -59,7 +59,7 @@ void RwLock::grantNext() noexcept {
     auto h = front.handle;
     auto* span = front.span;
     waiters_.pop_front();
-    sim_.post([h] { h.resume(); }, span);
+    sim_.postResume(h, span);
   }
 }
 

@@ -2,10 +2,10 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <string>
 #include <utility>
 
+#include "sim/ring_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -116,7 +116,7 @@ class RwLock {
   int activeReaders_ = 0;
   bool activeWriter_ = false;
   int writersWaiting_ = 0;
-  std::deque<Waiter> waiters_;
+  RingQueue<Waiter> waiters_;
   std::uint64_t readAcquisitions_ = 0;
   std::uint64_t writeAcquisitions_ = 0;
   std::uint64_t contended_ = 0;

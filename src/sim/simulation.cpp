@@ -34,7 +34,12 @@ Simulation::~Simulation() { shutdown(); }
 
 void Simulation::schedule(Duration delay, std::function<void()> fn, trace::Span* span) {
   assert(delay >= 0 && "cannot schedule events in the past");
-  queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn), span});
+  Event ev;
+  ev.time = now_ + delay;
+  ev.seq = nextSeq_++;
+  ev.setSpanKind(span, Event::Kind::Closure);
+  ev.pay.closure = queue_.storeClosure(std::move(fn));
+  queue_.push(ev);
 }
 
 void Simulation::spawn(Task<> task) {
@@ -44,7 +49,7 @@ void Simulation::spawn(Task<> task) {
   handle.promise().sim = this;
   handle.promise().id = id;
   roots_.emplace(id, handle);
-  schedule(0, [handle] { handle.resume(); });
+  scheduleResume(0, handle);
 }
 
 void Simulation::onRootFinished(std::uint64_t id) {
@@ -55,25 +60,44 @@ void Simulation::onRootFinished(std::uint64_t id) {
   handle.destroy();
 }
 
+void Simulation::runPayload(const Event& ev) {
+  switch (ev.kind()) {
+    case Event::Kind::Resume:
+      ev.pay.handle.resume();
+      break;
+    case Event::Kind::Call:
+      ev.pay.call.fn(ev.pay.call.ctx, ev.seq);
+      break;
+    case Event::Kind::Closure:
+      queue_.takeClosure(ev.pay.closure)();
+      break;
+  }
+}
+
 void Simulation::dispatchOne() {
-  // Move the callback out before popping so it may schedule new events.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  const Event ev = queue_.pop();
   assert(ev.time >= now_);
+#ifndef NDEBUG
+  assert((ev.time > lastDispatchTime_ ||
+          (ev.time == lastDispatchTime_ && ev.seq > lastDispatchSeq_)) &&
+         "event dispatched out of order or twice");
+  lastDispatchTime_ = ev.time;
+  lastDispatchSeq_ = ev.seq;
+#endif
   now_ = ev.time;
   ++eventsProcessed_;
   // Ambient-span contract: currentSpan_ is null between events (every
   // suspension point clears it after capturing), so only traced events —
   // a small minority even in traced runs — pay the publish/clear stores.
   if constexpr (trace::kEnabled) {
-    if (ev.span != nullptr) {
-      currentSpan_ = ev.span;
-      ev.fn();
+    if (trace::Span* span = ev.span(); span != nullptr) {
+      currentSpan_ = span;
+      runPayload(ev);
       currentSpan_ = nullptr;
       return;
     }
   }
-  ev.fn();
+  runPayload(ev);
 }
 
 void Simulation::maybeRethrow() {
@@ -91,7 +115,7 @@ void Simulation::run() {
 }
 
 void Simulation::runUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  while (!queue_.empty() && queue_.nextTime() <= t) {
     dispatchOne();
     maybeRethrow();
   }
@@ -108,7 +132,7 @@ void Simulation::shutdown() {
     handle.destroy();
   }
   // Drop queued events; they may reference destroyed frames.
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
 }
 
 }  // namespace mwsim::sim

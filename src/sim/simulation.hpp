@@ -1,15 +1,16 @@
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <set>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -58,6 +59,13 @@ struct RootPromise {
 /// progress only when the kernel resumes them from the event queue, so the
 /// whole simulation is deterministic for a fixed seed.
 ///
+/// Events live in a hierarchical timer wheel (EventQueue) and dispatch in
+/// exact (time, scheduling-seq) order — the same total order as a binary
+/// heap keyed that way, proven by tests/scheduler_equiv_test.cpp. The hot
+/// scheduling paths (coroutine resumption, raw member calls) carry their
+/// payload inline in a small trivially-copyable Event; only ad-hoc
+/// std::function callbacks touch the pooled closure slots.
+///
 /// Lifetime rule: destroy (or shutdown()) the Simulation while every object
 /// its suspended coroutines reference (resources, servers, databases) is
 /// still alive. The Experiment runner does this automatically.
@@ -81,6 +89,44 @@ class Simulation {
   /// already-queued events for this instant.
   void post(std::function<void()> fn, trace::Span* span = nullptr) {
     schedule(0, std::move(fn), span);
+  }
+
+  /// Fast path: resumes `h` `delay` nanoseconds from now. Identical
+  /// ordering semantics to schedule() — it consumes the same seq counter —
+  /// without the type-erased closure.
+  void scheduleResume(Duration delay, std::coroutine_handle<> h,
+                      trace::Span* span = nullptr) {
+    assert(delay >= 0 && "cannot schedule events in the past");
+    Event ev;
+    ev.time = now_ + delay;
+    ev.seq = nextSeq_++;
+    ev.setSpanKind(span, Event::Kind::Resume);
+    ev.pay.handle = h;
+    queue_.push(ev);
+  }
+
+  /// Fast path: resumes `h` at the current instant, after everything
+  /// already queued for it.
+  void postResume(std::coroutine_handle<> h, trace::Span* span = nullptr) {
+    scheduleResume(0, h, span);
+  }
+
+  /// Fast path: calls `fn(ctx, seq)` `delay` nanoseconds from now, where
+  /// `seq` is the scheduled event's unique sequence number (also returned
+  /// here). For kernel components (e.g. the CPU's completion events) that
+  /// would otherwise rebuild a closure per event; the returned seq doubles
+  /// as a never-recycled generation token for recognizing superseded
+  /// events at dispatch.
+  std::uint64_t scheduleCall(Duration delay, void (*fn)(void*, std::uint64_t),
+                             void* ctx) {
+    assert(delay >= 0 && "cannot schedule events in the past");
+    Event ev;
+    ev.time = now_ + delay;
+    ev.seq = nextSeq_++;
+    ev.setSpanKind(nullptr, Event::Kind::Call);
+    ev.pay.call = {fn, ctx};
+    queue_.push(ev);
+    return ev.seq;
   }
 
   /// The span of the request whose coroutine chain is currently executing,
@@ -111,7 +157,7 @@ class Simulation {
           sim.currentSpan_ = nullptr;
         }
       }
-      sim.schedule(d, [h] { h.resume(); }, span);
+      sim.scheduleResume(d, h, span);
     }
     void await_resume() const noexcept {}
   };
@@ -161,22 +207,10 @@ class Simulation {
  private:
   friend struct detail::RootPromise;
 
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    // Span to restore as current while fn runs. Carried here rather than in
-    // the lambda capture so resumption closures stay within std::function's
-    // small-buffer size (no per-event heap allocation).
-    trace::Span* span = nullptr;
-    bool operator>(const Event& other) const noexcept {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
-  };
-
   void onRootFinished(std::uint64_t id);
   void onRootException(std::exception_ptr e) { pendingError_ = std::move(e); }
   void dispatchOne();
+  void runPayload(const Event& ev);
   void maybeRethrow();
 
   SimTime now_ = 0;
@@ -185,11 +219,18 @@ class Simulation {
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t seed_;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
   std::unordered_map<std::uint64_t, std::coroutine_handle<detail::RootPromise>> roots_;
   std::exception_ptr pendingError_;
   trace::Span* currentSpan_ = nullptr;
-  std::set<std::string> claimedNames_;
+  std::unordered_set<std::string> claimedNames_;
+#ifndef NDEBUG
+  // Dispatch-order guard: (time, seq) must be strictly increasing, which
+  // both proves the wheel never reorders and that no event (seq values are
+  // unique) is ever dispatched twice.
+  SimTime lastDispatchTime_ = -1;
+  std::uint64_t lastDispatchSeq_ = 0;
+#endif
 };
 
 }  // namespace mwsim::sim
