@@ -129,9 +129,10 @@ struct TableRef {
 
 struct JoinClause {
   TableRef table;
-  // Equi-join condition: left.col = right.col
-  ExprPtr leftColumn;
-  ExprPtr rightColumn;
+  /// Full ON condition (null for comma joins, whose condition lives in
+  /// WHERE). Any boolean expression: the planner digs equi-conjuncts out of
+  /// it for the join key and keeps the rest as residual filters.
+  ExprPtr on;
 };
 
 struct OrderItem {
@@ -167,11 +168,16 @@ struct UpdateStmt {
   std::string table;
   std::vector<Assignment> sets;
   ExprPtr where;  // may be null
+  /// LIMIT/OFFSET slice the matched rows in RowId (storage) order.
+  std::optional<std::int64_t> limit;
+  std::int64_t offset = 0;
 };
 
 struct DeleteStmt {
   std::string table;
   ExprPtr where;  // may be null
+  std::optional<std::int64_t> limit;
+  std::int64_t offset = 0;
 };
 
 struct LockTablesStmt {

@@ -893,6 +893,23 @@ std::vector<RowId> writeMatches(const Table& table, const AccessPath& access,
   return out;
 }
 
+/// Applies a write LIMIT/OFFSET to the matched rows. Matches arrive in RowId
+/// order (LIMIT/OFFSET plans force FullScan access), which defines the slice.
+std::vector<RowId> sliceWriteMatches(std::vector<RowId> matches,
+                                     const std::optional<std::int64_t>& limit,
+                                     std::int64_t offset) {
+  if (!limit && offset <= 0) return matches;
+  const std::size_t begin =
+      std::min(matches.size(), static_cast<std::size_t>(std::max<std::int64_t>(offset, 0)));
+  std::size_t end = matches.size();
+  if (limit) {
+    const auto want = static_cast<std::size_t>(std::max<std::int64_t>(*limit, 0));
+    end = std::min(end, begin + want);
+  }
+  return {matches.begin() + static_cast<std::ptrdiff_t>(begin),
+          matches.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
 ExecResult executeInsert(Database& db, const InsertPlan& p, std::span<const Value> params) {
   ExecResult result;
   Table& table = db.table(p.tableName);
@@ -910,7 +927,8 @@ ExecResult executeInsert(Database& db, const InsertPlan& p, std::span<const Valu
 ExecResult executeUpdate(Database& db, const UpdatePlan& p, std::span<const Value> params) {
   ExecResult result;
   Table& table = db.table(p.tableName);
-  const auto matches = writeMatches(table, p.access, p.residual, params, result.stats);
+  const auto matches = sliceWriteMatches(
+      writeMatches(table, p.access, p.residual, params, result.stats), p.limit, p.offset);
   for (RowId id : matches) {
     // Evaluate every assignment against the pre-update row, then apply.
     const SingleRow src{&table.row(id)};
@@ -931,7 +949,8 @@ ExecResult executeUpdate(Database& db, const UpdatePlan& p, std::span<const Valu
 ExecResult executeDelete(Database& db, const DeletePlan& p, std::span<const Value> params) {
   ExecResult result;
   Table& table = db.table(p.tableName);
-  const auto matches = writeMatches(table, p.access, p.residual, params, result.stats);
+  const auto matches = sliceWriteMatches(
+      writeMatches(table, p.access, p.residual, params, result.stats), p.limit, p.offset);
   for (RowId id : matches) table.erase(id);
   result.affectedRows = matches.size();
   result.stats.rowsModified = matches.size();

@@ -112,16 +112,9 @@ class Parser {
       else acceptKeyword("JOIN");
       JoinClause join;
       join.table = parseTableRef();
-      if (acceptKeyword("ON")) {
-        ExprPtr l = parsePrimary();
-        expect(TokenType::Eq, "'=' in join condition");
-        ExprPtr r = parsePrimary();
-        if (l->kind != Expr::Kind::Column || r->kind != Expr::Kind::Column) {
-          fail("join conditions must be column = column");
-        }
-        join.leftColumn = std::move(l);
-        join.rightColumn = std::move(r);
-      }
+      // ON takes a full boolean expression (equi-conjuncts become join
+      // keys at plan time; the rest are residual filters).
+      if (acceptKeyword("ON")) join.on = parseExpr();
       s.joins.push_back(std::move(join));
     }
     if (acceptKeyword("WHERE")) s.where = parseExpr();
@@ -208,6 +201,7 @@ class Parser {
       s.sets.push_back(std::move(a));
     } while (accept(TokenType::Comma));
     if (acceptKeyword("WHERE")) s.where = parseExpr();
+    parseWriteLimit(s.limit, s.offset);
     return s;
   }
 
@@ -217,7 +211,21 @@ class Parser {
     DeleteStmt s;
     s.table = expectIdentifier("table name");
     if (acceptKeyword("WHERE")) s.where = parseExpr();
+    parseWriteLimit(s.limit, s.offset);
     return s;
+  }
+
+  /// LIMIT [OFFSET] on UPDATE/DELETE: integer literals only, like SELECT.
+  void parseWriteLimit(std::optional<std::int64_t>& limit, std::int64_t& offset) {
+    if (!acceptKeyword("LIMIT")) return;
+    const Token& t = advance();
+    if (t.type != TokenType::Integer) fail("LIMIT expects an integer literal");
+    limit = t.intValue;
+    if (acceptKeyword("OFFSET")) {
+      const Token& o = advance();
+      if (o.type != TokenType::Integer) fail("OFFSET expects an integer literal");
+      offset = o.intValue;
+    }
   }
 
   LockTablesStmt parseLockTables() {

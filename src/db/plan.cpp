@@ -382,35 +382,40 @@ class Planner {
 
     plan.access = chooseAccess(conjuncts, /*reverseOrder=*/false);
 
-    // Join steps: prefer the explicit ON pair, else an equi-conjunct linking
+    // Join steps: split the ON expression into conjuncts and dig out the
+    // first equality that keys the new table off earlier ones; the other ON
+    // conjuncts become post-join filters (sound for inner joins, where ON and
+    // WHERE are interchangeable). Fall back to a WHERE equi-conjunct linking
     // the new table to an earlier one.
     for (std::size_t j = 0; j < s.joins.size(); ++j) {
       const std::size_t newIdx = j + 1;
       SelectPlan::JoinStep step;
       CompiledExprPtr innerSide, outerSide;
-      if (s.joins[j].leftColumn) {
-        auto l = compile(*s.joins[j].leftColumn);
-        auto r = compile(*s.joins[j].rightColumn);
-        auto lMax = maxTableIdx(*l);
-        auto rMax = maxTableIdx(*r);
-        if (l->kind == Expr::Kind::Column && l->col.tableIdx == newIdx && rMax &&
-            *rMax < newIdx) {
-          innerSide = std::move(l);
-          outerSide = std::move(r);
-        } else if (r->kind == Expr::Kind::Column && r->col.tableIdx == newIdx && lMax &&
-                   *lMax < newIdx) {
-          innerSide = std::move(r);
-          outerSide = std::move(l);
-        } else {
-          // Degenerate ON (both sides on one table, or referencing a table
-          // not yet joined): keep it as a post-join filter instead.
-          auto eq = std::make_unique<CompiledExpr>();
-          eq->kind = Expr::Kind::Binary;
-          eq->op = BinOp::Eq;
-          eq->lhs = std::move(l);
-          eq->rhs = std::move(r);
-          plan.residual.push_back(std::move(eq));
+      std::vector<const Expr*> onConjuncts;
+      splitConjuncts(s.joins[j].on.get(), onConjuncts);
+      for (const Expr* astConjunct : onConjuncts) {
+        auto c = compile(*astConjunct);
+        bool taken = false;
+        if (!innerSide && c->kind == Expr::Kind::Binary && c->op == BinOp::Eq) {
+          auto lMax = maxTableIdx(*c->lhs);
+          auto rMax = maxTableIdx(*c->rhs);
+          // One side must be a plain column of the new table; the other may
+          // be any expression over already-bound tables (or row-free).
+          if (c->lhs->kind == Expr::Kind::Column && c->lhs->col.tableIdx == newIdx &&
+              (!rMax || *rMax < newIdx)) {
+            innerSide = std::move(c->lhs);
+            outerSide = std::move(c->rhs);
+            taken = true;
+          } else if (c->rhs->kind == Expr::Kind::Column &&
+                     c->rhs->col.tableIdx == newIdx && (!lMax || *lMax < newIdx)) {
+            innerSide = std::move(c->rhs);
+            outerSide = std::move(c->lhs);
+            taken = true;
+          }
         }
+        // Degenerate or non-equi conjuncts (both sides on one table, a table
+        // not yet joined, <, LIKE, ...) run as post-join filters.
+        if (!taken) plan.residual.push_back(std::move(c));
       }
       if (!innerSide) {
         for (Conjunct& c : conjuncts) {
@@ -597,8 +602,10 @@ class Planner {
 
   /// Shared by UPDATE/DELETE: single-table binding, qualifier-ignoring
   /// resolution, eq-only index access (matching the pre-plan matcher).
+  /// `forceScan` (LIMIT/OFFSET present) skips index selection so the matched
+  /// rows come in RowId order — the order the slice is defined over.
   AccessPath planWriteAccess(const std::string& tableName, const Expr* where,
-                             std::vector<CompiledExprPtr>& residual) {
+                             std::vector<CompiledExprPtr>& residual, bool forceScan) {
     tables_.clear();
     tables_.push_back({tableName, &db_.table(tableName)});
     ignoreQualifiers_ = true;
@@ -613,6 +620,11 @@ class Planner {
     const Table& table = *tables_[0].table;
     AccessPath path;
     path.kind = AccessPath::Kind::FullScan;
+    if (forceScan) {
+      for (Conjunct& c : conjuncts) residual.push_back(std::move(c.compiled));
+      ignoreQualifiers_ = false;
+      return path;
+    }
     for (std::size_t i = conjuncts.size(); i-- > 0;) {  // reverse, as before
       CompiledExpr& c = *conjuncts[i].compiled;
       if (c.kind != Expr::Kind::Binary || c.op != BinOp::Eq) continue;
@@ -641,7 +653,10 @@ class Planner {
 
   void planUpdate(const UpdateStmt& s, UpdatePlan& plan) {
     plan.tableName = s.table;
-    plan.access = planWriteAccess(s.table, s.where.get(), plan.residual);
+    plan.limit = s.limit;
+    plan.offset = s.offset;
+    plan.access = planWriteAccess(s.table, s.where.get(), plan.residual,
+                                  s.limit.has_value() || s.offset > 0);
     const auto& schema = db_.table(s.table).schema();
     ignoreQualifiers_ = true;
     for (const auto& a : s.sets) {
@@ -657,7 +672,10 @@ class Planner {
 
   void planDelete(const DeleteStmt& s, DeletePlan& plan) {
     plan.tableName = s.table;
-    plan.access = planWriteAccess(s.table, s.where.get(), plan.residual);
+    plan.limit = s.limit;
+    plan.offset = s.offset;
+    plan.access = planWriteAccess(s.table, s.where.get(), plan.residual,
+                                  s.limit.has_value() || s.offset > 0);
   }
 
   const Database& db_;

@@ -157,12 +157,18 @@ struct UpdatePlan {
     CompiledExprPtr value;  // may reference the pre-update row
   };
   std::vector<Target> sets;
+  /// LIMIT/OFFSET slice the matched rows in RowId order; their presence
+  /// forces FullScan access so the match order is well-defined.
+  std::optional<std::int64_t> limit;
+  std::int64_t offset = 0;
 };
 
 struct DeletePlan {
   std::string tableName;
   AccessPath access;
   std::vector<CompiledExprPtr> residual;
+  std::optional<std::int64_t> limit;
+  std::int64_t offset = 0;
 };
 
 /// A fully planned statement. Immutable once built.

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mwsim::mc {
+
+/// The kernel has exactly two real sources of nondeterminism, both of which
+/// the deterministic scheduler normally resolves by a fixed rule:
+///
+///  * EventTieBreak — several pending events share the earliest timestamp;
+///    the default rule dispatches them in scheduling-seq order (FIFO).
+///  * ResourceGrant / RwLockGrant — a lock release finds several waiters it
+///    could legally wake; the default rule is strict FIFO (and, for RwLock,
+///    the head writer among eligible writers).
+///
+/// A ChoiceStrategy intercepts those decisions. Model checking installs one
+/// that records and replays choices to enumerate schedules; a randomized one
+/// samples schedules; the default strategy (or none installed) reproduces
+/// today's (time, seq) order bit-identically.
+enum class ChoiceKind : std::uint8_t { EventTieBreak, ResourceGrant, RwLockGrant };
+
+/// What the transition behind an alternative does, as far as the kernel can
+/// know up front. Used by the explorer's independence analysis and by
+/// property checkers; Other covers delay expiries and ad-hoc callbacks whose
+/// footprint is only discoverable by executing them.
+enum class Op : std::uint8_t {
+  Other = 0,
+  Spawn,         // first resumption of a top-level process
+  AcquireGrant,  // Resource unit handed to a waiter
+  ReadGrant,     // RwLock shared grant to a waiter
+  WriteGrant,    // RwLock exclusive grant to a waiter
+};
+
+/// Descriptor of one alternative at a choice point.
+///
+///  * actor — 1 + the id of the top-level process the transition belongs to
+///    (0 when unknown, e.g. harness callbacks scheduled outside any actor).
+///  * object — stable id of the lock/resource involved (0 when none is
+///    known up front). Ids come from Simulation::nextLockId(), assigned in
+///    construction order, so they are identical across run-from-start
+///    replays of the same scenario.
+struct Alternative {
+  std::uint64_t actor = 0;
+  std::uint64_t object = 0;
+  Op op = Op::Other;
+
+  bool operator==(const Alternative&) const = default;
+};
+
+class ChoiceStrategy {
+ public:
+  virtual ~ChoiceStrategy() = default;
+
+  /// Picks one of alts[0..n) (n >= 2; forced moves never reach the
+  /// strategy). The alternatives are listed in the kernel's canonical order
+  /// (ascending event seq / FIFO queue order), so returning 0 everywhere
+  /// reproduces the default schedule exactly.
+  virtual std::size_t choose(ChoiceKind kind, const Alternative* alts,
+                             std::size_t n) = 0;
+};
+
+/// The identity strategy: always the canonical alternative. Installing it
+/// must be observationally identical to installing no strategy at all
+/// (guarded by tests/mc_test.cpp).
+class DefaultStrategy final : public ChoiceStrategy {
+ public:
+  std::size_t choose(ChoiceKind, const Alternative*, std::size_t) override {
+    return 0;
+  }
+};
+
+/// Uniform random choice from a self-contained xorshift stream — schedule
+/// *sampling* as opposed to the explorer's exhaustive enumeration. Does not
+/// touch the simulation's Rng, so installing it perturbs nothing else.
+class RandomStrategy final : public ChoiceStrategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed) : state_(seed | 1) {}
+
+  std::size_t choose(ChoiceKind, const Alternative*, std::size_t n) override {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return static_cast<std::size_t>(state_ % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One lock-subsystem state transition, streamed to the observer as it
+/// happens. `writersWaiting` / `readersQueued` / `activeReaders` are the
+/// lock's counts *after* the transition applied, on the lock the op is
+/// about; `waited` is the queue delay a grant retired (0 for fast-path
+/// grants, which never suspended).
+struct LockOp {
+  enum class Kind : std::uint8_t {
+    ReadRequest,     // RwLock reader queued
+    WriteRequest,    // RwLock writer queued
+    ReadGrant,       // RwLock shared grant (queued or fast-path)
+    WriteGrant,      // RwLock exclusive grant (queued or fast-path)
+    ReadRelease,
+    WriteRelease,
+    AcquireRequest,  // Resource waiter queued
+    AcquireGrant,    // Resource grant (queued or fast-path)
+    Release,         // Resource unit released
+  };
+
+  Kind kind = Kind::Release;
+  std::uint64_t object = 0;
+  std::uint64_t actor = 0;
+  sim::SimTime time = 0;
+  int writersWaiting = 0;
+  int readersQueued = 0;
+  int activeReaders = 0;
+  sim::Duration waited = 0;
+};
+
+/// Kernel-side callbacks for model checking: dispatch boundaries (the unit
+/// of a "transition" in the explored schedule) and the lock-op stream that
+/// both the property layer and the reduction's footprint analysis consume.
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+
+  /// The kernel is about to run the payload of the event described by `t`.
+  virtual void onDispatchStart(const Alternative& t) = 0;
+  /// The payload finished (including any lock ops it performed inline).
+  virtual void onDispatchEnd() = 0;
+  /// A lock/resource transition happened (inside some dispatch).
+  virtual void onLockOp(const LockOp& op) = 0;
+};
+
+}  // namespace mwsim::mc

@@ -1,0 +1,257 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/simulation.hpp"
+
+namespace mwsim::mc {
+
+namespace {
+
+bool disjoint(const std::vector<std::uint64_t>& a,
+              const std::vector<std::uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return false;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return true;
+}
+
+/// Observed independence: two transitions commute iff they belong to
+/// distinct, known actors and the lock sets they touched are disjoint.
+/// Unknown actors (harness callbacks) are conservatively dependent on
+/// everything.
+bool independent(const Alternative& uAlt,
+                 const std::vector<std::uint64_t>& uObjects,
+                 const Alternative& t,
+                 const std::vector<std::uint64_t>& tFootprint) {
+  if (uAlt.actor == 0 || t.actor == 0 || uAlt.actor == t.actor) return false;
+  return disjoint(uObjects, tFootprint);
+}
+
+}  // namespace
+
+ExploreStats Explorer::explore(Scenario& scenario, const ExploreOptions& opt) {
+  mode_ = Mode::Dfs;
+  reduction_ = opt.reduction;
+  stats_ = ExploreStats{};
+  stack_.clear();
+  for (;;) {
+    runOnce(scenario, opt);
+    ++stats_.schedules;
+    if (stats_.schedules >= opt.maxSchedules) {
+      stats_.complete = false;
+      break;
+    }
+    if (!backtrack()) {
+      stats_.complete = true;
+      break;
+    }
+  }
+  return std::move(stats_);
+}
+
+ExploreStats Explorer::sample(Scenario& scenario, std::uint64_t runs,
+                              std::uint64_t seed) {
+  mode_ = Mode::Random;
+  stats_ = ExploreStats{};
+  stack_.clear();
+  ExploreOptions opt;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    random_ = RandomStrategy(seed + i);
+    runOnce(scenario, opt);
+    ++stats_.schedules;
+  }
+  stats_.complete = false;
+  return std::move(stats_);
+}
+
+void Explorer::runOnce(Scenario& scenario, const ExploreOptions& opt) {
+  depth_ = 0;
+  runningSleep_.clear();
+  pendingTieDepth_ = kNone;
+  curTieDepth_ = kNone;
+  inDispatch_ = false;
+  randomTrace_.clear();
+  checker_.reset();
+
+  sim::Simulation sim(opt.seed);
+  sim.setModelChecking(this, this);
+  scenario.setUp(sim);
+  sim.run();
+  checker_.onRunEnd(sim.liveProcesses(), sim.now());
+  // Detach before shutdown: destroying deadlocked frames releases their
+  // LockHolds, and those phantom unlocks/grants must not reach the checker
+  // or the footprint analysis.
+  sim.setModelChecking(nullptr, nullptr);
+  sim.shutdown();
+  scenario.tearDown();
+
+  if (checker_.maxWriterWait() > stats_.maxWriterWait) {
+    stats_.maxWriterWait = checker_.maxWriterWait();
+  }
+  stats_.signatures.insert(checker_.signature());
+  for (const PropertyViolation& v : checker_.violations()) {
+    ++stats_.violationCount;
+    if (stats_.violations.size() < opt.maxRecordedViolations) {
+      stats_.violations.push_back(
+          {v.property, v.detail, stats_.schedules, currentTrace()});
+    }
+  }
+}
+
+std::vector<ChoiceRecord> Explorer::currentTrace() const {
+  if (mode_ == Mode::Random) return randomTrace_;
+  std::vector<ChoiceRecord> trace;
+  trace.reserve(depth_);
+  for (std::size_t d = 0; d < depth_ && d < stack_.size(); ++d) {
+    trace.push_back({stack_[d].chosen, stack_[d].alts.size(), stack_[d].kind});
+  }
+  return trace;
+}
+
+std::size_t Explorer::choose(ChoiceKind kind, const Alternative* alts,
+                             std::size_t n) {
+  assert(n >= 2);
+  if (n > stats_.maxAlternatives) stats_.maxAlternatives = n;
+  if (mode_ == Mode::Random) {
+    const std::size_t pick = random_.choose(kind, alts, n);
+    randomTrace_.push_back({pick, n, kind});
+    return pick;
+  }
+
+  const std::size_t d = depth_++;
+  if (d == stack_.size()) {
+    // Fresh node: freeze the alternatives and the sleep set at entry (the
+    // path above it is fixed while it stays on the stack, so both stay
+    // valid across replays).
+    Node nd;
+    nd.kind = kind;
+    nd.alts.assign(alts, alts + n);
+    nd.footprints.resize(n);
+    nd.executed.assign(n, 0);
+    nd.done.assign(n, 0);
+    nd.skipped.assign(n, 0);
+    if (kind == ChoiceKind::EventTieBreak) nd.sleepAtEntry = runningSleep_;
+    stack_.push_back(std::move(nd));
+    ++stats_.choicePoints;
+    Node& back = stack_.back();
+    back.chosen = nextChoice(back, 0);
+    // All alternatives slept can only mean this whole node is redundant;
+    // running the canonical one once is sound (just not minimal).
+    if (back.chosen == back.alts.size()) back.chosen = 0;
+  }
+  Node& nd = stack_[d];
+  assert(nd.kind == kind && nd.alts.size() == n &&
+         "nondeterministic replay: choice points diverged between runs");
+  if (kind == ChoiceKind::EventTieBreak) pendingTieDepth_ = d;
+  return nd.chosen;
+}
+
+void Explorer::onDispatchStart(const Alternative& t) {
+  inDispatch_ = true;
+  curAlt_ = t;
+  curFp_.clear();
+  if (t.object != 0) curFp_.push_back(t.object);
+  curTieDepth_ = pendingTieDepth_;
+  pendingTieDepth_ = kNone;
+}
+
+void Explorer::onDispatchEnd() {
+  inDispatch_ = false;
+  if (mode_ == Mode::Random) return;
+  std::sort(curFp_.begin(), curFp_.end());
+  curFp_.erase(std::unique(curFp_.begin(), curFp_.end()), curFp_.end());
+
+  if (curTieDepth_ != kNone) {
+    // The dispatch we just ran was the chosen alternative of a tie-break
+    // node: record its footprint and compute the child sleep set
+    //   sleep' = { u in sleep(n) ∪ done(n) : independent(u, chosen) }
+    // (Godefroid-style; done(n) are the alternatives whose subtrees are
+    // already fully explored, each with a footprint from that exploration.)
+    Node& nd = stack_[curTieDepth_];
+    nd.footprints[nd.chosen] = curFp_;
+    nd.executed[nd.chosen] = 1;
+    std::vector<SleepEntry> next;
+    for (const SleepEntry& u : nd.sleepAtEntry) {
+      if (independent(u.alt, u.objects, curAlt_, curFp_)) next.push_back(u);
+    }
+    for (std::size_t i = 0; i < nd.alts.size(); ++i) {
+      if (i == nd.chosen || !nd.done[i] || !nd.executed[i]) continue;
+      if (independent(nd.alts[i], nd.footprints[i], curAlt_, curFp_)) {
+        next.push_back({nd.alts[i], nd.footprints[i]});
+      }
+    }
+    runningSleep_ = std::move(next);
+  } else if (!runningSleep_.empty()) {
+    // Forced transition: wake every sleeping transition that depends on it
+    // (including any with the same actor — i.e. the sleeper itself, if the
+    // schedule was forced through it).
+    std::erase_if(runningSleep_, [&](const SleepEntry& u) {
+      return !independent(u.alt, u.objects, curAlt_, curFp_);
+    });
+  }
+  curTieDepth_ = kNone;
+}
+
+void Explorer::onLockOp(const LockOp& op) {
+  checker_.onLockOp(op);
+  if (inDispatch_ && op.object != 0) curFp_.push_back(op.object);
+}
+
+bool Explorer::isSlept(const Node& nd, std::size_t i) const {
+  // Reduction applies only to event tie-breaks: grant alternatives all name
+  // the same lock, so no pair of them is ever independent. Index 0 (the
+  // canonical order) is never pruned, which guarantees progress even if a
+  // sleep set covers every alternative.
+  if (!reduction_ || nd.kind != ChoiceKind::EventTieBreak || i == 0) {
+    return false;
+  }
+  const Alternative& a = nd.alts[i];
+  if (a.actor == 0) return false;
+  // Descriptors are (actor, object, op); two simultaneous pending events of
+  // one actor could collide, so never prune when the actor is ambiguous.
+  for (std::size_t j = 0; j < nd.alts.size(); ++j) {
+    if (j != i && nd.alts[j].actor == a.actor) return false;
+  }
+  for (const SleepEntry& u : nd.sleepAtEntry) {
+    if (u.alt == a) return true;
+  }
+  return false;
+}
+
+std::size_t Explorer::nextChoice(Node& nd, std::size_t from) {
+  for (std::size_t i = from; i < nd.alts.size(); ++i) {
+    if (nd.done[i] || nd.skipped[i]) continue;
+    if (isSlept(nd, i)) {
+      nd.skipped[i] = 1;
+      ++stats_.prunedBranches;
+      continue;
+    }
+    return i;
+  }
+  return nd.alts.size();
+}
+
+bool Explorer::backtrack() {
+  while (!stack_.empty()) {
+    Node& nd = stack_.back();
+    nd.done[nd.chosen] = 1;
+    const std::size_t next = nextChoice(nd, nd.chosen + 1);
+    if (next < nd.alts.size()) {
+      nd.chosen = next;
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+}  // namespace mwsim::mc

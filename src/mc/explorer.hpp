@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/choice.hpp"
+#include "mc/properties.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::sim {
+class Simulation;
+}
+
+namespace mwsim::mc {
+
+/// One miniature workload under exploration. The explorer reconstructs the
+/// scenario from scratch for every schedule (run-from-start replay — the
+/// kernel dispatches millions of events per second, so rebuilding a
+/// dozen-actor model is microseconds), so setUp() must be deterministic:
+/// same construction order, same delays, no wall-clock or global state.
+///
+/// Lifecycle per schedule: setUp(sim) builds locks/machines and spawns the
+/// actors (keeping everything alive in scenario-owned state); the explorer
+/// runs the simulation to quiescence, evaluates end-of-run properties,
+/// shuts the simulation down (destroying suspended frames while the locks
+/// they reference are still alive), then calls tearDown() to drop the
+/// state.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  virtual const char* name() const = 0;
+  virtual const char* description() const { return ""; }
+  virtual void setUp(sim::Simulation& sim) = 0;
+  virtual void tearDown() = 0;
+};
+
+struct ExploreOptions {
+  /// Hard cap on executed schedules; exploration reports complete=false if
+  /// it hits the cap before exhausting the tree.
+  std::uint64_t maxSchedules = 1u << 20;
+  /// Sleep-set pruning keyed on observed lock-footprint independence.
+  bool reduction = true;
+  /// Simulation seed (the scenarios are deterministic, but components
+  /// derive Rngs from it, so it is part of the model's identity).
+  std::uint64_t seed = 1;
+  std::size_t maxRecordedViolations = 4;
+};
+
+struct ChoiceRecord {
+  std::size_t chosen = 0;
+  std::size_t alternatives = 0;
+  ChoiceKind kind = ChoiceKind::EventTieBreak;
+};
+
+struct RecordedViolation {
+  std::string property;
+  std::string detail;
+  std::uint64_t schedule = 0;        // 0-based index of the failing schedule
+  std::vector<ChoiceRecord> trace;   // replayable choice trace
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;       // schedules actually executed
+  std::uint64_t prunedBranches = 0;  // alternative branches skipped by sleep sets
+  std::uint64_t choicePoints = 0;    // distinct choice nodes in the explored tree
+  std::size_t maxAlternatives = 0;   // widest choice point seen
+  std::uint64_t violationCount = 0;
+  std::vector<RecordedViolation> violations;  // first few, with traces
+  sim::Duration maxWriterWait = 0;   // across all schedules (virtual time)
+  bool complete = false;             // true iff the DFS exhausted the tree
+  /// Distinct per-lock/per-actor lock-history classes seen — the reduced
+  /// and unreduced explorations of one scenario must produce the same set.
+  std::unordered_set<std::uint64_t> signatures;
+};
+
+/// Stateless-search DFS explorer over the kernel's choice points, in the
+/// style of SimGrid's DFSExplorer: each schedule is executed from the
+/// start, choices are recorded on a stack, and backtracking flips the
+/// deepest choice with an untried alternative. Reduction is by sleep sets
+/// over an independence relation observed at runtime: two same-timestamp
+/// event dispatches commute iff they belong to different actors and their
+/// executed footprints (the set of locks each touched) are disjoint.
+/// Waiter-grant choice points always involve one lock, so every pair of
+/// grant alternatives is dependent and reduction never prunes there —
+/// they are enumerated exhaustively.
+class Explorer final : public ChoiceStrategy, public KernelObserver {
+ public:
+  /// Exhaustive (up to opt.maxSchedules) DFS enumeration with property
+  /// checking on every schedule.
+  ExploreStats explore(Scenario& scenario, const ExploreOptions& opt = {});
+
+  /// Random schedule sampling under RandomStrategy(seed + i), property
+  /// checking each of `runs` schedules. No enumeration, no completeness —
+  /// the cheap smoke-test counterpart of explore().
+  ExploreStats sample(Scenario& scenario, std::uint64_t runs,
+                      std::uint64_t seed);
+
+  // Kernel-facing hooks (installed via Simulation::setModelChecking; not
+  // for direct use).
+  std::size_t choose(ChoiceKind kind, const Alternative* alts,
+                     std::size_t n) override;
+  void onDispatchStart(const Alternative& t) override;
+  void onDispatchEnd() override;
+  void onLockOp(const LockOp& op) override;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// A transition asleep on the current path: its descriptor plus the lock
+  /// footprint observed when it executed in a previously explored branch.
+  struct SleepEntry {
+    Alternative alt;
+    std::vector<std::uint64_t> objects;  // sorted
+  };
+
+  struct Node {
+    ChoiceKind kind = ChoiceKind::EventTieBreak;
+    std::vector<Alternative> alts;
+    std::vector<std::vector<std::uint64_t>> footprints;  // per executed alt
+    std::vector<char> executed;  // footprint known
+    std::vector<char> done;      // subtree fully explored
+    std::vector<char> skipped;   // pruned by sleep set (counted once)
+    std::size_t chosen = 0;
+    std::vector<SleepEntry> sleepAtEntry;
+  };
+
+  void runOnce(Scenario& scenario, const ExploreOptions& opt);
+  bool backtrack();
+  bool isSlept(const Node& nd, std::size_t i) const;
+  std::size_t nextChoice(Node& nd, std::size_t from);
+  std::vector<ChoiceRecord> currentTrace() const;
+
+  enum class Mode { Dfs, Random };
+  Mode mode_ = Mode::Dfs;
+  bool reduction_ = true;
+  RandomStrategy random_{1};
+
+  std::vector<Node> stack_;
+  std::size_t depth_ = 0;
+  std::vector<SleepEntry> runningSleep_;
+  std::size_t pendingTieDepth_ = kNone;  // set by choose(), consumed at dispatch
+  std::size_t curTieDepth_ = kNone;
+  bool inDispatch_ = false;
+  Alternative curAlt_{};
+  std::vector<std::uint64_t> curFp_;
+  std::vector<ChoiceRecord> randomTrace_;  // per-run trace in Random mode
+
+  PropertyChecker checker_;
+  ExploreStats stats_;
+};
+
+}  // namespace mwsim::mc

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/choice.hpp"
+
+namespace mwsim::mc {
+
+struct PropertyViolation {
+  std::string property;  // "deadlock-freedom" | "writer-priority" | "bounded-writer-wait"
+  std::string detail;
+};
+
+/// Evaluates the lock-subsystem properties over one schedule's LockOp
+/// stream, at every transition of that schedule:
+///
+///  * deadlock-freedom — when the event queue drains, no top-level process
+///    may still be suspended (the only thing a quiesced process can be
+///    blocked on is a lock queue, so leftovers == a wait cycle);
+///  * writer-priority — a reader whose request arrived *after* a writer
+///    queued on the same lock is never granted before that writer. (Readers
+///    that were already queued when the writer arrived may legally be
+///    granted first — they are FIFO predecessors, not overtakers.)
+///  * bounded writer wait — between a writer's request and its grant, the
+///    number of readers granted on that lock is at most the batch already
+///    queued ahead of the writer when it arrived. Writer-priority forbids
+///    the rest, so a waiting writer is overtaken by at most one in-flight
+///    reader batch — the non-starvation half of the MyISAM discipline.
+///
+/// The checker also folds every op into per-lock and per-actor FNV-1a
+/// streams; signature() identifies the schedule's Mazurkiewicz-style
+/// equivalence class (order matters within a lock and within an actor,
+/// not across), which the tests use to prove the reduced exploration
+/// covers the same classes as the full one.
+class PropertyChecker {
+ public:
+  void reset() { *this = PropertyChecker{}; }
+
+  void onLockOp(const LockOp& op) {
+    ++opSeq_;
+    hashOp(op);
+    switch (op.kind) {
+      case LockOp::Kind::ReadRequest:
+        readRequestSeq_[readerKey(op.object, op.actor)] = opSeq_;
+        break;
+      case LockOp::Kind::WriteRequest:
+        waitingWriters_[op.object].push_back(
+            WaitingWriter{op.actor, op.time, opSeq_, op.readersQueued, 0});
+        break;
+      case LockOp::Kind::ReadGrant:
+        onReadGrant(op);
+        break;
+      case LockOp::Kind::WriteGrant:
+        onWriteGrant(op);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// End-of-schedule check: the queue drained; anything still live is
+  /// blocked in a lock queue forever.
+  void onRunEnd(std::size_t liveProcesses, sim::SimTime at) {
+    if (liveProcesses > 0) {
+      std::ostringstream os;
+      os << liveProcesses << " process(es) still blocked on locks at t="
+         << at << "ns with an empty event queue";
+      violations_.push_back({"deadlock-freedom", os.str()});
+    }
+  }
+
+  const std::vector<PropertyViolation>& violations() const {
+    return violations_;
+  }
+  sim::Duration maxWriterWait() const { return maxWriterWait_; }
+
+  std::uint64_t signature() const {
+    std::uint64_t s = 0;
+    for (const auto& [object, h] : objectHash_) s += h * 0x9e3779b97f4a7c15ULL;
+    for (const auto& [actor, h] : actorHash_) s += h * 0xb5297a4d3f8c2d41ULL;
+    return s;
+  }
+
+ private:
+  struct WaitingWriter {
+    std::uint64_t actor;
+    sim::SimTime since;
+    std::uint64_t requestSeq;  // logical clock at WriteRequest
+    int allowance;             // readers queued ahead at request time
+    int readerGrantsDuring;    // readers granted on the lock while waiting
+  };
+
+  static std::uint64_t readerKey(std::uint64_t object, std::uint64_t actor) {
+    return object * 0x100000001b3ULL ^ actor;
+  }
+
+  void onReadGrant(const LockOp& op) {
+    // A queued grant retires the ReadRequest recorded at suspension; a
+    // fast-path grant (no request op) happened at this very instant.
+    std::uint64_t readerSeq = opSeq_;
+    if (auto it = readRequestSeq_.find(readerKey(op.object, op.actor));
+        it != readRequestSeq_.end()) {
+      readerSeq = it->second;
+      readRequestSeq_.erase(it);
+    }
+    auto wit = waitingWriters_.find(op.object);
+    if (wit == waitingWriters_.end()) return;
+    for (WaitingWriter& w : wit->second) {
+      if (w.requestSeq < readerSeq) {
+        std::ostringstream os;
+        os << "reader (actor " << op.actor << ") granted lock " << op.object
+           << " at t=" << op.time << "ns although writer (actor " << w.actor
+           << ") has been waiting since t=" << w.since << "ns";
+        violations_.push_back({"writer-priority", os.str()});
+      }
+      ++w.readerGrantsDuring;
+      if (w.readerGrantsDuring > w.allowance) {
+        std::ostringstream os;
+        os << "writer (actor " << w.actor << ") on lock " << op.object
+           << " overtaken by " << w.readerGrantsDuring
+           << " reader grant(s), more than the " << w.allowance
+           << " queued ahead of it at request time";
+        violations_.push_back({"bounded-writer-wait", os.str()});
+      }
+    }
+  }
+
+  void onWriteGrant(const LockOp& op) {
+    if (op.waited > maxWriterWait_) maxWriterWait_ = op.waited;
+    if (auto it = waitingWriters_.find(op.object);
+        it != waitingWriters_.end()) {
+      auto& ws = it->second;
+      ws.erase(std::remove_if(ws.begin(), ws.end(),
+                              [&](const WaitingWriter& w) {
+                                return w.actor == op.actor;
+                              }),
+               ws.end());
+    }
+  }
+
+  void hashOp(const LockOp& op) {
+    constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    const auto mix = [](std::uint64_t& h, std::uint64_t v) {
+      h = (h ^ v) * kPrime;
+    };
+    auto& ho = objectHash_.try_emplace(op.object, kOffset).first->second;
+    mix(ho, static_cast<std::uint64_t>(op.kind));
+    mix(ho, op.actor);
+    auto& ha = actorHash_.try_emplace(op.actor, kOffset).first->second;
+    mix(ha, static_cast<std::uint64_t>(op.kind));
+    mix(ha, op.object);
+  }
+
+  std::uint64_t opSeq_ = 0;  // logical clock over this schedule's lock ops
+  std::unordered_map<std::uint64_t, std::uint64_t> readRequestSeq_;
+  std::unordered_map<std::uint64_t, std::vector<WaitingWriter>> waitingWriters_;
+  std::unordered_map<std::uint64_t, std::uint64_t> objectHash_;
+  std::unordered_map<std::uint64_t, std::uint64_t> actorHash_;
+  std::vector<PropertyViolation> violations_;
+  sim::Duration maxWriterWait_ = 0;
+};
+
+}  // namespace mwsim::mc

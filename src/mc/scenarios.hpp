@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mc/explorer.hpp"
+
+namespace mwsim::mc {
+
+/// Miniature lock-subsystem workloads for exhaustive exploration. Each is a
+/// few actors and a few microseconds of virtual time — small enough that the
+/// DFS exhausts every causally distinct schedule, yet exercising the exact
+/// disciplines the paper's contention results hinge on.
+
+/// 2 readers + 2 writers on one MyISAM-style table lock, two rounds each,
+/// arrivals aligned. With `readerPreferenceMutation` the lock drops writer
+/// priority — the seeded bug the checker must catch.
+std::unique_ptr<Scenario> makeMyisamRw(bool readerPreferenceMutation);
+
+/// Two actors taking nested two-table `LOCK TABLES`-style write locks plus
+/// a reader. With `reversedOrder` false both actors acquire in sorted table
+/// order (the discipline mw::DatabaseServer enforces via its sorted
+/// explicit-lock map) — deadlock-free in every schedule. With it true the
+/// second actor acquires in the opposite order: the default schedule happens
+/// to be fine, but some interleavings deadlock — the classic lurking cycle
+/// one-schedule-per-seed testing cannot find.
+std::unique_ptr<Scenario> makeLockTables(bool reversedOrder);
+
+/// Three actors contending on one capacity-1 mutex (a co-located servlet's
+/// Java-synchronized shared state), two rounds each. Java monitors promise
+/// no fairness, so the waiter-grant choice point is real nondeterminism.
+std::unique_ptr<Scenario> makeServletSync();
+
+/// Master/replica write stream from mw::DbCluster: two writers serialize on
+/// the cluster write stream then apply to every backend's table lock in
+/// backend order; one reader per backend reads its replica.
+std::unique_ptr<Scenario> makeClusterWrite();
+
+/// Two independent lock shards (two actors on each of two unrelated locks):
+/// the showcase for sleep-set reduction — cross-shard orderings commute, so
+/// the reduced exploration visits far fewer schedules than the full one
+/// while covering the same equivalence classes.
+std::unique_ptr<Scenario> makeIndependentShards();
+
+/// The green suite: properties must hold on every schedule and exploration
+/// must complete.
+std::vector<std::unique_ptr<Scenario>> greenScenarios();
+
+}  // namespace mwsim::mc

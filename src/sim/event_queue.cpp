@@ -113,6 +113,16 @@ void EventQueue::advance() {
   }
 }
 
+void EventQueue::popTies(std::vector<Event>& out) {
+  assert(size_ > 0);
+  if (near_.empty()) advance();
+  const SimTime t = near_.front().time;
+  while (!near_.empty() && near_.front().time == t) {
+    out.push_back(heapPop(near_));
+    --size_;
+  }
+}
+
 void EventQueue::clear() noexcept {
   near_.clear();
   for (auto& level : buckets_) {

@@ -129,6 +129,15 @@ class EventQueue {
     return heapPop(near_);
   }
 
+  /// Removes every pending event tied at the earliest timestamp and appends
+  /// them to `out` in ascending seq order. Requires !empty(). This is the
+  /// model checker's choice-point primitive: after advance(), every pending
+  /// event at the minimum time sits in near_ (wheel/overflow events all have
+  /// time >= cursor_ > near_ times), so the returned set is complete, and
+  /// unchosen events may be push()ed straight back (their time equals the
+  /// last popped time, which push() permits).
+  void popTies(std::vector<Event>& out);
+
   /// Drops every pending event (and any pooled closures they reference).
   void clear() noexcept;
 

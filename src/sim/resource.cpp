@@ -25,8 +25,13 @@ void Resource::release() noexcept {
   assert(inUse_ > 0);
   --inUse_;
   if (!waiters_.empty() && inUse_ < capacity_) {
-    Waiter w = waiters_.front();
-    waiters_.pop_front();
+    // Waiter-grant choice point: FIFO (index 0) by default; a model-checking
+    // strategy may hand the unit to any waiter.
+    std::size_t pick = 0;
+    if (sim_.mcStrategy() != nullptr && waiters_.size() > 1) [[unlikely]] {
+      pick = mcChooseGrant();
+    }
+    Waiter w = waiters_.takeAt(pick);
     // Reserve the unit for the waiter so a new arrival cannot steal it
     // between now and the waiter's resumption.
     ++inUse_;
@@ -34,8 +39,38 @@ void Resource::release() noexcept {
     if constexpr (trace::kEnabled) {
       if (w.span != nullptr) w.span->add(waitCategory_, sim_.now() - w.enqueued);
     }
+    if (sim_.mcObserver() != nullptr) [[unlikely]] {
+      sim_.mcTagNextEvent(w.actor, mcId_, mc::Op::AcquireGrant);
+      sim_.mcEmit({mc::LockOp::Kind::AcquireGrant, mcId_, w.actor, sim_.now(),
+                   0, 0, 0, sim_.now() - w.enqueued});
+    }
     sim_.postResume(w.handle, w.span);
+  } else if (sim_.mcObserver() != nullptr) [[unlikely]] {
+    sim_.mcEmit({mc::LockOp::Kind::Release, mcId_, sim_.mcActor(), sim_.now(),
+                 0, 0, 0, 0});
   }
+}
+
+void Resource::mcOnQueued() noexcept {
+  sim_.mcEmit({mc::LockOp::Kind::AcquireRequest, mcId_, sim_.mcActor(),
+               sim_.now(), 0, static_cast<int>(waiters_.size()), inUse_, 0});
+}
+
+void Resource::mcOnFastGrant() noexcept {
+  sim_.mcEmit({mc::LockOp::Kind::AcquireGrant, mcId_, sim_.mcActor(),
+               sim_.now(), 0, 0, inUse_, 0});
+}
+
+std::size_t Resource::mcChooseGrant() {
+  std::vector<mc::Alternative> alts;
+  alts.reserve(waiters_.size());
+  for (std::size_t i = 0; i < waiters_.size(); ++i) {
+    alts.push_back({waiters_[i].actor, mcId_, mc::Op::AcquireGrant});
+  }
+  const std::size_t pick = sim_.mcStrategy()->choose(
+      mc::ChoiceKind::ResourceGrant, alts.data(), alts.size());
+  assert(pick < waiters_.size());
+  return pick;
 }
 
 void Resource::updateIntegral() const noexcept {

@@ -49,7 +49,7 @@ class Resource {
   Resource(Simulation& sim, int capacity, std::string name = {},
            trace::Category waitCategory = trace::Category::LockWait)
       : sim_(sim), capacity_(capacity), name_(std::move(name)),
-        waitCategory_(waitCategory) {
+        waitCategory_(waitCategory), mcId_(sim.nextLockId()) {
     assert(capacity > 0);
   }
   Resource(const Resource&) = delete;
@@ -69,12 +69,17 @@ class Resource {
         span = res.sim_.currentSpan();
         if (span != nullptr) res.sim_.setCurrentSpan(nullptr);  // cleared at suspension
       }
-      res.waiters_.push_back(Waiter{h, res.sim_.now(), span});
+      res.waiters_.push_back(
+          Waiter{h, res.sim_.now(), span, res.sim_.mcActor()});
+      if (res.sim_.mcObserver() != nullptr) [[unlikely]] res.mcOnQueued();
     }
     ResourceHold await_resume() noexcept {
       // When resumed from the wait queue, release() already reserved the
       // unit; on the fast path we take it here.
-      if (!suspended) res.take();
+      if (!suspended) {
+        res.take();
+        if (res.sim_.mcObserver() != nullptr) [[unlikely]] res.mcOnFastGrant();
+      }
       ++res.acquisitions_;
       return ResourceHold(&res);
     }
@@ -96,15 +101,25 @@ class Resource {
   std::uint64_t acquisitions() const noexcept { return acquisitions_; }
   Duration totalWait() const noexcept { return totalWait_; }
 
+  /// Stable identity for model-checking descriptors and lock-op streams.
+  std::uint64_t mcId() const noexcept { return mcId_; }
+
  private:
   struct Waiter {
     std::coroutine_handle<> handle;
     SimTime enqueued;
     trace::Span* span = nullptr;
+    std::uint64_t actor = 0;  // mc::Alternative actor; 0 outside MC runs
   };
 
   void take() noexcept;
   void updateIntegral() const noexcept;
+  // Model-checking cold paths: queue/grant lock-op emission and the
+  // waiter-grant choice point (which waiter a freed unit goes to — FIFO is
+  // one legal order of many; Java monitors, say, promise none).
+  void mcOnQueued() noexcept;
+  void mcOnFastGrant() noexcept;
+  std::size_t mcChooseGrant();
 
   Simulation& sim_;
   int capacity_;
@@ -116,6 +131,7 @@ class Resource {
   Duration totalWait_ = 0;
   mutable SimTime lastUpdate_ = 0;
   mutable double busyIntegral_ = 0.0;
+  std::uint64_t mcId_ = 0;
 };
 
 /// A mutual-exclusion lock is a capacity-1 resource.

@@ -23,6 +23,31 @@ class RingQueue {
   T& front() noexcept { return buf_[head_]; }
   const T& front() const noexcept { return buf_[head_]; }
 
+  /// i-th element from the head (0 == front()); i must be < size().
+  T& operator[](std::size_t i) noexcept { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const noexcept {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  /// Removes and returns the i-th element from the head, preserving the
+  /// relative order of the rest. takeAt(0) is exactly {front(); pop_front()}
+  /// — O(1); other indices shift the suffix down, which only the
+  /// model-checking grant-choice path uses (tiny queues).
+  T takeAt(std::size_t i) noexcept {
+    T out = std::move(buf_[(head_ + i) & mask_]);
+    if (i == 0) {
+      buf_[head_] = T{};
+      head_ = (head_ + 1) & mask_;
+    } else {
+      for (; i + 1 < size_; ++i) {
+        buf_[(head_ + i) & mask_] = std::move(buf_[(head_ + i + 1) & mask_]);
+      }
+      buf_[(head_ + size_ - 1) & mask_] = T{};
+    }
+    --size_;
+    return out;
+  }
+
   void push_back(T value) {
     if (size_ == buf_.size()) grow();
     buf_[(head_ + size_) & mask_] = std::move(value);

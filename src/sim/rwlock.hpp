@@ -41,7 +41,7 @@ class [[nodiscard]] LockHold {
 class RwLock {
  public:
   explicit RwLock(Simulation& sim, std::string name = {})
-      : sim_(sim), name_(std::move(name)) {}
+      : sim_(sim), name_(std::move(name)), mcId_(sim.nextLockId()) {}
   RwLock(const RwLock&) = delete;
   RwLock& operator=(const RwLock&) = delete;
 
@@ -52,7 +52,11 @@ class RwLock {
 
     bool await_ready() const noexcept {
       if (write) return !lock.activeWriter_ && lock.activeReaders_ == 0;
-      return !lock.activeWriter_ && lock.writersWaiting_ == 0;
+      // Under the (test-only) reader-preference mutation, arriving readers
+      // ignore waiting writers — the starvation bug the model checker must
+      // be able to catch.
+      return !lock.activeWriter_ &&
+             (lock.writersWaiting_ == 0 || lock.readerPreference_);
     }
     void await_suspend(std::coroutine_handle<> h) {
       suspended = true;
@@ -63,12 +67,21 @@ class RwLock {
         span = lock.sim_.currentSpan();
         if (span != nullptr) lock.sim_.setCurrentSpan(nullptr);  // cleared at suspension
       }
-      lock.waiters_.push_back(Waiter{h, write, lock.sim_.now(), span});
+      lock.waiters_.push_back(
+          Waiter{h, write, lock.sim_.now(), span, lock.sim_.mcActor()});
+      if (lock.sim_.mcObserver() != nullptr) [[unlikely]] {
+        lock.mcOnQueued(write);
+      }
     }
     LockHold await_resume() noexcept {
       // When resumed from the queue, grantNext() already updated the lock
       // state; on the fast path we take the lock here.
-      if (!suspended) lock.take(write);
+      if (!suspended) {
+        lock.take(write);
+        if (lock.sim_.mcObserver() != nullptr) [[unlikely]] {
+          lock.mcOnFastGrant(write);
+        }
+      }
       ++(write ? lock.writeAcquisitions_ : lock.readAcquisitions_);
       return LockHold(&lock, write);
     }
@@ -92,12 +105,22 @@ class RwLock {
   std::uint64_t contendedAcquisitions() const noexcept { return contended_; }
   Duration totalWait() const noexcept { return totalWait_; }
 
+  /// Stable identity for model-checking descriptors and lock-op streams.
+  std::uint64_t mcId() const noexcept { return mcId_; }
+
+  /// Test-only seeded mutation: drops writer priority (arriving readers
+  /// bypass waiting writers, and releases grant queued readers over queued
+  /// writers). Exists so tests/mc_test.cpp can prove the model checker
+  /// *fails* on a lock that starves writers — never enable it elsewhere.
+  void enableReaderPreferenceMutation() noexcept { readerPreference_ = true; }
+
  private:
   struct Waiter {
     std::coroutine_handle<> handle;
     bool write;
     SimTime enqueued;
     trace::Span* span = nullptr;
+    std::uint64_t actor = 0;  // mc::Alternative actor; 0 outside MC runs
   };
 
   void take(bool write) noexcept {
@@ -110,17 +133,30 @@ class RwLock {
     }
   }
   void grantNext() noexcept;
+  void grantReaderPreference() noexcept;
+  void grantWaiter(std::size_t index) noexcept;
+  // Model-checking cold paths: request/grant lock-op emission and the
+  // writer-grant choice point (which of several waiting writers gets the
+  // lock — MyISAM promises writers beat readers, not writer FIFO).
+  void mcOnQueued(bool write) noexcept;
+  void mcOnFastGrant(bool write) noexcept;
+  std::size_t mcChooseWriter();
+  int queuedReaders() const noexcept {
+    return static_cast<int>(waiters_.size()) - writersWaiting_;
+  }
 
   Simulation& sim_;
   std::string name_;
   int activeReaders_ = 0;
   bool activeWriter_ = false;
   int writersWaiting_ = 0;
+  bool readerPreference_ = false;
   RingQueue<Waiter> waiters_;
   std::uint64_t readAcquisitions_ = 0;
   std::uint64_t writeAcquisitions_ = 0;
   std::uint64_t contended_ = 0;
   Duration totalWait_ = 0;
+  std::uint64_t mcId_ = 0;
 };
 
 }  // namespace mwsim::sim

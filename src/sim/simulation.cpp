@@ -40,6 +40,7 @@ void Simulation::schedule(Duration delay, std::function<void()> fn, trace::Span*
   ev.setSpanKind(span, Event::Kind::Closure);
   ev.pay.closure = queue_.storeClosure(std::move(fn));
   queue_.push(ev);
+  if (mcActive()) [[unlikely]] mcRecordMeta(ev.seq);
 }
 
 void Simulation::spawn(Task<> task) {
@@ -49,6 +50,8 @@ void Simulation::spawn(Task<> task) {
   handle.promise().sim = this;
   handle.promise().id = id;
   roots_.emplace(id, handle);
+  // Actor ids are 1 + root id so 0 can mean "no actor" in descriptors.
+  if (mcActive()) [[unlikely]] mcTagNextEvent(id + 1, 0, mc::Op::Spawn);
   scheduleResume(0, handle);
 }
 
@@ -75,17 +78,24 @@ void Simulation::runPayload(const Event& ev) {
 }
 
 void Simulation::dispatchOne() {
-  const Event ev = queue_.pop();
+  const bool mc = mcActive();
+  const Event ev = mc ? mcPop() : queue_.pop();
   assert(ev.time >= now_);
 #ifndef NDEBUG
-  assert((ev.time > lastDispatchTime_ ||
-          (ev.time == lastDispatchTime_ && ev.seq > lastDispatchSeq_)) &&
+  // Dispatch-order guard: with no strategy installed, (time, seq) must be
+  // strictly increasing. A choice strategy legitimately reorders seq within
+  // one timestamp, so under one only time monotonicity can be asserted.
+  assert((mcStrategy_ != nullptr ? ev.time >= lastDispatchTime_
+                                 : (ev.time > lastDispatchTime_ ||
+                                    (ev.time == lastDispatchTime_ &&
+                                     ev.seq > lastDispatchSeq_))) &&
          "event dispatched out of order or twice");
   lastDispatchTime_ = ev.time;
   lastDispatchSeq_ = ev.seq;
 #endif
   now_ = ev.time;
   ++eventsProcessed_;
+  if (mc) [[unlikely]] mcBeginDispatch(ev);
   // Ambient-span contract: currentSpan_ is null between events (every
   // suspension point clears it after capturing), so only traced events —
   // a small minority even in traced runs — pay the publish/clear stores.
@@ -94,10 +104,62 @@ void Simulation::dispatchOne() {
       currentSpan_ = span;
       runPayload(ev);
       currentSpan_ = nullptr;
+      if (mc) [[unlikely]] mcEndDispatch();
       return;
     }
   }
   runPayload(ev);
+  if (mc) [[unlikely]] mcEndDispatch();
+}
+
+void Simulation::mcRecordMeta(std::uint64_t seq) {
+  mc::Alternative a = mcTagArmed_
+                          ? mcTag_
+                          : mc::Alternative{mcCurrentActor_, 0, mc::Op::Other};
+  mcTagArmed_ = false;
+  mcMeta_.insert_or_assign(seq, a);
+}
+
+/// Choice-aware pop: removes the whole set of events tied at the earliest
+/// timestamp (they all live in the near_ heap after advance(), so the set is
+/// complete), lets the strategy pick one, and re-pushes the rest. Re-pushing
+/// at the last popped time is legal — push() only requires non-decreasing
+/// times — and they land back in near_ ahead of the migration frontier.
+Event Simulation::mcPop() {
+  if (mcStrategy_ == nullptr) return queue_.pop();
+  mcTies_.clear();
+  queue_.popTies(mcTies_);
+  std::size_t pick = 0;
+  if (mcTies_.size() > 1) {
+    mcAlts_.clear();
+    for (const Event& e : mcTies_) {
+      auto it = mcMeta_.find(e.seq);
+      mcAlts_.push_back(it != mcMeta_.end() ? it->second : mc::Alternative{});
+    }
+    pick = mcStrategy_->choose(mc::ChoiceKind::EventTieBreak, mcAlts_.data(),
+                               mcAlts_.size());
+    assert(pick < mcTies_.size());
+  }
+  const Event ev = mcTies_[pick];
+  for (std::size_t i = 0; i < mcTies_.size(); ++i) {
+    if (i != pick) queue_.push(mcTies_[i]);
+  }
+  return ev;
+}
+
+void Simulation::mcBeginDispatch(const Event& ev) {
+  mc::Alternative t{};
+  if (auto it = mcMeta_.find(ev.seq); it != mcMeta_.end()) {
+    t = it->second;
+    mcMeta_.erase(it);
+  }
+  mcCurrentActor_ = t.actor;
+  if (mcObserver_ != nullptr) mcObserver_->onDispatchStart(t);
+}
+
+void Simulation::mcEndDispatch() {
+  if (mcObserver_ != nullptr) mcObserver_->onDispatchEnd();
+  mcCurrentActor_ = 0;
 }
 
 void Simulation::maybeRethrow() {

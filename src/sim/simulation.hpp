@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mc/choice.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
@@ -103,6 +104,7 @@ class Simulation {
     ev.setSpanKind(span, Event::Kind::Resume);
     ev.pay.handle = h;
     queue_.push(ev);
+    if (mcActive()) [[unlikely]] mcRecordMeta(ev.seq);
   }
 
   /// Fast path: resumes `h` at the current instant, after everything
@@ -126,6 +128,7 @@ class Simulation {
     ev.setSpanKind(nullptr, Event::Kind::Call);
     ev.pay.call = {fn, ctx};
     queue_.push(ev);
+    if (mcActive()) [[unlikely]] mcRecordMeta(ev.seq);
     return ev.seq;
   }
 
@@ -194,6 +197,49 @@ class Simulation {
 
   std::uint64_t seed() const noexcept { return seed_; }
 
+  /// --- Model-checking hooks (src/mc/) -------------------------------------
+  ///
+  /// With a ChoiceStrategy installed, the kernel turns its two fixed
+  /// tie-breaking rules (same-timestamp dispatch order, lock waiter-grant
+  /// order) into explicit choice points; with a KernelObserver installed it
+  /// additionally streams dispatch boundaries and lock ops, tracking which
+  /// top-level actor each event belongs to. Both default to null, in which
+  /// case every hook below collapses to one predictable branch and the
+  /// kernel behaves exactly as before (bit-identical dispatch order).
+  void setModelChecking(mc::ChoiceStrategy* strategy,
+                        mc::KernelObserver* observer) noexcept {
+    mcStrategy_ = strategy;
+    mcObserver_ = observer;
+  }
+  bool mcActive() const noexcept {
+    return mcStrategy_ != nullptr || mcObserver_ != nullptr;
+  }
+  mc::ChoiceStrategy* mcStrategy() const noexcept { return mcStrategy_; }
+  mc::KernelObserver* mcObserver() const noexcept { return mcObserver_; }
+
+  /// Actor (1 + root process id) whose coroutine chain is currently
+  /// executing; 0 between events or outside model checking. Newly scheduled
+  /// events inherit it, which is how grant events and delay expiries get
+  /// attributed to the process that will run when they dispatch.
+  std::uint64_t mcActor() const noexcept { return mcCurrentActor_; }
+
+  /// Stable identity for a lock/resource, assigned in construction order —
+  /// identical across run-from-start replays of the same scenario, unlike
+  /// heap addresses.
+  std::uint64_t nextLockId() noexcept { return nextLockId_++; }
+
+  /// Overrides the descriptor recorded for the *next* scheduled event (the
+  /// lock code calls this right before postResume()-ing a granted waiter,
+  /// so the grant event carries the waiter's actor and the lock's id).
+  void mcTagNextEvent(std::uint64_t actor, std::uint64_t object, mc::Op op) {
+    mcTag_ = mc::Alternative{actor, object, op};
+    mcTagArmed_ = true;
+  }
+
+  void mcEmit(const mc::LockOp& op) {
+    if (mcObserver_ != nullptr) mcObserver_->onLockOp(op);
+  }
+
   /// Claims a unique component name within this simulation. Machines claim
   /// their names at construction so a topology that accidentally creates two
   /// machines with one name fails loudly instead of silently aliasing their
@@ -212,6 +258,10 @@ class Simulation {
   void dispatchOne();
   void runPayload(const Event& ev);
   void maybeRethrow();
+  void mcRecordMeta(std::uint64_t seq);
+  Event mcPop();
+  void mcBeginDispatch(const Event& ev);
+  void mcEndDispatch();
 
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
@@ -224,10 +274,21 @@ class Simulation {
   std::exception_ptr pendingError_;
   trace::Span* currentSpan_ = nullptr;
   std::unordered_set<std::string> claimedNames_;
+  // Model-checking state; cold unless setModelChecking() installed hooks.
+  mc::ChoiceStrategy* mcStrategy_ = nullptr;
+  mc::KernelObserver* mcObserver_ = nullptr;
+  std::uint64_t mcCurrentActor_ = 0;
+  std::uint64_t nextLockId_ = 1;
+  bool mcTagArmed_ = false;
+  mc::Alternative mcTag_{};
+  std::unordered_map<std::uint64_t, mc::Alternative> mcMeta_;  // seq -> descriptor
+  std::vector<Event> mcTies_;                                  // scratch
+  std::vector<mc::Alternative> mcAlts_;                        // scratch
 #ifndef NDEBUG
   // Dispatch-order guard: (time, seq) must be strictly increasing, which
   // both proves the wheel never reorders and that no event (seq values are
-  // unique) is ever dispatched twice.
+  // unique) is ever dispatched twice. Relaxed to time-monotonicity when a
+  // mc::ChoiceStrategy is reordering same-timestamp events (dispatchOne).
   SimTime lastDispatchTime_ = -1;
   std::uint64_t lastDispatchSeq_ = 0;
 #endif

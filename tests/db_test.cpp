@@ -208,7 +208,30 @@ TEST(ParserTest, JoinWithOn) {
   ASSERT_EQ(s.joins.size(), 1u);
   EXPECT_EQ(s.joins[0].table.table, "authors");
   EXPECT_EQ(s.joins[0].table.alias, "a");
-  ASSERT_TRUE(s.joins[0].leftColumn != nullptr);
+  ASSERT_TRUE(s.joins[0].on != nullptr);
+  EXPECT_EQ(s.joins[0].on->kind, Expr::Kind::Binary);
+  EXPECT_EQ(s.joins[0].on->op, BinOp::Eq);
+}
+
+TEST(ParserTest, JoinWithExpressionOn) {
+  auto stmt = parseSql(
+      "SELECT i.name FROM items i JOIN authors a ON i.author_id = a.id + 1 "
+      "AND a.id < 100");
+  const auto& s = stmt->select;
+  ASSERT_EQ(s.joins.size(), 1u);
+  ASSERT_TRUE(s.joins[0].on != nullptr);
+  EXPECT_EQ(s.joins[0].on->op, BinOp::And);
+}
+
+TEST(ParserTest, WriteLimitOffset) {
+  auto del = parseSql("DELETE FROM items WHERE stock = 0 LIMIT 10 OFFSET 2");
+  ASSERT_EQ(del->kind, Statement::Kind::Delete);
+  EXPECT_EQ(del->del.limit, 10);
+  EXPECT_EQ(del->del.offset, 2);
+  auto upd = parseSql("UPDATE items SET stock = stock - 1 LIMIT 3");
+  ASSERT_EQ(upd->kind, Statement::Kind::Update);
+  EXPECT_EQ(upd->update.limit, 3);
+  EXPECT_EQ(upd->update.offset, 0);
 }
 
 TEST(ParserTest, GroupByAggregates) {

@@ -12,6 +12,9 @@
 ///  * Figure 11 (auction, bidding mix): dedicated servlet machine beats
 ///    PHP-in-the-web-server, which beats the co-located servlet engine,
 ///    which beats the four-tier EJB configuration.
+///  * §7 extension (bulletin board, submission mix): the paper predicts the
+///    skipped RUBBoS benchmark mirrors the auction site because the web
+///    server CPU is the bottleneck — same configuration ordering.
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
@@ -63,6 +66,25 @@ TEST(FigureShapeTest, Fig11AuctionBiddingConfigurationOrdering) {
   // measures the transient (inflated) completion rate instead of the
   // steady-state capacity.
   const auto base = saturatedParams(App::Auction, 1500, 20, 12);
+  const double sepServlet = throughputAt(base, Configuration::WsServletSepDb);
+  const double php = throughputAt(base, Configuration::WsPhpDb);
+  const double coServlet = throughputAt(base, Configuration::WsServletDb);
+  const double ejb = throughputAt(base, Configuration::WsServletEjbDb);
+  EXPECT_GT(sepServlet, php)
+      << "dedicated servlet " << sepServlet << " ipm vs PHP " << php << " ipm";
+  EXPECT_GT(php, coServlet)
+      << "PHP " << php << " ipm vs co-located servlet " << coServlet << " ipm";
+  EXPECT_GT(coServlet, ejb)
+      << "co-located servlet " << coServlet << " ipm vs EJB " << ejb << " ipm";
+}
+
+TEST(FigureShapeTest, Ext07BulletinBoardMirrorsAuctionOrdering) {
+  // §7: "the Web server CPU is the bottleneck for the bulletin board.
+  // Therefore, we expect the results for the bulletin board to be similar
+  // to the auction site results." The miniature checks the same ordering as
+  // Figure 11: dedicated servlet machine > PHP > co-located servlets > EJB
+  // (bench/ext_bulletin_board sweeps the full curves).
+  const auto base = saturatedParams(App::BulletinBoard, 1500, 20, 12);
   const double sepServlet = throughputAt(base, Configuration::WsServletSepDb);
   const double php = throughputAt(base, Configuration::WsPhpDb);
   const double coServlet = throughputAt(base, Configuration::WsServletDb);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/ring_queue.hpp"
 #include "sim/sim.hpp"
 
 namespace mwsim::sim {
@@ -562,6 +563,102 @@ TEST(RngTest, RandomStringLengthAndCharset) {
     EXPECT_GE(c, 'a');
     EXPECT_LE(c, 'z');
   }
+}
+
+TEST(RingQueueTest, WrapsAroundAtPowerOfTwoBoundary) {
+  // Initial capacity is 16: drive head_ right up to the boundary, then push
+  // elements that physically wrap to the front of the buffer.
+  RingQueue<int> q;
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  // head_ == 15, one live element; the next pushes wrap indices 0..13.
+  for (int i = 16; i < 30; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 15u);
+  for (int i = 15; i < 30; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, GrowsWhileWrappedPreservingOrder) {
+  // Fill to capacity with head_ != 0 so the live range straddles the
+  // physical end of the buffer, then push once more to force grow() to
+  // linearize the wrapped contents.
+  RingQueue<int> q;
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  for (int i = 0; i < 10; ++i) q.pop_front();  // head_ = 10
+  for (int i = 16; i < 26; ++i) q.push_back(i);  // full again, wrapped
+  EXPECT_EQ(q.size(), 16u);
+  q.push_back(26);  // grow 16 -> 32 while wrapped
+  EXPECT_EQ(q.size(), 17u);
+  for (int i = 10; i <= 26; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, FifoUnderInterleavedPushPop) {
+  // Ratchet pattern: +3 / -2 keeps the queue short while head_ and tail
+  // sweep the ring many times, crossing the wrap point repeatedly.
+  RingQueue<int> q;
+  int nextIn = 0;
+  int nextOut = 0;
+  for (int step = 0; step < 200; ++step) {
+    for (int k = 0; k < 3; ++k) q.push_back(nextIn++);
+    for (int k = 0; k < 2 && !q.empty(); ++k) {
+      EXPECT_EQ(q.front(), nextOut++);
+      q.pop_front();
+    }
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), nextOut++);
+    q.pop_front();
+  }
+  EXPECT_EQ(nextIn, nextOut);
+}
+
+TEST(RingQueueTest, IndexingIsRelativeToHead) {
+  RingQueue<int> q;
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  for (int i = 0; i < 12; ++i) q.pop_front();
+  for (int i = 16; i < 24; ++i) q.push_back(i);  // live range wraps
+  ASSERT_EQ(q.size(), 12u);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], 12 + static_cast<int>(i));
+  }
+  EXPECT_EQ(q[0], q.front());
+}
+
+TEST(RingQueueTest, TakeAtRemovesMiddleElementPreservingOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 16; ++i) q.push_back(i);
+  for (int i = 0; i < 14; ++i) q.pop_front();
+  for (int i = 16; i < 22; ++i) q.push_back(i);  // wrapped live range 14..21
+  ASSERT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.takeAt(3), 17);  // middle, across the wrap point
+  EXPECT_EQ(q.takeAt(0), 14);  // head fast path
+  ASSERT_EQ(q.size(), 6u);
+  const std::vector<int> expect{15, 16, 18, 19, 20, 21};
+  for (int v : expect) {
+    EXPECT_EQ(q.front(), v);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, TakeAtLastElement) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  EXPECT_EQ(q.takeAt(4), 4);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.takeAt(3), 3);
+  EXPECT_EQ(q.front(), 0);
+  EXPECT_EQ(q.size(), 3u);
 }
 
 }  // namespace
