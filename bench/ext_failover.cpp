@@ -1,0 +1,201 @@
+/// Extension — mid-run failover experiment the scenario engine enables:
+/// a web replica crashes at t=T and recovers later, and the load balancer
+/// must route around it. The paper only measures steady state; this bench
+/// asks the operational questions instead — how deep is the throughput dip,
+/// how much error traffic leaks out during the blackout, and how fast the
+/// site recovers — and compares dispatch policies, since least-outstanding
+/// should re-spread load faster than round-robin after a replica returns.
+///
+/// Setup: auction bidding on WsPhp-DB with a replicated web tier. The crash
+/// kills one replica mid-measurement: its in-flight requests abort at their
+/// next scheduling checkpoint and the balancer retries them on survivors
+/// (bounded retries, optional per-request timeout), so the dip shows up as
+/// a transient, not a collapse. The whole trajectory lands in a
+/// stats::TimeSeries printed per policy.
+///
+/// Extra flags on top of the common harness set:
+///   --web-replicas N     web-tier replica count (default 2)
+///   --clients N          closed-loop client count (default 1200)
+///   --crash-sec T        crash time, seconds from run start (default 80)
+///   --outage-sec D       time until the replica recovers (default 40)
+///   --timeout-ms T       per-request deadline (default 2000; 0 = none)
+///   --retries N          reroute attempts per request (default 2)
+///   --bucket-sec B       time-series bucket width (default 10)
+///   --help               print usage and exit
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "stats/report.hpp"
+
+using namespace mwsim;
+
+namespace {
+
+const char* argValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+struct Dip {
+  double preIpm = 0.0;       // mean ok/min before the crash
+  double minOutageIpm = 0.0; // worst bucket during the outage
+  double recoverySec = -1.0; // first bucket >= 90% of preIpm after recovery
+};
+
+Dip analyze(const stats::TimeSeries& series, double crashSec, double recoverSec) {
+  Dip dip;
+  const auto& buckets = series.buckets();
+  const double bucketSec = sim::toSeconds(series.interval());
+  double preSum = 0.0;
+  int preCount = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double start = sim::toSeconds(series.bucketStart(i));
+    const double ipm = series.okPerMinute(i);
+    // Skip the first bucket: it covers the client farm's staggered start.
+    if (start + bucketSec <= crashSec) {
+      if (start > 0.0) {
+        preSum += ipm;
+        ++preCount;
+      }
+    } else if (start < recoverSec) {
+      if (first || ipm < dip.minOutageIpm) dip.minOutageIpm = ipm;
+      first = false;
+    } else if (dip.recoverySec < 0.0 && preCount > 0 &&
+               ipm >= 0.9 * (preSum / preCount)) {
+      dip.recoverySec = start - recoverSec;
+    }
+  }
+  if (preCount > 0) dip.preIpm = preSum / preCount;
+  return dip;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "ext_failover — web replica crash/recovery vs dispatch policy\n\n"
+          "usage: ext_failover [options]\n"
+          "  --web-replicas N   web-tier replicas (default 2)\n"
+          "  --clients N        closed-loop clients (default 1200)\n"
+          "  --crash-sec T      crash time from run start (default 80)\n"
+          "  --outage-sec D     outage duration before recovery (default 40)\n"
+          "  --timeout-ms T     per-request deadline, 0=none (default 2000)\n"
+          "  --retries N        reroute attempts per request (default 2)\n"
+          "  --bucket-sec B     time-series bucket width (default 10)\n"
+          "  --measure-sec N  --rampup-sec N  --seed N  --jobs N\n"
+          "  --csv  --breakdown  (see bench/harness.hpp)\n");
+      return 0;
+    }
+  }
+
+  bench::FigureSpec spec;
+  spec.app = core::App::Auction;
+  spec.mix = 1;  // bidding
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto config = core::Configuration::WsPhpDb;
+
+  int webReplicas = 2;
+  if (const char* v = argValue(argc, argv, "--web-replicas")) webReplicas = std::atoi(v);
+  int clients = 1200;
+  if (const char* v = argValue(argc, argv, "--clients")) clients = std::atoi(v);
+  double crashSec = 80.0;
+  if (const char* v = argValue(argc, argv, "--crash-sec")) crashSec = std::atof(v);
+  double outageSec = 40.0;
+  if (const char* v = argValue(argc, argv, "--outage-sec")) outageSec = std::atof(v);
+  double timeoutMs = 2000.0;
+  if (const char* v = argValue(argc, argv, "--timeout-ms")) timeoutMs = std::atof(v);
+  int retries = 2;
+  if (const char* v = argValue(argc, argv, "--retries")) retries = std::atoi(v);
+  double bucketSec = 10.0;
+  if (const char* v = argValue(argc, argv, "--bucket-sec")) bucketSec = std::atof(v);
+  const double recoverSec = crashSec + outageSec;
+
+  std::printf("== Extension: web-replica failover (auction, bidding mix, %s) ==\n",
+              core::configurationName(config));
+  std::printf("(web×%d, %d clients, crash WebServer#%d at t=%.0fs, recover t=%.0fs, "
+              "timeout %.0fms, %d retries, measure %.0fs, ramp-up %.0fs, seed %llu)\n\n",
+              webReplicas, clients, webReplicas, crashSec, recoverSec, timeoutMs,
+              retries, opts.measureSec, opts.rampUpSec,
+              static_cast<unsigned long long>(opts.seed));
+  std::fflush(stdout);
+
+  const std::vector<mw::Dispatch> policies{mw::Dispatch::RoundRobin,
+                                           mw::Dispatch::LeastOutstanding};
+
+  std::vector<core::ExperimentParams> points;
+  for (mw::Dispatch policy : policies) {
+    auto base = opts.baseParams(spec);
+    core::Topology topo = core::canonicalTopology(config);
+    topo.web.replicas = webReplicas;
+    topo.webDispatch = policy;
+    base.topology = topo;
+    // The crash takes out the last replica, mid-measurement.
+    base.scenario.events = {
+        scenario::replicaCrash(sim::fromSeconds(crashSec), scenario::Tier::Web,
+                               webReplicas - 1),
+        scenario::replicaRecover(sim::fromSeconds(recoverSec), scenario::Tier::Web,
+                                 webReplicas - 1),
+    };
+    base.scenario.requestTimeout = sim::fromMillis(timeoutMs);
+    base.scenario.requestRetries = retries;
+    base.scenario.seriesInterval = sim::fromSeconds(bucketSec);
+    if (opts.tracing()) base.trace.enabled = true;
+    points.push_back(core::pointParams(base, config, clients));
+  }
+  const auto results = core::runMany(points, opts.sweepOptions());
+
+  stats::TextTable table({"dispatch", "ipm", "errors", "rerouted", "timeouts",
+                          "pre-crash ok/min", "outage min ok/min", "recovery s"});
+  std::string csv =
+      "dispatch,ipm,errors,rerouted,timeouts,pre_ipm,outage_min_ipm,recovery_sec\n";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& r = results[i];
+    const char* name = mw::dispatchName(policies[i]);
+    const Dip dip = r.series ? analyze(*r.series, crashSec, recoverSec) : Dip{};
+    const std::string rec =
+        dip.recoverySec < 0 ? "-" : stats::fmt(dip.recoverySec, 0);
+    table.addRow({name, stats::fmt(r.throughputIpm, 0), std::to_string(r.webErrors),
+                  std::to_string(r.reroutedRequests), std::to_string(r.timedOutRequests),
+                  stats::fmt(dip.preIpm, 0), stats::fmt(dip.minOutageIpm, 0), rec});
+    csv += std::string(name) + "," + stats::fmt(r.throughputIpm, 0) + "," +
+           std::to_string(r.webErrors) + "," + std::to_string(r.reroutedRequests) + "," +
+           std::to_string(r.timedOutRequests) + "," + stats::fmt(dip.preIpm, 0) + "," +
+           stats::fmt(dip.minOutageIpm, 0) + "," + rec + "\n";
+  }
+  std::printf("%s\n", table.str().c_str());
+  if (opts.csv) std::printf("%s\n", csv.c_str());
+
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (results[i].series) {
+      bench::printTimeSeries(mw::dispatchName(policies[i]), *results[i].series);
+    }
+  }
+
+  std::printf("\nexpected: the dip bottoms out near the survivors' capacity (not zero "
+              "— rerouted requests complete within the retry budget), errors stay "
+              "bounded by the in-flight work lost at the crash instant, and "
+              "throughput is back to ~pre-crash level within a bucket or two of "
+              "recovery.\n");
+  std::fflush(stdout);
+
+  if (opts.breakdown) {
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (results[i].trace != nullptr) {
+        std::string name = std::string(core::configurationName(config)) + " " +
+                           mw::dispatchName(policies[i]) + " (crash scenario)";
+        bench::printBreakdown(name.c_str(), clients, *results[i].trace);
+      }
+    }
+  }
+  return 0;
+}

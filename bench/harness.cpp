@@ -105,6 +105,23 @@ void printBreakdown(const char* configName, int clients, const trace::Report& re
   std::fflush(stdout);
 }
 
+void printTimeSeries(const char* label, const stats::TimeSeries& series) {
+  std::printf("\ntrajectory: %s (bucket %.0fs)\n", label,
+              sim::toSeconds(series.interval()));
+  stats::TextTable table({"t (s)", "ok/min", "errors", "shed", "mean RT ms", "max RT ms"});
+  const auto& buckets = series.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto& b = buckets[i];
+    table.addRow({stats::fmt(sim::toSeconds(series.bucketStart(i)), 0),
+                  stats::fmt(series.okPerMinute(i), 0),
+                  std::to_string(b.errors), std::to_string(b.shed),
+                  stats::fmt(b.meanResponseSec() * 1e3, 1),
+                  stats::fmt(b.maxResponseSec * 1e3, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::fflush(stdout);
+}
+
 void writeTraceFile(const std::string& path, const trace::Report& report) {
   const std::string json = trace::chromeTraceJson(report);
   std::FILE* f = std::fopen(path.c_str(), "w");

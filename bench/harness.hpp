@@ -68,6 +68,12 @@ struct BenchOptions {
 /// --breakdown output). Used by the figure runners and the table benches.
 void printBreakdown(const char* configName, int clients, const trace::Report& report);
 
+/// Prints a scenario run's whole-run trajectory (stats::TimeSeries) as a
+/// table: one row per bucket with ok-throughput, errors, shed arrivals and
+/// response-time stats. Used by the scenario benches (ext_flash_crowd,
+/// ext_failover).
+void printTimeSeries(const char* label, const stats::TimeSeries& series);
+
 /// Writes Chrome-trace JSON to `path` (stderr note on success/failure).
 void writeTraceFile(const std::string& path, const trace::Report& report);
 

@@ -32,6 +32,10 @@ run fig14_auction_browsing_cpu
 run tabA_bookstore_resources
 run tabB_auction_resources
 run ext_cluster_scaling --breakdown
+run ext_bulletin_board
+run ext_bulletin_board_cpu
+run ext_flash_crowd
+run ext_failover
 # Kernel-throughput record (different flag set; also writes BENCH_kernel.json).
 sh "$(dirname "$0")/bench_kernel.sh" "$bin" "$out"
 echo "done" >&2

@@ -22,7 +22,9 @@
 #include "middleware/php_module.hpp"
 #include "middleware/servlet_engine.hpp"
 #include "middleware/web_server.hpp"
+#include "scenario/timeline.hpp"
 #include "workload/client.hpp"
+#include "workload/open_loop.hpp"
 
 namespace mwsim::core {
 
@@ -72,7 +74,7 @@ std::vector<std::unique_ptr<net::Machine>> makeTier(sim::Simulation& simulation,
   out.reserve(static_cast<std::size_t>(spec.replicas));
   for (int i = 0; i < spec.replicas; ++i) {
     out.push_back(std::make_unique<net::Machine>(simulation, instanceName(tier, i),
-                                                 spec.cores, spec.nicBitsPerSecond));
+                                                 spec.coresFor(i), spec.nicBitsPerSecond));
   }
   return out;
 }
@@ -233,13 +235,33 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
         std::make_unique<mw::WebServer>(simulation, *m, network, clients, params.cost));
     webServers.back()->setGenerator(generator);
   }
+  // The balancer exists for replicated web tiers (as before), and also
+  // whenever the scenario needs failover handling — crash events or request
+  // timeouts must fail requests gracefully even with a single replica.
   mw::HttpService* frontend = webServers.front().get();
   std::unique_ptr<mw::LoadBalancer> balancer;
-  if (webServers.size() > 1) {
-    std::vector<mw::WebServer*> replicas;
+  if (webServers.size() > 1 || params.scenario.needsFailover()) {
+    std::vector<mw::HttpService*> replicas;
     for (auto& w : webServers) replicas.push_back(w.get());
-    balancer = std::make_unique<mw::LoadBalancer>(std::move(replicas), topo.webDispatch);
+    balancer = std::make_unique<mw::LoadBalancer>(
+        simulation, std::move(replicas), topo.webDispatch,
+        mw::FailoverPolicy{params.scenario.requestTimeout,
+                           params.scenario.requestRetries});
     frontend = balancer.get();
+  }
+
+  // Platform event timeline. Installed (validated + driver spawned) before
+  // the workload starts; a scenario without events spawns nothing, leaving
+  // the event sequence untouched.
+  scenario::Timeline timeline(params.scenario.events);
+  if (!timeline.empty()) {
+    scenario::PlatformHooks hooks;
+    for (auto& m : webMachines) hooks.web.push_back(m.get());
+    for (auto& m : servletMachines) hooks.servlet.push_back(m.get());
+    for (auto& m : ejbMachines) hooks.ejb.push_back(m.get());
+    for (auto& m : dbMachines) hooks.db.push_back(m.get());
+    hooks.balancer = balancer.get();
+    timeline.install(simulation, hooks);
   }
 
   // Workload.
@@ -254,11 +276,24 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
     }
   }();
   wl::WorkloadStats stats;
+  std::shared_ptr<stats::TimeSeries> series;
+  if (params.scenario.seriesInterval > 0) {
+    series = std::make_shared<stats::TimeSeries>(params.scenario.seriesInterval);
+    stats.series = series.get();
+  }
   trace::Collector collector(params.trace);
   wl::ClientFarm farm(simulation, *frontend, mix, params.clients, stats, params.seed,
                       7 * sim::kSecond, 15 * sim::kMinute,
                       collector.enabled() ? &collector : nullptr);
-  farm.start();
+  std::unique_ptr<wl::OpenLoopFarm> openFarm;
+  if (params.scenario.openLoop()) {
+    openFarm = std::make_unique<wl::OpenLoopFarm>(
+        simulation, *frontend, mix, params.scenario, stats, params.seed,
+        collector.enabled() ? &collector : nullptr);
+    openFarm->start();
+  } else {
+    farm.start();
+  }
 
   // Usage metering, in the paper's figure order, one entry per instance.
   stats::UsageWindow usage;
@@ -303,6 +338,16 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   }
   result.databaseBytes = databaseBytes;
   for (const auto& w : webServers) result.webErrors += w->errorCount();
+  if (balancer) {
+    result.webErrors += balancer->errorCount();
+    result.reroutedRequests = balancer->rerouteCount();
+    result.timedOutRequests = balancer->timeoutCount();
+  }
+  if (openFarm) {
+    result.openLoopArrivals = openFarm->arrivals();
+    result.shedSessions = openFarm->shedSessions();
+  }
+  result.series = std::move(series);
   if (collector.enabled()) {
     result.trace = std::make_shared<const trace::Report>(collector.report());
   }
@@ -310,15 +355,20 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
 }
 
 std::uint64_t pointSeed(std::uint64_t rootSeed, App app, int mix, Configuration config,
-                        int clients) {
+                        int clients, std::uint64_t scenarioTag) {
   // Chained SplitMix64 steps over the point's *full* coordinates.
   // The pre-fix derivation hashed only (config, clients), so figure benches
   // sharing those coordinates — e.g. the bookstore's shopping and browsing
-  // sweeps at one client count — ran correlated random streams.
+  // sweeps at one client count — ran correlated random streams. The
+  // scenario tag closed the same class of gap for scenario sweeps: without
+  // it, an open-loop point reused the closed-loop point's streams at equal
+  // (app, mix, config, clients). Tag 0 (scenario off) adds no step, so
+  // every pre-scenario sweep keeps its exact seeds.
   std::uint64_t s = sim::deriveSeed(rootSeed, 0xA44ULL + static_cast<std::uint64_t>(app));
   s = sim::deriveSeed(s, 0x313ULL + static_cast<std::uint64_t>(mix));
   s = sim::deriveSeed(s, 0x5EED0000ULL + static_cast<std::uint64_t>(config));
-  return sim::deriveSeed(s, static_cast<std::uint64_t>(clients));
+  s = sim::deriveSeed(s, static_cast<std::uint64_t>(clients));
+  return scenarioTag == 0 ? s : sim::deriveSeed(s, scenarioTag);
 }
 
 ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
@@ -326,7 +376,8 @@ ExperimentParams pointParams(const ExperimentParams& base, Configuration config,
   ExperimentParams p = base;
   p.config = config;
   p.clients = clients;
-  p.seed = pointSeed(base.seed, base.app, base.mix, config, clients);
+  p.seed = pointSeed(base.seed, base.app, base.mix, config, clients,
+                     base.scenario.seedTag());
   // All points of one sweep share the sweep's dataset: the population seed
   // stays tied to the *root* seed (exactly what a standalone run with
   // dataSeed = 0 derives), not to the per-point seed.

@@ -11,8 +11,10 @@
 #include "core/topology.hpp"
 #include "middleware/cost_model.hpp"
 #include "net/network.hpp"
+#include "scenario/spec.hpp"
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
 #include "stats/usage.hpp"
 #include "trace/collector.hpp"
 
@@ -63,6 +65,13 @@ struct ExperimentParams {
   /// simulated results: spans observe virtual time the scheduler already
   /// decided.
   trace::Options trace;
+
+  /// Scenario engine (src/scenario/): arrival mode, failover policy, and
+  /// the platform event timeline. The default is "scenario off", which
+  /// keeps runs byte-identical to the pre-scenario simulator. With
+  /// ArrivalMode::OpenLoop the `clients` field is ignored (load is set by
+  /// scenario.arrivals) but still part of the sweep-point coordinates.
+  scenario::Spec scenario;
 };
 
 /// Everything a bench needs to print one figure row.
@@ -100,9 +109,25 @@ struct ExperimentResult {
   /// Dataset bytes across every database replica's own clone.
   std::size_t databaseBytes = 0;
 
-  /// Dynamic-content requests answered with an error page, summed over web
-  /// replicas. Nonzero means the run is degraded — cluster tests assert 0.
+  /// Dynamic-content requests answered with an error page: web replicas'
+  /// 500 pages plus the load balancer's failover errors (retry budget
+  /// exhausted, timeout, no healthy replica). Nonzero means the run is
+  /// degraded — cluster tests assert 0.
   std::uint64_t webErrors = 0;
+
+  /// Failover accounting (scenario runs; all 0 with the scenario off).
+  /// Attempts rerouted because the serving replica crashed mid-request:
+  std::uint64_t reroutedRequests = 0;
+  /// Requests that observed their deadline pass:
+  std::uint64_t timedOutRequests = 0;
+  /// Open-loop arrivals offered / shed by admission control:
+  std::uint64_t openLoopArrivals = 0;
+  std::uint64_t shedSessions = 0;
+
+  /// Whole-run time series (only when params.scenario.seriesInterval > 0).
+  /// Buckets cover the run from t=0 including ramp phases — a scenario's
+  /// structure rarely aligns with the measurement window.
+  std::shared_ptr<const stats::TimeSeries> series;
 
   /// Per-tier latency attribution (only when params.trace.enabled).
   /// shared_ptr keeps ExperimentResult cheaply copyable.
@@ -132,13 +157,19 @@ struct ExperimentResult {
 ExperimentResult runExperiment(const ExperimentParams& params);
 
 /// Seed for one sweep point, derived as hash(rootSeed, app, mix, config,
-/// clients) — the point's *full* coordinates. Depending only on those
-/// coordinates (never the point's position in the sweep, the jobs count, or
-/// scheduling) makes every point's result independent of how the sweep is
-/// shaped or parallelised; including app and mix keeps different figures'
-/// random streams uncorrelated at equal (config, clients).
+/// clients[, scenario]) — the point's *full* coordinates. Depending only on
+/// those coordinates (never the point's position in the sweep, the jobs
+/// count, or scheduling) makes every point's result independent of how the
+/// sweep is shaped or parallelised; including app and mix keeps different
+/// figures' random streams uncorrelated at equal (config, clients).
+///
+/// `scenarioTag` is scenario::Spec::seedTag(): 0 ("scenario off", the
+/// default) leaves the derivation exactly as before, so every existing
+/// sweep keeps its seeds; a non-zero tag folds the scenario's
+/// behavior-affecting coordinates in, so open-loop or failure sweeps are
+/// not seed-correlated with closed-loop sweeps at equal coordinates.
 std::uint64_t pointSeed(std::uint64_t rootSeed, App app, int mix, Configuration config,
-                        int clients);
+                        int clients, std::uint64_t scenarioTag = 0);
 
 /// The params for one sweep point: base with (config, clients) applied,
 /// seed = pointSeed over the full coordinates, and dataSeed pinned to the

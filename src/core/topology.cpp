@@ -60,6 +60,18 @@ void checkTier(const char* name, const TierSpec& spec) {
   if (spec.cores < 1) {
     throw std::invalid_argument(std::string(name) + " tier needs at least one core");
   }
+  if (!spec.coresPerReplica.empty()) {
+    if (spec.coresPerReplica.size() != static_cast<std::size_t>(spec.replicas)) {
+      throw std::invalid_argument(std::string(name) +
+                                  " tier coresPerReplica must have one entry per replica");
+    }
+    for (int c : spec.coresPerReplica) {
+      if (c < 1) {
+        throw std::invalid_argument(std::string(name) +
+                                    " tier coresPerReplica entries must be >= 1");
+      }
+    }
+  }
   if (!(spec.nicBitsPerSecond > 0.0)) {
     throw std::invalid_argument(std::string(name) + " tier needs positive NIC bandwidth");
   }
@@ -96,6 +108,14 @@ std::string topologySummary(const Topology& t) {
   auto tier = [](const char* name, const TierSpec& spec, const char* policy) {
     std::string s = std::string(" ") + name;
     s += "×" + std::to_string(spec.replicas);
+    if (!spec.coresPerReplica.empty()) {
+      s += "[";
+      for (std::size_t i = 0; i < spec.coresPerReplica.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(spec.coresPerReplica[i]) + "c";
+      }
+      s += "]";
+    }
     if (policy != nullptr && spec.replicas > 1) s += std::string("(") + policy + ")";
     return s;
   };

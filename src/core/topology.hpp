@@ -24,7 +24,8 @@ std::vector<Configuration> allConfigurations();
 /// Which middleware generates the dynamic content.
 enum class GeneratorKind { Php, Servlet, Ejb };
 
-/// One tier of machines. All replicas of a tier are identical.
+/// One tier of machines. Replicas are identical unless `coresPerReplica`
+/// makes the tier heterogeneous.
 struct TierSpec {
   int replicas = 1;
   int cores = 1;
@@ -33,6 +34,16 @@ struct TierSpec {
   /// paper's measured footprints, and for the database tier the size of the
   /// replica's own dataset clone plus server overhead).
   std::int64_t memoryBytes = 0;
+  /// Heterogeneous tiers: per-replica core counts (e.g. one big box plus
+  /// small spill-over replicas). Empty means homogeneous — every replica
+  /// gets `cores`. When set, it must have exactly `replicas` entries, each
+  /// >= 1, and `cores` is ignored.
+  std::vector<int> coresPerReplica;
+
+  int coresFor(int replica) const {
+    return coresPerReplica.empty() ? cores
+                                   : coresPerReplica[static_cast<std::size_t>(replica)];
+  }
 };
 
 /// A complete experiment topology as data — what the hard-coded

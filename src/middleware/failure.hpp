@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mwsim::mw {
+
+/// Thrown when the replica serving a request crashes mid-flight (its
+/// machine's epoch changed under the request). The load balancer catches
+/// this and reroutes the request to a healthy replica, up to its retry
+/// budget.
+class ReplicaDown : public std::runtime_error {
+ public:
+  explicit ReplicaDown(const std::string& machine)
+      : std::runtime_error("replica down: " + machine) {}
+};
+
+/// Thrown when a request observes that its deadline has passed. Deadlines
+/// are checked at the same scheduling checkpoints as crashes, so a timed-out
+/// request unwinds at its next resume point rather than being preempted.
+/// The load balancer does not retry after a timeout — the budget covers the
+/// whole interaction, not one attempt.
+class RequestTimeout : public std::runtime_error {
+ public:
+  explicit RequestTimeout(const std::string& interaction)
+      : std::runtime_error("request timeout: " + interaction) {}
+};
+
+}  // namespace mwsim::mw

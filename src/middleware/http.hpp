@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/time.hpp"
+
 namespace mwsim::net {
 class Machine;
 }
@@ -20,6 +22,10 @@ struct Request {
   /// shared across web replicas charge the web-side work (AJP relay, PHP
   /// interpretation) to the replica that actually took the request.
   net::Machine* web = nullptr;
+  /// Absolute virtual-time deadline, or negative for none. Set by the load
+  /// balancer when the scenario configures a request timeout; checked at the
+  /// web server's scheduling checkpoints (see WebServer::checkpoint).
+  sim::SimTime deadline = -1;
 };
 
 /// The page produced by the dynamic content generator.

@@ -4,6 +4,7 @@
 
 #include "middleware/application.hpp"
 #include "middleware/cost_model.hpp"
+#include "middleware/failure.hpp"
 #include "net/network.hpp"
 #include "sim/resource.hpp"
 #include "trace/scope.hpp"
@@ -42,12 +43,20 @@ class WebServer final : public HttpService {
   /// braced temporaries).
   sim::Task<InteractionResult> serve(const Request& request) override {
     assert(generator_ != nullptr);
+    // A request dispatched to an already-dead replica (possible only in a
+    // brief race before the balancer's health view updates) fails at once.
+    if (!machine_.up()) throw ReplicaDown(machine_.name());
+    const std::uint64_t epoch = machine_.epoch();
+
     co_await net_.send(clients_, machine_, cost_.httpRequestBytes);
+    checkpoint(epoch, request);
 
     trace::SpanScope webSpan(sim_, "web");
     sim::ResourceHold process = co_await processPool_.acquire();
+    checkpoint(epoch, request);
     co_await machine_.compute(sim::fromMicros(
         cost_.webRequestUs + cost_.webPerActiveProcessUs * processPool_.inUse()));
+    checkpoint(epoch, request);
 
     // Generators can be shared across web replicas; stamping the request
     // with this replica's machine routes the generator's web-side work here.
@@ -57,6 +66,10 @@ class WebServer final : public HttpService {
     Page page;
     try {
       page = co_await generator_->generate(routed);
+    } catch (const ReplicaDown&) {
+      throw;  // failover concerns the balancer, not the error-page path
+    } catch (const RequestTimeout&) {
+      throw;
     } catch (const std::exception&) {
       // A failed script/servlet produces a 500 error page; the server (and
       // the client's session) keeps going — one bad interaction must not
@@ -66,6 +79,7 @@ class WebServer final : public HttpService {
       page.htmlBytes = 600;  // terse error body
       page.error = true;
     }
+    checkpoint(epoch, request);
 
     if (page.secure) {
       co_await machine_.compute(sim::fromMicros(cost_.webSslUs));
@@ -81,15 +95,31 @@ class WebServer final : public HttpService {
     const std::size_t bodyBytes = page.htmlBytes + page.imageBytes;
     co_await machine_.compute(
         sim::fromMicros(cost_.webPerResponseByteUs * static_cast<double>(bodyBytes)));
+    checkpoint(epoch, request);
 
     const std::size_t wireBytes =
         bodyBytes + cost_.httpResponseHeaderBytes * (1 + static_cast<std::size_t>(page.imageCount));
     co_await net_.send(machine_, clients_, wireBytes);
+    checkpoint(epoch, request);
 
     co_return InteractionResult{page, wireBytes};
   }
 
  private:
+  /// Scenario checkpoint, reached after every co_await in serve(): a
+  /// request notices its replica crashed (machine epoch changed under it —
+  /// the down machine's resources keep running in virtual time, so the
+  /// request still reaches its next resume point) or its deadline passed,
+  /// and unwinds via the failover exceptions the load balancer handles.
+  /// Both checks are no-ops in scenario-off runs (epoch never changes,
+  /// deadline is negative), which keeps them byte-identical to before.
+  void checkpoint(std::uint64_t epoch, const Request& request) const {
+    if (machine_.epoch() != epoch) throw ReplicaDown(machine_.name());
+    if (request.deadline >= 0 && sim_.now() >= request.deadline) {
+      throw RequestTimeout(request.interaction);
+    }
+  }
+
   sim::Simulation& sim_;
   net::Machine& machine_;
   net::Network& net_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,8 +34,20 @@ class Nic {
   }
 
   sim::Duration serializationTime(std::size_t bytes) const {
-    return sim::fromSeconds(static_cast<double>(bytes) * 8.0 / bitsPerSecond_);
+    return sim::fromSeconds(static_cast<double>(bytes) * 8.0 / bitsPerSecond_ *
+                            degrade_);
   }
+
+  /// Scenario hook (LinkDegrade/LinkRestore): multiplies serialization time
+  /// for transfers that start after the call; 1.0 is nominal. In-flight
+  /// transfers keep the cost they were admitted with — a mid-transfer rate
+  /// change would need kernel support for re-timing queued events, and the
+  /// startup-cost approximation is standard for flow-level models.
+  void setDegradeFactor(double factor) noexcept {
+    assert(factor > 0.0);
+    degrade_ = factor;
+  }
+  double degradeFactor() const noexcept { return degrade_; }
 
   /// Ethernet-frame count for a payload (1460-byte MSS + at least 1 packet).
   static std::uint64_t packetsFor(std::size_t bytes) {
@@ -50,6 +63,7 @@ class Nic {
   sim::Simulation& sim_;
   sim::Resource link_;
   double bitsPerSecond_;
+  double degrade_ = 1.0;
   std::uint64_t bytes_ = 0;
   std::uint64_t packets_ = 0;
 };
@@ -87,12 +101,28 @@ class Machine {
   void addMemory(std::int64_t bytes) noexcept { memoryBytes_ += bytes; }
   std::int64_t memoryBytes() const noexcept { return memoryBytes_; }
 
+  /// Scenario hook (ReplicaCrash/ReplicaRecover). A "down" machine's
+  /// resources keep running in virtual time — there is no kernel-level
+  /// preemption — but going down bumps the epoch, and request paths that
+  /// support failover (WebServer::serve) compare epochs at their scheduling
+  /// checkpoints and unwind with ReplicaDown. Recovery does not bump the
+  /// epoch: requests admitted after recovery run on the new epoch.
+  void setUp(bool up) noexcept {
+    if (up_ == up) return;
+    up_ = up;
+    if (!up) ++epoch_;
+  }
+  bool up() const noexcept { return up_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
  private:
   std::string name_;
   sim::CpuResource cpu_;
   Nic nic_;
   double cpuScale_;
   std::int64_t memoryBytes_ = 0;
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mwsim::net

@@ -1,0 +1,159 @@
+#include "scenario/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mwsim::scenario {
+
+namespace {
+
+void checkKnots(const std::vector<RateSchedule::Knot>& knots) {
+  for (std::size_t i = 0; i < knots.size(); ++i) {
+    if (!(knots[i].rate >= 0.0) || !std::isfinite(knots[i].rate)) {
+      throw std::invalid_argument("rate schedule: rates must be finite and >= 0");
+    }
+    if (!std::isfinite(knots[i].timeSec)) {
+      throw std::invalid_argument("rate schedule: knot times must be finite");
+    }
+    if (i > 0 && knots[i].timeSec < knots[i - 1].timeSec) {
+      throw std::invalid_argument("rate schedule: knot times must be non-decreasing");
+    }
+  }
+}
+
+}  // namespace
+
+RateSchedule RateSchedule::constant(double rate) {
+  return piecewise({Knot{0.0, rate}});
+}
+
+RateSchedule RateSchedule::piecewise(std::vector<Knot> knots) {
+  checkKnots(knots);
+  RateSchedule s;
+  s.knots_ = std::move(knots);
+  return s;
+}
+
+RateSchedule RateSchedule::flashCrowd(double baseRate, double surgeMultiplier,
+                                      double surgeStartSec, double rampSec,
+                                      double holdSec, double decaySec) {
+  if (baseRate < 0 || surgeMultiplier < 0) {
+    throw std::invalid_argument("flash crowd: rates must be >= 0");
+  }
+  const double peak = baseRate * surgeMultiplier;
+  const double t0 = surgeStartSec;
+  return piecewise({{0.0, baseRate},
+                    {t0, baseRate},
+                    {t0 + rampSec, peak},
+                    {t0 + rampSec + holdSec, peak},
+                    {t0 + rampSec + holdSec + decaySec, baseRate}});
+}
+
+RateSchedule RateSchedule::diurnal(double meanRate, double amplitude, double periodSec,
+                                   double horizonSec, int knotsPerPeriod) {
+  if (meanRate < 0 || amplitude < 0 || amplitude > 1) {
+    throw std::invalid_argument("diurnal: need meanRate >= 0 and amplitude in [0, 1]");
+  }
+  if (periodSec <= 0 || horizonSec <= 0 || knotsPerPeriod < 2) {
+    throw std::invalid_argument("diurnal: need positive period/horizon, >= 2 knots");
+  }
+  std::vector<Knot> knots;
+  const double step = periodSec / knotsPerPeriod;
+  for (double t = 0.0; t <= horizonSec; t += step) {
+    const double phase = 2.0 * 3.14159265358979323846 * t / periodSec;
+    knots.push_back({t, meanRate * (1.0 + amplitude * std::sin(phase))});
+  }
+  return piecewise(std::move(knots));
+}
+
+RateSchedule RateSchedule::fromString(std::string_view text) {
+  std::vector<Knot> knots;
+  std::size_t pos = 0;
+  int lineNo = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Knot k;
+    char trailing = 0;
+    if (std::sscanf(line.c_str(), "%lf %lf %c", &k.timeSec, &k.rate, &trailing) != 2) {
+      throw std::invalid_argument("rate trace line " + std::to_string(lineNo) +
+                                  ": expected \"timeSec rate\", got \"" + line + "\"");
+    }
+    knots.push_back(k);
+  }
+  if (knots.empty()) {
+    throw std::invalid_argument("rate trace: no knots found");
+  }
+  return piecewise(std::move(knots));
+}
+
+RateSchedule RateSchedule::fromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw std::invalid_argument("rate trace: cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return fromString(text);
+}
+
+double RateSchedule::rate(double tSec) const {
+  if (knots_.empty()) return 0.0;
+  if (tSec <= knots_.front().timeSec) return knots_.front().rate;
+  if (tSec >= knots_.back().timeSec) return knots_.back().rate;
+  // First knot strictly after t; interpolate from its predecessor.
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), tSec,
+      [](double t, const Knot& k) { return t < k.timeSec; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double span = hi.timeSec - lo.timeSec;
+  if (span <= 0.0) return hi.rate;  // vertical step: the later knot wins
+  const double f = (tSec - lo.timeSec) / span;
+  return lo.rate + f * (hi.rate - lo.rate);
+}
+
+double RateSchedule::maxRate() const {
+  double m = 0.0;
+  for (const Knot& k : knots_) m = std::max(m, k.rate);
+  return m;
+}
+
+std::uint64_t RateSchedule::hash() const {
+  std::uint64_t h = sim::deriveSeed(0x5C4EDULL, knots_.size());
+  for (const Knot& k : knots_) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof k.timeSec);
+    std::memcpy(&bits, &k.timeSec, sizeof bits);
+    h = sim::deriveSeed(h, bits);
+    std::memcpy(&bits, &k.rate, sizeof bits);
+    h = sim::deriveSeed(h, bits);
+  }
+  return h;
+}
+
+double ArrivalProcess::next(double afterSec, sim::Rng& rng) const {
+  const double envelope = schedule_.maxRate();
+  if (envelope <= 0.0) return -1.0;
+  double t = afterSec;
+  for (;;) {
+    // Once past the last knot of a zero-tail schedule no candidate can ever
+    // be accepted; report exhaustion instead of spinning.
+    if (t >= schedule_.lastKnotSec() && schedule_.tailRate() <= 0.0) return -1.0;
+    t += rng.exponential(1.0 / envelope);
+    if (rng.uniformReal(0.0, envelope) < schedule_.rate(t)) return t;
+  }
+}
+
+}  // namespace mwsim::scenario

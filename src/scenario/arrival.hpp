@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mwsim::scenario {
+
+/// Piecewise-linear arrival-rate schedule: rate(t) interpolates between
+/// (time, rate) knots, and is constant before the first knot and after the
+/// last. A single knot (or the constant() factory) is a flat rate — the
+/// plain Poisson case. Rates are arrivals per second of virtual time.
+///
+/// Three ways to build one, matching the paper-adjacent load shapes:
+///   * constant(r)            — steady open-loop traffic;
+///   * flashCrowd()/diurnal() — the surge and day-cycle shapes;
+///   * fromFile()/fromString()— trace-driven rates ("timeSec rate" lines).
+class RateSchedule {
+ public:
+  struct Knot {
+    double timeSec = 0.0;
+    double rate = 0.0;  // arrivals per second at this instant
+  };
+
+  RateSchedule() = default;
+
+  static RateSchedule constant(double rate);
+  /// Knots must be non-decreasing in time; rates must be non-negative.
+  /// Throws std::invalid_argument otherwise.
+  static RateSchedule piecewise(std::vector<Knot> knots);
+
+  /// Base rate until `surgeStartSec`, then a linear ramp over `rampSec` to
+  /// surgeMultiplier × base, held for `holdSec`, then a linear decay over
+  /// `decaySec` back to base (constant afterwards).
+  static RateSchedule flashCrowd(double baseRate, double surgeMultiplier,
+                                 double surgeStartSec, double rampSec, double holdSec,
+                                 double decaySec);
+
+  /// Sinusoidal day cycle sampled at `knotsPerPeriod` points per period over
+  /// `horizonSec`: rate(t) = meanRate * (1 + amplitude * sin(2πt/period)),
+  /// with amplitude in [0, 1] (1 swings between 0 and 2× the mean).
+  static RateSchedule diurnal(double meanRate, double amplitude, double periodSec,
+                              double horizonSec, int knotsPerPeriod = 24);
+
+  /// Trace-driven rates: one "timeSec rate" pair per line, '#' comments and
+  /// blank lines ignored. Throws std::invalid_argument on parse errors or an
+  /// unreadable file.
+  static RateSchedule fromFile(const std::string& path);
+  static RateSchedule fromString(std::string_view text);
+
+  /// Arrival rate at time t (seconds). Empty schedules have rate 0.
+  double rate(double tSec) const;
+
+  /// The schedule's supremum rate — the thinning envelope.
+  double maxRate() const;
+
+  /// Rate after the last knot (0 for an empty schedule). A zero tail means
+  /// the process is exhausted once past the last knot.
+  double tailRate() const {
+    return knots_.empty() ? 0.0 : knots_.back().rate;
+  }
+  double lastKnotSec() const { return knots_.empty() ? 0.0 : knots_.back().timeSec; }
+
+  bool empty() const noexcept { return knots_.empty(); }
+  const std::vector<Knot>& knots() const noexcept { return knots_; }
+
+  /// Order- and value-sensitive hash over the knots, for scenario seed
+  /// coordinates (see Spec::seedTag).
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// Open-loop arrival process: a (possibly non-homogeneous) Poisson process
+/// whose instantaneous rate follows a RateSchedule. Sampling uses
+/// Lewis–Shedler thinning against the schedule's max rate, so the sequence
+/// is a deterministic function of (schedule, rng stream) — the same seed
+/// always produces the same arrival times.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(RateSchedule schedule) : schedule_(std::move(schedule)) {}
+
+  /// Next arrival time strictly after `afterSec`, or a negative value when
+  /// the process is exhausted (zero rate everywhere, or past the last knot
+  /// of a schedule with a zero tail rate).
+  double next(double afterSec, sim::Rng& rng) const;
+
+  const RateSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  RateSchedule schedule_;
+};
+
+}  // namespace mwsim::scenario

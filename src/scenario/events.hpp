@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mwsim::scenario {
+
+/// The tier a platform event targets. Matches the experiment's tier layout
+/// (core::Topology): replica indices are 0-based within the tier.
+enum class Tier : std::uint8_t { Web, Servlet, Ejb, Db };
+
+inline const char* tierName(Tier t) {
+  switch (t) {
+    case Tier::Web: return "web";
+    case Tier::Servlet: return "servlet";
+    case Tier::Ejb: return "ejb";
+    case Tier::Db: return "db";
+  }
+  return "?";
+}
+
+/// Typed platform events, scheduled at virtual times — the "dynamic
+/// scenario" inputs: machines fail and recover, links degrade and restore,
+/// all mid-run.
+enum class EventKind : std::uint8_t {
+  ReplicaCrash,    // machine goes down: in-flight work is dropped at its
+                   // next scheduling point, the load balancer routes around
+  ReplicaRecover,  // machine comes back and rejoins dispatch
+  LinkDegrade,     // the machine's NIC slows by `factor` (2 = half speed)
+  LinkRestore,     // NIC back to nominal speed
+};
+
+inline const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::ReplicaCrash: return "replica-crash";
+    case EventKind::ReplicaRecover: return "replica-recover";
+    case EventKind::LinkDegrade: return "link-degrade";
+    case EventKind::LinkRestore: return "link-restore";
+  }
+  return "?";
+}
+
+struct Event {
+  sim::SimTime at = 0;  // virtual time the event fires
+  EventKind kind = EventKind::ReplicaCrash;
+  Tier tier = Tier::Web;
+  int replica = 0;       // 0-based index within the tier
+  double factor = 1.0;   // LinkDegrade only: serialization slowdown, > 1
+
+  std::string summary() const {
+    std::string s = std::string(eventKindName(kind)) + " " + tierName(tier) + "[" +
+                    std::to_string(replica) + "] @" +
+                    std::to_string(sim::toSeconds(at)) + "s";
+    if (kind == EventKind::LinkDegrade) s += " x" + std::to_string(factor);
+    return s;
+  }
+};
+
+inline Event replicaCrash(sim::SimTime at, Tier tier, int replica) {
+  return Event{at, EventKind::ReplicaCrash, tier, replica, 1.0};
+}
+inline Event replicaRecover(sim::SimTime at, Tier tier, int replica) {
+  return Event{at, EventKind::ReplicaRecover, tier, replica, 1.0};
+}
+inline Event linkDegrade(sim::SimTime at, Tier tier, int replica, double factor) {
+  return Event{at, EventKind::LinkDegrade, tier, replica, factor};
+}
+inline Event linkRestore(sim::SimTime at, Tier tier, int replica) {
+  return Event{at, EventKind::LinkRestore, tier, replica, 1.0};
+}
+
+}  // namespace mwsim::scenario

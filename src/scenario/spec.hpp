@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "scenario/arrival.hpp"
+#include "scenario/events.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::scenario {
+
+/// How client load is offered to the system under test.
+enum class ArrivalMode : std::uint8_t {
+  ClosedLoop,  // fixed population of emulated browsers (the paper's model)
+  OpenLoop,    // sessions arrive by a Poisson process with a RateSchedule
+};
+
+namespace detail {
+inline std::uint64_t hashBits(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return sim::deriveSeed(h, bits);
+}
+}  // namespace detail
+
+/// Everything that turns a steady-state run into a scripted scenario:
+/// the arrival mode (and its rate schedule), failover handling, and the
+/// platform event timeline. A default-constructed Spec is "scenario off"
+/// and leaves runs byte-identical to the pre-scenario simulator.
+struct Spec {
+  ArrivalMode mode = ArrivalMode::ClosedLoop;
+
+  /// Open-loop only: session arrival rate over time (sessions per second).
+  RateSchedule arrivals;
+  /// Open-loop only: probability a session continues after each successful
+  /// interaction (0.9 ~= 10 interactions per session).
+  double continueProb = 0.9;
+  /// Open-loop only: mean think time between a session's interactions.
+  sim::Duration openThinkMean = 7 * sim::kSecond;
+  /// Open-loop only: admission-control cap on concurrently active sessions.
+  /// Arrivals beyond the cap are shed (counted, not queued) — overload
+  /// degrades by refusing work instead of accumulating unbounded state.
+  int maxInFlightSessions = 10000;
+
+  /// Per-request deadline enforced by the load balancer (0 = none). Checked
+  /// at the web tier's scheduling checkpoints, like crash detection.
+  sim::Duration requestTimeout = 0;
+  /// Reroute attempts after a replica dies under a request.
+  int requestRetries = 2;
+
+  /// Platform events (crash/recover/degrade/restore) at virtual times.
+  std::vector<Event> events;
+
+  /// Bucket width for the run's stats::TimeSeries (0 = no series). Purely
+  /// observational — excluded from seedTag(), so turning the series on or
+  /// off never changes simulated behavior.
+  sim::Duration seriesInterval = 0;
+
+  bool openLoop() const noexcept { return mode == ArrivalMode::OpenLoop; }
+
+  /// True when requests need failover handling (timeout/retry/reroute), in
+  /// which case the experiment fronts the web tier with a LoadBalancer even
+  /// for a single replica.
+  bool needsFailover() const noexcept {
+    return !events.empty() || requestTimeout > 0;
+  }
+
+  /// True when the spec changes simulated behavior at all.
+  bool active() const noexcept { return openLoop() || needsFailover(); }
+
+  /// Hash of every behavior-affecting field. Fields that are inert in the
+  /// current mode (e.g. the retry budget with no events and no timeout) are
+  /// excluded, so specs that behave identically hash identically.
+  std::uint64_t behaviorHash() const {
+    std::uint64_t h = sim::deriveSeed(0x5CE11A210ULL, static_cast<std::uint64_t>(mode));
+    if (openLoop()) {
+      h = sim::deriveSeed(h, arrivals.hash());
+      h = detail::hashBits(h, continueProb);
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(openThinkMean));
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(maxInFlightSessions));
+    }
+    if (needsFailover()) {
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(requestTimeout));
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(requestRetries));
+    }
+    h = sim::deriveSeed(h, events.size());
+    for (const Event& e : events) {
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(e.at));
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(e.kind));
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(e.tier));
+      h = sim::deriveSeed(h, static_cast<std::uint64_t>(e.replica));
+      h = detail::hashBits(h, e.factor);
+    }
+    return h;
+  }
+
+  /// Seed coordinate for pointSeed: 0 for any spec that behaves like
+  /// "scenario off" (keeping every existing sweep's seeds — and therefore
+  /// results — bit-identical), and a behavior hash otherwise so open-loop
+  /// or failure sweeps are not seed-correlated with closed-loop sweeps at
+  /// equal (app, mix, config, clients).
+  std::uint64_t seedTag() const {
+    static const std::uint64_t kOff = Spec{}.behaviorHash();
+    const std::uint64_t h = behaviorHash();
+    return h == kOff ? 0 : h;
+  }
+};
+
+}  // namespace mwsim::scenario

@@ -1,0 +1,111 @@
+#include "scenario/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "middleware/dispatch.hpp"
+#include "net/machine.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace mwsim::scenario {
+
+const std::vector<net::Machine*>& PlatformHooks::tier(Tier t) const {
+  switch (t) {
+    case Tier::Web: return web;
+    case Tier::Servlet: return servlet;
+    case Tier::Ejb: return ejb;
+    case Tier::Db: return db;
+  }
+  return web;  // unreachable
+}
+
+Timeline::Timeline(std::vector<Event> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+}
+
+void Timeline::validate(const PlatformHooks& hooks) const {
+  for (const Event& e : events_) {
+    if (e.at < 0) {
+      throw std::invalid_argument("scenario event before t=0: " + e.summary());
+    }
+    const auto& machines = hooks.tier(e.tier);
+    if (e.replica < 0 || static_cast<std::size_t>(e.replica) >= machines.size()) {
+      throw std::invalid_argument(
+          "scenario event targets a replica outside the topology (tier has " +
+          std::to_string(machines.size()) + " replicas): " + e.summary());
+    }
+    switch (e.kind) {
+      case EventKind::ReplicaCrash:
+      case EventKind::ReplicaRecover:
+        // Crash/recover is a web-tier failover experiment: the load
+        // balancer is the component that routes around the failure. Inner
+        // tiers have no reroute point yet, so failing them would deadlock
+        // requests rather than model anything.
+        if (e.tier != Tier::Web) {
+          throw std::invalid_argument(
+              "crash/recover is modeled for the web tier only: " + e.summary());
+        }
+        if (hooks.balancer == nullptr) {
+          throw std::invalid_argument(
+              "crash/recover needs a load balancer to reroute through "
+              "(experiment wiring provides one whenever a scenario has events): " +
+              e.summary());
+        }
+        break;
+      case EventKind::LinkDegrade:
+        if (!(e.factor > 0.0) || !std::isfinite(e.factor)) {
+          throw std::invalid_argument("link-degrade factor must be finite and > 0: " +
+                                      e.summary());
+        }
+        break;
+      case EventKind::LinkRestore:
+        break;
+    }
+  }
+}
+
+namespace {
+
+void apply(const Event& e, PlatformHooks& hooks) {
+  net::Machine& machine = *hooks.tier(e.tier)[static_cast<std::size_t>(e.replica)];
+  switch (e.kind) {
+    case EventKind::ReplicaCrash:
+      machine.setUp(false);
+      hooks.balancer->setHealthy(static_cast<std::size_t>(e.replica), false);
+      break;
+    case EventKind::ReplicaRecover:
+      machine.setUp(true);
+      hooks.balancer->setHealthy(static_cast<std::size_t>(e.replica), true);
+      break;
+    case EventKind::LinkDegrade:
+      machine.nic().setDegradeFactor(e.factor);
+      break;
+    case EventKind::LinkRestore:
+      machine.nic().setDegradeFactor(1.0);
+      break;
+  }
+}
+
+sim::Task<> driver(sim::Simulation& sim, const std::vector<Event>& events,
+                   PlatformHooks hooks) {
+  for (const Event& e : events) {
+    const sim::Duration wait = e.at - sim.now();
+    if (wait > 0) co_await sim.delay(wait);
+    apply(e, hooks);
+  }
+}
+
+}  // namespace
+
+void Timeline::install(sim::Simulation& sim, PlatformHooks hooks) {
+  if (events_.empty()) return;
+  validate(hooks);
+  // events_ outlives the run (the Timeline lives in the experiment frame),
+  // so the driver can reference it directly.
+  sim.spawn(driver(sim, events_, std::move(hooks)));
+}
+
+}  // namespace mwsim::scenario

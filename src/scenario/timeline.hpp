@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/events.hpp"
+
+namespace mwsim::net {
+class Machine;
+}
+namespace mwsim::mw {
+class LoadBalancer;
+}
+namespace mwsim::sim {
+class Simulation;
+}
+
+namespace mwsim::scenario {
+
+/// Where platform events land: the experiment's machines grouped by tier,
+/// plus the load balancer whose health view crash/recover events update.
+/// Tiers that do not exist in the current configuration are simply empty.
+struct PlatformHooks {
+  std::vector<net::Machine*> web;
+  std::vector<net::Machine*> servlet;
+  std::vector<net::Machine*> ejb;
+  std::vector<net::Machine*> db;
+  mw::LoadBalancer* balancer = nullptr;
+
+  const std::vector<net::Machine*>& tier(Tier t) const;
+};
+
+/// Executes a sorted list of platform events at their virtual times, from a
+/// single spawned driver process. Failure semantics (also in DESIGN.md §13):
+///
+///  * ReplicaCrash marks the machine down and bumps its epoch. The
+///    machine's resources keep running in virtual time; every in-flight
+///    request notices the epoch change at its next scheduling checkpoint in
+///    the web tier and unwinds with ReplicaDown, which the load balancer
+///    turns into a reroute. The balancer's health view is updated in the
+///    same instant, so no new requests are dispatched to the dead replica.
+///  * ReplicaRecover marks the machine up again and restores its health.
+///  * LinkDegrade multiplies the machine's NIC serialization time by
+///    `factor` for transfers that start after the event; LinkRestore
+///    returns it to nominal.
+///
+/// Crash/recover is modeled for the web tier only (the balancer is the
+/// failover point); link events apply to any tier.
+class Timeline {
+ public:
+  /// Events are stably sorted by time: same-instant events apply in the
+  /// order given.
+  explicit Timeline(std::vector<Event> events);
+
+  /// Checks every event against the hooks (tier exists, replica in range,
+  /// crash targets have a balancer to reroute through, degrade factors
+  /// positive). Throws std::invalid_argument naming the offending event.
+  void validate(const PlatformHooks& hooks) const;
+
+  /// Validates, then spawns the driver process that applies each event at
+  /// its virtual time. Call before the run starts.
+  void install(sim::Simulation& sim, PlatformHooks hooks);
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace mwsim::scenario

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mwsim::stats {
+
+/// Fixed-interval time series of workload outcomes over a whole run — the
+/// trajectory a flash-crowd or failover scenario produces, as opposed to the
+/// single steady-state point the figure benches report. Purely
+/// observational: recording never touches the simulation's random streams
+/// or event order, so enabling a series cannot perturb results.
+///
+/// Buckets cover [i*interval, (i+1)*interval) from t=0 and include the
+/// ramp phases on purpose: a scenario's interesting structure (the surge,
+/// the crash, the recovery) rarely aligns with the measurement window.
+class TimeSeries {
+ public:
+  struct Bucket {
+    std::uint64_t completions = 0;  // interactions finished (incl. errors)
+    std::uint64_t errors = 0;       // of which: error pages / failed requests
+    std::uint64_t shed = 0;         // open-loop arrivals refused at admission
+    double sumResponseSec = 0.0;    // over all completions
+    double maxResponseSec = 0.0;
+
+    std::uint64_t ok() const noexcept { return completions - errors; }
+    double meanResponseSec() const noexcept {
+      return completions == 0 ? 0.0 : sumResponseSec / static_cast<double>(completions);
+    }
+  };
+
+  explicit TimeSeries(sim::Duration interval) : interval_(interval) {
+    assert(interval > 0);
+  }
+
+  void recordCompletion(sim::SimTime at, double responseSec, bool error) {
+    Bucket& b = bucketAt(at);
+    ++b.completions;
+    if (error) ++b.errors;
+    b.sumResponseSec += responseSec;
+    if (responseSec > b.maxResponseSec) b.maxResponseSec = responseSec;
+  }
+
+  void recordShed(sim::SimTime at) { ++bucketAt(at).shed; }
+
+  sim::Duration interval() const noexcept { return interval_; }
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+
+  sim::SimTime bucketStart(std::size_t i) const noexcept {
+    return static_cast<sim::SimTime>(i) * interval_;
+  }
+
+  /// Successful-completion throughput of bucket i, in interactions/minute.
+  double okPerMinute(std::size_t i) const {
+    return static_cast<double>(buckets_.at(i).ok()) * 60.0 / sim::toSeconds(interval_);
+  }
+
+ private:
+  Bucket& bucketAt(sim::SimTime at) {
+    assert(at >= 0);
+    const auto i = static_cast<std::size_t>(at / interval_);
+    if (i >= buckets_.size()) buckets_.resize(i + 1);
+    return buckets_[i];
+  }
+
+  sim::Duration interval_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace mwsim::stats

@@ -5,6 +5,7 @@
 
 #include "middleware/web_server.hpp"
 #include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
 #include "trace/collector.hpp"
 #include "trace/scope.hpp"
 #include "workload/mix.hpp"
@@ -12,21 +13,31 @@
 namespace mwsim::wl {
 
 /// Workload counters, recorded only while `measuring` is on (the paper's
-/// measurement phase between ramp-up and ramp-down).
+/// measurement phase between ramp-up and ramp-down). The optional time
+/// series, by contrast, covers the whole run: a scenario's structure (the
+/// surge, the crash, the recovery) rarely aligns with the measurement
+/// window.
 struct WorkloadStats {
   bool measuring = false;
   std::uint64_t completedInteractions = 0;
   std::uint64_t completedReadWrite = 0;
   std::uint64_t totalQueries = 0;
   std::uint64_t totalResponseBytes = 0;
+  std::uint64_t errorInteractions = 0;
   std::map<std::string, std::uint64_t> perInteraction;
   stats::Histogram responseSeconds;
+  /// When non-null, every completion lands in a fixed-interval bucket too.
+  stats::TimeSeries* series = nullptr;
 
   void record(const std::string& interaction, bool readWrite, double responseSecs,
-              const mw::InteractionResult& result) {
+              const mw::InteractionResult& result, sim::SimTime now) {
+    if (series != nullptr) {
+      series->recordCompletion(now, responseSecs, result.page.error);
+    }
     if (!measuring) return;
     ++completedInteractions;
     if (readWrite) ++completedReadWrite;
+    if (result.page.error) ++errorInteractions;
     totalQueries += static_cast<std::uint64_t>(result.page.queryCount);
     totalResponseBytes += result.totalResponseBytes;
     ++perInteraction[interaction];
@@ -91,7 +102,7 @@ class ClientFarm {
           result = co_await web_.serve(request);
         }
         stats_.record(request.interaction, mix_.isReadWrite(state),
-                      sim::toSeconds(sim_.now() - start), result);
+                      sim::toSeconds(sim_.now() - start), result, sim_.now());
         co_await sim_.delay(
             sim::fromSeconds(rng.exponential(sim::toSeconds(thinkMean_))));
         state = mix_.next(state, rng);

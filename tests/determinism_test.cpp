@@ -107,6 +107,17 @@ TEST(DeterminismTest, PointSeedDependsOnlyOnCoordinates) {
   EXPECT_NE(s, pointSeed(1, App::Auction, 0, Configuration::WsPhpDb, 100));
 }
 
+TEST(DeterminismTest, PointSeedScenarioTagZeroIsSeedPreserving) {
+  // Scenario-off sweeps must keep every pre-scenario seed: a zero tag adds
+  // no derivation step, while distinct non-zero tags decorrelate scenario
+  // sweeps from the closed-loop sweeps at equal coordinates.
+  const auto s = pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100);
+  EXPECT_EQ(s, pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100, 0));
+  const auto tagged = pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100, 0xBEEF);
+  EXPECT_NE(s, tagged);
+  EXPECT_NE(tagged, pointSeed(1, App::Auction, 1, Configuration::WsPhpDb, 100, 0xBEF0));
+}
+
 TEST(DeterminismTest, PlanCacheWarmthDoesNotPerturbResults) {
   // Plans live in the process-wide StatementCache and persist across runs.
   // The determinism contract requires them to be pure functions of

@@ -1,0 +1,732 @@
+/// Tests for the scenario engine (PR 9):
+///
+///  * rate schedules: construction, interpolation, the canned flash-crowd
+///    and diurnal shapes, trace parsing, and the knot hash;
+///  * arrival process: the thinned Poisson stream is deterministic, tracks
+///    the schedule's rate empirically, and exhausts on a zero tail;
+///  * load-balancer failover: health masking, reroute-on-crash, terminal
+///    timeouts, retry-budget exhaustion, and deadline stamping — against a
+///    scripted fake replica;
+///  * platform timeline: validation rejects malformed event lists, and an
+///    installed timeline flips machine/balancer state at the right virtual
+///    times;
+///  * spec seed tags: inert specs keep the legacy seed, behavior-changing
+///    specs get their own coordinate;
+///  * whole-experiment properties: scenario-off runs are bit-identical to
+///    the seed behavior, the time series is observation-only, crash and
+///    open-loop runs are deterministic (repeated, parallel, traced), the
+///    open-loop throughput tracks the offered rate, and admission control
+///    sheds instead of erroring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "middleware/dispatch.hpp"
+#include "middleware/failure.hpp"
+#include "net/machine.hpp"
+#include "scenario/arrival.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/timeline.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mwsim {
+namespace {
+
+// --- rate schedules --------------------------------------------------------
+
+TEST(RateScheduleTest, ConstantRateIsFlatEverywhere) {
+  const auto s = scenario::RateSchedule::constant(3.5);
+  EXPECT_DOUBLE_EQ(s.rate(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(s.rate(123.0), 3.5);
+  EXPECT_DOUBLE_EQ(s.maxRate(), 3.5);
+  EXPECT_DOUBLE_EQ(s.tailRate(), 3.5);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(RateScheduleTest, PiecewiseInterpolatesLinearlyAndClampsOutside) {
+  const auto s = scenario::RateSchedule::piecewise(
+      {{0.0, 0.0}, {10.0, 10.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(s.rate(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.rate(15.0), 6.0);
+  EXPECT_DOUBLE_EQ(s.rate(-5.0), 0.0);   // constant before the first knot
+  EXPECT_DOUBLE_EQ(s.rate(100.0), 2.0);  // constant after the last knot
+  EXPECT_DOUBLE_EQ(s.maxRate(), 10.0);
+  EXPECT_DOUBLE_EQ(s.tailRate(), 2.0);
+  EXPECT_DOUBLE_EQ(s.lastKnotSec(), 20.0);
+}
+
+TEST(RateScheduleTest, RejectsDecreasingTimesAndNegativeRates) {
+  EXPECT_THROW(scenario::RateSchedule::piecewise({{10.0, 1.0}, {5.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::RateSchedule::piecewise({{0.0, -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::RateSchedule::constant(-2.0), std::invalid_argument);
+}
+
+TEST(RateScheduleTest, FlashCrowdHasBaseRampHoldDecayShape) {
+  // Base 2/s; at t=90 ramp over 15s to 8/s, hold 60s, decay 30s back to 2/s.
+  const auto s = scenario::RateSchedule::flashCrowd(2.0, 4.0, 90.0, 15.0, 60.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.rate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(90.0), 2.0);
+  EXPECT_NEAR(s.rate(97.5), 5.0, 1e-9);  // mid-ramp
+  EXPECT_DOUBLE_EQ(s.rate(105.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.rate(165.0), 8.0);  // end of hold
+  EXPECT_DOUBLE_EQ(s.rate(195.0), 2.0);  // after decay
+  EXPECT_DOUBLE_EQ(s.rate(500.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.maxRate(), 8.0);
+}
+
+TEST(RateScheduleTest, DiurnalOscillatesAroundTheMean) {
+  const auto s = scenario::RateSchedule::diurnal(/*meanRate=*/10.0,
+                                                /*amplitude=*/0.5,
+                                                /*periodSec=*/100.0,
+                                                /*horizonSec=*/200.0);
+  EXPECT_NEAR(s.rate(25.0), 15.0, 0.5);  // peak of sin at a quarter period
+  EXPECT_NEAR(s.rate(75.0), 5.0, 0.5);   // trough at three quarters
+  EXPECT_LE(s.maxRate(), 15.0 + 1e-9);
+  for (const auto& k : s.knots()) {
+    EXPECT_GE(k.rate, 5.0 - 1e-9);
+    EXPECT_LE(k.rate, 15.0 + 1e-9);
+  }
+}
+
+TEST(RateScheduleTest, ParsesTraceTextAndRejectsGarbage) {
+  const auto s = scenario::RateSchedule::fromString(
+      "# trace header\n"
+      "0 2\n"
+      "\n"
+      "10 4\n");
+  ASSERT_EQ(s.knots().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rate(5.0), 3.0);
+  EXPECT_THROW(scenario::RateSchedule::fromString("abc def\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::RateSchedule::fromString("5\n"), std::invalid_argument);
+  EXPECT_THROW(scenario::RateSchedule::fromString("0 2\n10 -1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::RateSchedule::fromFile("/nonexistent/trace.txt"),
+               std::invalid_argument);
+}
+
+TEST(RateScheduleTest, HashSeparatesDifferentSchedules) {
+  const auto a = scenario::RateSchedule::constant(2.0);
+  const auto b = scenario::RateSchedule::constant(3.0);
+  const auto c = scenario::RateSchedule::constant(2.0);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+  const auto d = scenario::RateSchedule::piecewise({{0.0, 2.0}, {10.0, 4.0}});
+  const auto e = scenario::RateSchedule::piecewise({{0.0, 4.0}, {10.0, 2.0}});
+  EXPECT_NE(d.hash(), e.hash());
+}
+
+// --- arrival process -------------------------------------------------------
+
+TEST(ArrivalProcessTest, MatchesTargetRateEmpirically) {
+  const scenario::ArrivalProcess process(scenario::RateSchedule::constant(5.0));
+  sim::Rng rng(42);
+  double t = 0.0;
+  std::uint64_t count = 0;
+  const double horizon = 2000.0;
+  while (true) {
+    t = process.next(t, rng);
+    if (t < 0.0 || t > horizon) break;
+    ++count;
+  }
+  // Poisson(10000): the count should land well within 5% of the mean.
+  EXPECT_NEAR(static_cast<double>(count), 5.0 * horizon, 0.05 * 5.0 * horizon);
+}
+
+TEST(ArrivalProcessTest, ThinningFollowsTheScheduleShape) {
+  const scenario::ArrivalProcess process(
+      scenario::RateSchedule::flashCrowd(2.0, 4.0, 90.0, 15.0, 60.0, 30.0));
+  sim::Rng rng(7);
+  double t = 0.0;
+  std::uint64_t baseCount = 0;  // [0, 90): rate 2/s
+  std::uint64_t peakCount = 0;  // [105, 165): rate 8/s
+  while (true) {
+    t = process.next(t, rng);
+    if (t < 0.0 || t > 400.0) break;
+    if (t < 90.0) ++baseCount;
+    if (t >= 105.0 && t < 165.0) ++peakCount;
+  }
+  EXPECT_NEAR(static_cast<double>(baseCount), 2.0 * 90.0, 0.25 * 2.0 * 90.0);
+  EXPECT_NEAR(static_cast<double>(peakCount), 8.0 * 60.0, 0.25 * 8.0 * 60.0);
+}
+
+TEST(ArrivalProcessTest, SequencesAreDeterministicInTheSeed) {
+  const scenario::ArrivalProcess process(
+      scenario::RateSchedule::flashCrowd(1.0, 3.0, 10.0, 5.0, 10.0, 5.0));
+  sim::Rng a(99), b(99), c(100);
+  double ta = 0.0, tb = 0.0, tc = 0.0;
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    ta = process.next(ta, a);
+    tb = process.next(tb, b);
+    tc = process.next(tc, c);
+    EXPECT_DOUBLE_EQ(ta, tb);
+    if (ta != tc) diverged = true;
+    if (ta < 0.0) break;
+    EXPECT_GT(ta, 0.0);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalProcessTest, StrictlyIncreasingAndExhaustsOnZeroTail) {
+  const scenario::ArrivalProcess process(
+      scenario::RateSchedule::piecewise({{0.0, 5.0}, {10.0, 0.0}}));
+  sim::Rng rng(1);
+  double t = 0.0;
+  int arrivals = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double next = process.next(t, rng);
+    if (next < 0.0) break;
+    EXPECT_GT(next, t);
+    EXPECT_LE(next, 10.0 + 1e-9);  // no arrivals past the zero-rate tail
+    t = next;
+    ++arrivals;
+  }
+  EXPECT_GT(arrivals, 0);
+  EXPECT_LT(process.next(t, rng), 0.0);  // exhausted for good
+
+  const scenario::ArrivalProcess never{scenario::RateSchedule{}};
+  EXPECT_LT(never.next(0.0, rng), 0.0);
+}
+
+// --- time series -----------------------------------------------------------
+
+TEST(TimeSeriesTest, BucketsCompletionsErrorsAndShed) {
+  stats::TimeSeries series(10 * sim::kSecond);
+  series.recordCompletion(5 * sim::kSecond, 0.010, /*error=*/false);
+  series.recordCompletion(15 * sim::kSecond, 0.020, /*error=*/false);
+  series.recordCompletion(16 * sim::kSecond, 0.060, /*error=*/true);
+  series.recordShed(25 * sim::kSecond);
+  ASSERT_EQ(series.buckets().size(), 3u);
+  EXPECT_EQ(series.buckets()[0].completions, 1u);
+  EXPECT_EQ(series.buckets()[1].completions, 2u);
+  EXPECT_EQ(series.buckets()[1].errors, 1u);
+  EXPECT_EQ(series.buckets()[1].ok(), 1u);
+  EXPECT_EQ(series.buckets()[2].shed, 1u);
+  EXPECT_DOUBLE_EQ(series.okPerMinute(0), 6.0);
+  EXPECT_DOUBLE_EQ(series.buckets()[1].meanResponseSec(), 0.040);
+  EXPECT_DOUBLE_EQ(series.buckets()[1].maxResponseSec, 0.060);
+  EXPECT_EQ(series.bucketStart(2), 20 * sim::kSecond);
+}
+
+// --- replica picker health masks -------------------------------------------
+
+TEST(ReplicaPickerTest, AllHealthyMaskMatchesLegacyPick) {
+  for (const auto policy : {mw::Dispatch::RoundRobin, mw::Dispatch::LeastOutstanding}) {
+    mw::ReplicaPicker legacy(3, policy), masked(3, policy);
+    const std::vector<char> healthy{1, 1, 1};
+    for (int step = 0; step < 12; ++step) {
+      const std::size_t a = legacy.pick();
+      const std::size_t b = masked.pick(healthy);
+      EXPECT_EQ(a, b);
+      legacy.arrive(a);
+      masked.arrive(b);
+      if (step % 3 == 2) {  // drain a request now and then
+        legacy.depart(a);
+        masked.depart(b);
+      }
+    }
+  }
+}
+
+TEST(ReplicaPickerTest, RoundRobinSkipsDownReplicas) {
+  mw::ReplicaPicker picker(3, mw::Dispatch::RoundRobin);
+  const std::vector<char> healthy{1, 0, 1};
+  EXPECT_EQ(picker.pick(healthy), 0u);
+  EXPECT_EQ(picker.pick(healthy), 2u);
+  EXPECT_EQ(picker.pick(healthy), 0u);
+  EXPECT_EQ(picker.pick(healthy), 2u);
+}
+
+TEST(ReplicaPickerTest, LeastOutstandingSkipsDownReplicas) {
+  mw::ReplicaPicker picker(3, mw::Dispatch::LeastOutstanding);
+  picker.arrive(0);
+  picker.arrive(0);
+  picker.arrive(2);
+  // Replica 1 is idle but down; 2 has the fewest among healthy replicas.
+  EXPECT_EQ(picker.pick({1, 0, 1}), 2u);
+  EXPECT_EQ(picker.pick({0, 0, 0}), mw::ReplicaPicker::kNone);
+}
+
+// --- load balancer failover ------------------------------------------------
+
+/// Scripted replica: burns a little virtual time, then succeeds, crashes, or
+/// times out on demand. Records the deadlines it saw.
+struct FakeReplica final : mw::HttpService {
+  sim::Simulation& sim;
+  int crashNext = 0;        // throw ReplicaDown for this many calls
+  bool timeoutAlways = false;
+  int calls = 0;
+  std::vector<sim::SimTime> deadlines;
+
+  explicit FakeReplica(sim::Simulation& s) : sim(s) {}
+
+  sim::Task<mw::InteractionResult> serve(const mw::Request& request) override {
+    ++calls;
+    deadlines.push_back(request.deadline);
+    co_await sim.delay(sim::fromMillis(1));
+    if (timeoutAlways) throw mw::RequestTimeout(request.interaction);
+    if (crashNext > 0) {
+      --crashNext;
+      throw mw::ReplicaDown("FakeReplica");
+    }
+    mw::Page page;
+    page.htmlBytes = 1000;
+    co_return mw::InteractionResult{page, page.htmlBytes};
+  }
+};
+
+sim::Task<void> driveOne(mw::LoadBalancer& balancer, const mw::Request& request,
+                         mw::InteractionResult& out) {
+  out = co_await balancer.serve(request);
+}
+
+TEST(LoadBalancerTest, SkipsUnhealthyReplicas) {
+  sim::Simulation simulation(1);
+  FakeReplica r0(simulation), r1(simulation);
+  mw::LoadBalancer balancer(simulation, {&r0, &r1}, mw::Dispatch::RoundRobin);
+  balancer.setHealthy(0, false);
+  const mw::Request request{};
+  std::vector<mw::InteractionResult> results(4);
+  for (auto& out : results) simulation.spawn(driveOne(balancer, request, out));
+  simulation.run();
+  EXPECT_EQ(r0.calls, 0);
+  EXPECT_EQ(r1.calls, 4);
+  EXPECT_EQ(balancer.errorCount(), 0u);
+  for (const auto& out : results) EXPECT_FALSE(out.page.error);
+}
+
+TEST(LoadBalancerTest, ReroutesWhenAReplicaDiesUnderARequest) {
+  sim::Simulation simulation(1);
+  FakeReplica r0(simulation), r1(simulation);
+  r0.crashNext = 1;
+  mw::LoadBalancer balancer(simulation, {&r0, &r1}, mw::Dispatch::RoundRobin,
+                            {.requestTimeout = 0, .requestRetries = 2});
+  const mw::Request request{};
+  mw::InteractionResult out{};
+  simulation.spawn(driveOne(balancer, request, out));
+  simulation.run();
+  EXPECT_EQ(r0.calls, 1);
+  EXPECT_EQ(r1.calls, 1);
+  EXPECT_EQ(balancer.rerouteCount(), 1u);
+  EXPECT_EQ(balancer.errorCount(), 0u);
+  EXPECT_FALSE(out.page.error);
+}
+
+TEST(LoadBalancerTest, ExhaustedRetryBudgetYieldsAnErrorPage) {
+  sim::Simulation simulation(1);
+  FakeReplica r0(simulation), r1(simulation);
+  r0.crashNext = 100;
+  r1.crashNext = 100;
+  mw::LoadBalancer balancer(simulation, {&r0, &r1}, mw::Dispatch::RoundRobin,
+                            {.requestTimeout = 0, .requestRetries = 1});
+  const mw::Request request{};
+  mw::InteractionResult out{};
+  simulation.spawn(driveOne(balancer, request, out));
+  simulation.run();
+  EXPECT_EQ(r0.calls + r1.calls, 2);  // 1 attempt + 1 retry
+  EXPECT_EQ(balancer.rerouteCount(), 2u);
+  EXPECT_EQ(balancer.errorCount(), 1u);
+  EXPECT_TRUE(out.page.error);
+  EXPECT_EQ(out.page.htmlBytes, 600);
+}
+
+TEST(LoadBalancerTest, TimeoutIsTerminalAndStampsDeadlines) {
+  sim::Simulation simulation(1);
+  FakeReplica r0(simulation), r1(simulation);
+  r0.timeoutAlways = true;
+  r1.timeoutAlways = true;
+  mw::LoadBalancer balancer(
+      simulation, {&r0, &r1}, mw::Dispatch::RoundRobin,
+      {.requestTimeout = 5 * sim::kSecond, .requestRetries = 3});
+  const mw::Request request{};
+  mw::InteractionResult out{};
+  simulation.spawn(driveOne(balancer, request, out));
+  simulation.run();
+  EXPECT_EQ(r0.calls + r1.calls, 1);  // no retry after a deadline miss
+  EXPECT_EQ(balancer.timeoutCount(), 1u);
+  EXPECT_EQ(balancer.errorCount(), 1u);
+  EXPECT_TRUE(out.page.error);
+  ASSERT_EQ(r0.deadlines.size(), 1u);
+  EXPECT_EQ(r0.deadlines[0], 5 * sim::kSecond);  // now (0) + timeout
+}
+
+TEST(LoadBalancerTest, NoHealthyReplicaFailsFastWithoutDispatching) {
+  sim::Simulation simulation(1);
+  FakeReplica r0(simulation), r1(simulation);
+  mw::LoadBalancer balancer(simulation, {&r0, &r1}, mw::Dispatch::LeastOutstanding);
+  balancer.setHealthy(0, false);
+  balancer.setHealthy(1, false);
+  const mw::Request request{};
+  mw::InteractionResult out{};
+  simulation.spawn(driveOne(balancer, request, out));
+  simulation.run();
+  EXPECT_EQ(r0.calls + r1.calls, 0);
+  EXPECT_EQ(balancer.errorCount(), 1u);
+  EXPECT_TRUE(out.page.error);
+}
+
+// --- platform timeline -----------------------------------------------------
+
+TEST(TimelineTest, SortsEventsByTimeStably) {
+  const scenario::Timeline timeline({
+      scenario::replicaRecover(20 * sim::kSecond, scenario::Tier::Web, 0),
+      scenario::linkDegrade(5 * sim::kSecond, scenario::Tier::Db, 0, 2.0),
+      scenario::replicaCrash(10 * sim::kSecond, scenario::Tier::Web, 0),
+  });
+  ASSERT_EQ(timeline.events().size(), 3u);
+  EXPECT_EQ(timeline.events()[0].kind, scenario::EventKind::LinkDegrade);
+  EXPECT_EQ(timeline.events()[1].kind, scenario::EventKind::ReplicaCrash);
+  EXPECT_EQ(timeline.events()[2].kind, scenario::EventKind::ReplicaRecover);
+}
+
+TEST(TimelineTest, ValidationRejectsMalformedEventLists) {
+  sim::Simulation simulation(1);
+  net::Machine web0(simulation, "WebServer");
+  net::Machine db0(simulation, "Database");
+  FakeReplica replica(simulation);
+  mw::LoadBalancer balancer(simulation, {&replica}, mw::Dispatch::RoundRobin);
+  scenario::PlatformHooks hooks;
+  hooks.web = {&web0};
+  hooks.db = {&db0};
+  hooks.balancer = &balancer;
+
+  const auto validate = [&](scenario::Event event) {
+    scenario::Timeline({event}).validate(hooks);
+  };
+  // Well-formed events pass.
+  EXPECT_NO_THROW(validate(scenario::replicaCrash(sim::kSecond, scenario::Tier::Web, 0)));
+  EXPECT_NO_THROW(validate(scenario::linkDegrade(sim::kSecond, scenario::Tier::Db, 0, 3.0)));
+  // Negative time, out-of-range replica, crash off the web tier, crash
+  // without a balancer, and non-positive degrade factors are all rejected.
+  EXPECT_THROW(validate(scenario::replicaCrash(-1, scenario::Tier::Web, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(validate(scenario::replicaCrash(sim::kSecond, scenario::Tier::Web, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(validate(scenario::replicaCrash(sim::kSecond, scenario::Tier::Db, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(validate(scenario::linkDegrade(sim::kSecond, scenario::Tier::Servlet, 0, 2.0)),
+               std::invalid_argument);
+  EXPECT_THROW(validate(scenario::linkDegrade(sim::kSecond, scenario::Tier::Db, 0, 0.0)),
+               std::invalid_argument);
+  scenario::PlatformHooks noBalancer = hooks;
+  noBalancer.balancer = nullptr;
+  EXPECT_THROW(scenario::Timeline({scenario::replicaCrash(sim::kSecond, scenario::Tier::Web, 0)})
+                   .validate(noBalancer),
+               std::invalid_argument);
+}
+
+TEST(TimelineTest, AppliesEventsAtTheirVirtualTimes) {
+  sim::Simulation simulation(1);
+  net::Machine web0(simulation, "WebServer");
+  net::Machine web1(simulation, "WebServer#2");
+  net::Machine db0(simulation, "Database");
+  FakeReplica ra(simulation), rb(simulation);
+  mw::LoadBalancer balancer(simulation, {&ra, &rb}, mw::Dispatch::RoundRobin);
+  scenario::PlatformHooks hooks;
+  hooks.web = {&web0, &web1};
+  hooks.db = {&db0};
+  hooks.balancer = &balancer;
+
+  scenario::Timeline timeline({
+      scenario::replicaCrash(10 * sim::kSecond, scenario::Tier::Web, 1),
+      scenario::linkDegrade(10 * sim::kSecond, scenario::Tier::Db, 0, 4.0),
+      scenario::replicaRecover(20 * sim::kSecond, scenario::Tier::Web, 1),
+      scenario::linkRestore(20 * sim::kSecond, scenario::Tier::Db, 0),
+  });
+  timeline.install(simulation, hooks);
+
+  const std::uint64_t epochBefore = web1.epoch();
+  const auto nominal = db0.nic().serializationTime(1500);
+  simulation.runUntil(15 * sim::kSecond);
+  EXPECT_TRUE(web0.up());
+  EXPECT_FALSE(web1.up());
+  EXPECT_EQ(web1.epoch(), epochBefore + 1);
+  EXPECT_TRUE(balancer.healthy(0));
+  EXPECT_FALSE(balancer.healthy(1));
+  EXPECT_EQ(db0.nic().serializationTime(1500), 4 * nominal);
+
+  simulation.runUntil(25 * sim::kSecond);
+  EXPECT_TRUE(web1.up());
+  EXPECT_EQ(web1.epoch(), epochBefore + 1);  // recovery does not bump the epoch
+  EXPECT_TRUE(balancer.healthy(1));
+  EXPECT_EQ(db0.nic().serializationTime(1500), nominal);
+  simulation.shutdown();
+}
+
+TEST(MachineTest, CrashBumpsTheEpochOnceAndRecoveryDoesNot) {
+  sim::Simulation simulation(1);
+  net::Machine machine(simulation, "WebServer");
+  EXPECT_TRUE(machine.up());
+  const std::uint64_t epoch = machine.epoch();
+  machine.setUp(false);
+  EXPECT_FALSE(machine.up());
+  EXPECT_EQ(machine.epoch(), epoch + 1);
+  machine.setUp(false);  // no-op while already down
+  EXPECT_EQ(machine.epoch(), epoch + 1);
+  machine.setUp(true);
+  EXPECT_TRUE(machine.up());
+  EXPECT_EQ(machine.epoch(), epoch + 1);
+  machine.setUp(false);
+  EXPECT_EQ(machine.epoch(), epoch + 2);
+}
+
+// --- spec seed tags --------------------------------------------------------
+
+TEST(ScenarioSpecTest, InertSpecsKeepTheLegacySeedTag) {
+  EXPECT_EQ(scenario::Spec{}.seedTag(), 0u);
+  scenario::Spec inert;
+  inert.requestRetries = 9;      // no events and no timeout: never consulted
+  inert.continueProb = 0.5;      // closed loop: never consulted
+  inert.maxInFlightSessions = 1;
+  inert.seriesInterval = sim::kSecond;  // observation only
+  EXPECT_EQ(inert.seedTag(), 0u);
+  EXPECT_FALSE(inert.active());
+}
+
+TEST(ScenarioSpecTest, BehaviorChangingSpecsGetDistinctTags) {
+  scenario::Spec open;
+  open.mode = scenario::ArrivalMode::OpenLoop;
+  open.arrivals = scenario::RateSchedule::constant(2.0);
+  scenario::Spec open2 = open;
+  open2.arrivals = scenario::RateSchedule::constant(4.0);
+  scenario::Spec crash;
+  crash.events = {scenario::replicaCrash(sim::kSecond, scenario::Tier::Web, 0)};
+  scenario::Spec deadline;
+  deadline.requestTimeout = sim::kSecond;
+
+  EXPECT_NE(open.seedTag(), 0u);
+  EXPECT_NE(open2.seedTag(), 0u);
+  EXPECT_NE(crash.seedTag(), 0u);
+  EXPECT_NE(deadline.seedTag(), 0u);
+  EXPECT_NE(open.seedTag(), open2.seedTag());
+  EXPECT_NE(open.seedTag(), crash.seedTag());
+  EXPECT_NE(crash.seedTag(), deadline.seedTag());
+  EXPECT_TRUE(open.active());
+  EXPECT_TRUE(crash.needsFailover());
+}
+
+TEST(ScenarioSpecTest, PointSeedTreatsTagZeroAsTheLegacySeed) {
+  const auto legacy =
+      core::pointSeed(1, core::App::Auction, 1, core::Configuration::WsPhpDb, 500);
+  const auto tagged0 =
+      core::pointSeed(1, core::App::Auction, 1, core::Configuration::WsPhpDb, 500, 0);
+  const auto tagged =
+      core::pointSeed(1, core::App::Auction, 1, core::Configuration::WsPhpDb, 500, 77);
+  EXPECT_EQ(legacy, tagged0);
+  EXPECT_NE(legacy, tagged);
+  EXPECT_NE(tagged,
+            core::pointSeed(1, core::App::Auction, 1, core::Configuration::WsPhpDb,
+                            500, 78));
+}
+
+// --- whole-experiment properties -------------------------------------------
+
+core::ExperimentParams tinyParams(core::App app) {
+  core::ExperimentParams p;
+  p.app = app;
+  p.mix = 1;
+  p.clients = 25;
+  p.rampUp = 5 * sim::kSecond;
+  p.measure = 20 * sim::kSecond;
+  p.rampDown = 2 * sim::kSecond;
+  p.bookstoreScale = 0.02;
+  p.auctionHistoryScale = 0.01;
+  p.bbsHistoryScale = 0.01;
+  return p;
+}
+
+/// Bit-exact equality across the headline results plus the scenario
+/// counters and (when both runs produced one) the time series.
+void expectIdentical(const core::ExperimentResult& a, const core::ExperimentResult& b) {
+  EXPECT_EQ(a.throughputIpm, b.throughputIpm);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.meanResponseSeconds, b.meanResponseSeconds);
+  EXPECT_EQ(a.p90ResponseSeconds, b.p90ResponseSeconds);
+  EXPECT_EQ(a.webErrors, b.webErrors);
+  EXPECT_EQ(a.reroutedRequests, b.reroutedRequests);
+  EXPECT_EQ(a.timedOutRequests, b.timedOutRequests);
+  EXPECT_EQ(a.openLoopArrivals, b.openLoopArrivals);
+  EXPECT_EQ(a.shedSessions, b.shedSessions);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    EXPECT_EQ(a.usage[i].cpuUtilization, b.usage[i].cpuUtilization);
+    EXPECT_EQ(a.usage[i].nicMbps, b.usage[i].nicMbps);
+  }
+  if (a.series && b.series) {
+    ASSERT_EQ(a.series->buckets().size(), b.series->buckets().size());
+    for (std::size_t i = 0; i < a.series->buckets().size(); ++i) {
+      EXPECT_EQ(a.series->buckets()[i].completions, b.series->buckets()[i].completions);
+      EXPECT_EQ(a.series->buckets()[i].errors, b.series->buckets()[i].errors);
+      EXPECT_EQ(a.series->buckets()[i].shed, b.series->buckets()[i].shed);
+      EXPECT_EQ(a.series->buckets()[i].sumResponseSec,
+                b.series->buckets()[i].sumResponseSec);
+    }
+  }
+}
+
+TEST(ScenarioExperimentTest, InertSpecLeavesRunsBitIdentical) {
+  auto plain = tinyParams(core::App::Auction);
+  auto inert = plain;
+  inert.scenario.requestRetries = 9;
+  inert.scenario.continueProb = 0.5;
+  expectIdentical(core::runExperiment(plain), core::runExperiment(inert));
+}
+
+TEST(ScenarioExperimentTest, TimeSeriesIsObservationOnly) {
+  auto plain = tinyParams(core::App::Bookstore);
+  auto observed = plain;
+  observed.scenario.seriesInterval = 5 * sim::kSecond;
+  const auto a = core::runExperiment(plain);
+  const auto b = core::runExperiment(observed);
+  expectIdentical(a, b);
+  ASSERT_TRUE(b.series != nullptr);
+  EXPECT_TRUE(a.series == nullptr);
+  std::uint64_t completions = 0;
+  for (const auto& bucket : b.series->buckets()) completions += bucket.completions;
+  // The series covers the whole run including ramps, so it sees at least
+  // every measured interaction.
+  EXPECT_GE(completions, b.interactions);
+}
+
+core::ExperimentParams crashParams() {
+  // Single web replica, crash without recovery: once the replica dies,
+  // every subsequent request deterministically becomes a balancer error.
+  auto p = tinyParams(core::App::Auction);
+  p.scenario.events = {
+      scenario::replicaCrash(10 * sim::kSecond, scenario::Tier::Web, 0)};
+  p.scenario.requestRetries = 1;
+  p.scenario.seriesInterval = 5 * sim::kSecond;
+  return p;
+}
+
+TEST(ScenarioExperimentTest, CrashProducesErrorsVisibleInTheSeries) {
+  const auto r = core::runExperiment(crashParams());
+  EXPECT_GT(r.interactions, 0u);  // work completed before the crash
+  EXPECT_GT(r.webErrors, 0u);     // blackout traffic surfaced as error pages
+  ASSERT_TRUE(r.series != nullptr);
+  std::uint64_t seriesErrors = 0;
+  bool cleanBucketBeforeCrash = false;
+  for (std::size_t i = 0; i < r.series->buckets().size(); ++i) {
+    const auto& bucket = r.series->buckets()[i];
+    seriesErrors += bucket.errors;
+    if (r.series->bucketStart(i) + r.series->interval() <= 10 * sim::kSecond &&
+        bucket.errors == 0 && bucket.ok() > 0) {
+      cleanBucketBeforeCrash = true;
+    }
+  }
+  EXPECT_GT(seriesErrors, 0u);
+  EXPECT_TRUE(cleanBucketBeforeCrash);
+}
+
+TEST(ScenarioExperimentTest, FailoverReroutesOntoTheSurvivingReplica) {
+  // Two replicas, one crashes mid-run and recovers: the run must keep
+  // completing work during the outage (the survivor carries the load).
+  auto p = tinyParams(core::App::Auction);
+  p.clients = 100;
+  core::Topology topo = core::canonicalTopology(core::Configuration::WsPhpDb);
+  topo.web.replicas = 2;
+  p.topology = topo;
+  p.scenario.events = {
+      scenario::replicaCrash(10 * sim::kSecond, scenario::Tier::Web, 1),
+      scenario::replicaRecover(15 * sim::kSecond, scenario::Tier::Web, 1),
+  };
+  p.scenario.requestTimeout = 2 * sim::kSecond;
+  p.scenario.requestRetries = 2;
+  p.scenario.seriesInterval = 5 * sim::kSecond;
+  const auto r = core::runExperiment(p);
+  EXPECT_GT(r.interactions, 0u);
+  ASSERT_TRUE(r.series != nullptr);
+  // The outage bucket [10s, 15s) still completes successful interactions.
+  const auto& outage = r.series->buckets().at(2);
+  EXPECT_GT(outage.ok(), 0u);
+  // Errors are bounded by the work lost at the crash instant, not the whole
+  // blackout: with a healthy survivor, most traffic keeps succeeding.
+  EXPECT_LT(r.webErrors, r.interactions / 10 + 10);
+}
+
+TEST(ScenarioDeterminismTest, CrashRunsAreBitIdentical) {
+  expectIdentical(core::runExperiment(crashParams()),
+                  core::runExperiment(crashParams()));
+}
+
+TEST(ScenarioDeterminismTest, TracingDoesNotPerturbCrashRuns) {
+  auto traced = crashParams();
+  traced.trace.enabled = true;
+  const auto a = core::runExperiment(crashParams());
+  const auto b = core::runExperiment(traced);
+  expectIdentical(a, b);
+  EXPECT_TRUE(b.trace != nullptr);
+}
+
+core::ExperimentParams openLoopParams() {
+  auto p = tinyParams(core::App::Auction);
+  p.scenario.mode = scenario::ArrivalMode::OpenLoop;
+  p.scenario.arrivals = scenario::RateSchedule::constant(3.0);
+  p.scenario.openThinkMean = sim::kSecond;
+  p.scenario.seriesInterval = 5 * sim::kSecond;
+  return p;
+}
+
+TEST(ScenarioDeterminismTest, OpenLoopRunsAreBitIdentical) {
+  const auto a = core::runExperiment(openLoopParams());
+  const auto b = core::runExperiment(openLoopParams());
+  expectIdentical(a, b);
+  EXPECT_GT(a.openLoopArrivals, 0u);
+  EXPECT_GT(a.interactions, 0u);
+}
+
+TEST(ScenarioDeterminismTest, ParallelScenarioSweepMatchesSequential) {
+  std::vector<core::ExperimentParams> points{crashParams(), openLoopParams()};
+  core::SweepOptions sequential;
+  sequential.jobs = 1;
+  core::SweepOptions parallel;
+  parallel.jobs = 2;
+  const auto a = core::runMany(points, sequential);
+  const auto b = core::runMany(points, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expectIdentical(a[i], b[i]);
+}
+
+TEST(OpenLoopExperimentTest, ThroughputTracksTheOfferedRateBelowTheKnee) {
+  auto p = tinyParams(core::App::Auction);
+  p.rampUp = 20 * sim::kSecond;  // let the session population reach steady state
+  p.measure = 30 * sim::kSecond;
+  p.scenario.mode = scenario::ArrivalMode::OpenLoop;
+  p.scenario.arrivals = scenario::RateSchedule::constant(5.0);
+  p.scenario.continueProb = 0.5;  // short sessions: mean two interactions
+  p.scenario.openThinkMean = sim::fromMillis(500);
+  const auto r = core::runExperiment(p);
+  // Offered interaction rate = 5 sessions/s × mean 2 interactions = 10/s.
+  const double measured =
+      static_cast<double>(r.interactions) / sim::toSeconds(p.measure);
+  EXPECT_GT(measured, 6.0);
+  EXPECT_LT(measured, 14.0);
+  EXPECT_EQ(r.shedSessions, 0u);
+  EXPECT_EQ(r.webErrors, 0u);
+}
+
+TEST(OpenLoopExperimentTest, AdmissionControlShedsInsteadOfErroring) {
+  auto p = openLoopParams();
+  p.scenario.arrivals = scenario::RateSchedule::constant(10.0);
+  p.scenario.maxInFlightSessions = 1;
+  const auto r = core::runExperiment(p);
+  EXPECT_GT(r.openLoopArrivals, 0u);
+  EXPECT_GT(r.shedSessions, 0u);
+  EXPECT_LT(r.shedSessions, r.openLoopArrivals);  // the admitted session runs
+  EXPECT_EQ(r.webErrors, 0u);
+  ASSERT_TRUE(r.series != nullptr);
+  std::uint64_t shed = 0;
+  for (const auto& bucket : r.series->buckets()) shed += bucket.shed;
+  EXPECT_EQ(shed, r.shedSessions);
+}
+
+}  // namespace
+}  // namespace mwsim

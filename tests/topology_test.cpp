@@ -221,5 +221,51 @@ TEST(TopologyValidationTest, SummaryNamesTheMovingParts) {
   EXPECT_NE(s.find("master-replica"), std::string::npos);
 }
 
+TEST(HeterogeneousTierTest, RejectsMalformedPerReplicaCores) {
+  Topology t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 2;
+  t.web.coresPerReplica = {2};  // must have one entry per replica
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+
+  t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 2;
+  t.web.coresPerReplica = {2, 0};  // every replica needs at least one core
+  EXPECT_THROW(validateTopology(t), std::invalid_argument);
+}
+
+TEST(HeterogeneousTierTest, SummaryAnnotatesPerReplicaCores) {
+  Topology t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 2;
+  t.web.coresPerReplica = {4, 1};
+  validateTopology(t);
+  EXPECT_NE(topologySummary(t).find("web×2[4c,1c]"), std::string::npos);
+}
+
+TEST(HeterogeneousTierTest, UniformPerReplicaCoresMatchHomogeneousRuns) {
+  // coresPerReplica set to the tier's homogeneous core count must build the
+  // exact same machines — results stay bit-identical.
+  auto homogeneous = tinyParams(App::Auction);
+  homogeneous.config = Configuration::WsPhpDb;
+  Topology t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 2;
+  homogeneous.topology = t;
+
+  auto perReplica = homogeneous;
+  perReplica.topology->web.coresPerReplica = {t.web.cores, t.web.cores};
+  expectIdentical(runExperiment(homogeneous), runExperiment(perReplica));
+}
+
+TEST(HeterogeneousTierTest, MixedCoreRunsAreDeterministic) {
+  auto p = tinyParams(App::Auction);
+  p.config = Configuration::WsPhpDb;
+  Topology t = canonicalTopology(Configuration::WsPhpDb);
+  t.web.replicas = 2;
+  t.web.coresPerReplica = {2, 1};  // one big box plus a small spill-over
+  p.topology = t;
+  const auto a = runExperiment(p);
+  expectIdentical(a, runExperiment(p));
+  EXPECT_GT(a.throughputIpm, 0.0);
+}
+
 }  // namespace
 }  // namespace mwsim::core
