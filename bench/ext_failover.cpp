@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/analyzer.hpp"
 #include "stats/report.hpp"
 
 using namespace mwsim;
@@ -180,6 +181,26 @@ int main(int argc, char** argv) {
       bench::printTimeSeries(mw::dispatchName(policies[i]), *results[i].series);
     }
   }
+
+  // Windowed bottleneck verdicts: the verdict flips mid-run — during the
+  // blackout the surviving web replica's CPU is the wall (the crashed
+  // replica's own CPU idles, so it cannot win the window).
+  const double endSec = opts.rampUpSec + opts.measureSec + 5.0;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (!results[i].metrics) continue;
+    const obs::MetricsReport& mr = *results[i].metrics;
+    const char* name = mw::dispatchName(policies[i]);
+    std::printf("\nwindowed verdicts (%s):\n", name);
+    const auto window = [&](const char* label, double fromSec, double toSec) {
+      const obs::Verdict v = obs::analyze(mr, nullptr, sim::fromSeconds(fromSec),
+                                          sim::fromSeconds(toSec));
+      std::printf("  verdict[%s]: %s\n", label, v.oneLine().c_str());
+    };
+    window("pre-crash", 0.0, crashSec);
+    window("crash window", crashSec, recoverSec);
+    window("post-recovery", recoverSec, endSec);
+  }
+  std::fflush(stdout);
 
   std::printf("\nexpected: the dip bottoms out near the survivors' capacity (not zero "
               "— rerouted requests complete within the retry budget), errors stay "

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/analyzer.hpp"
 #include "stats/report.hpp"
 
 using namespace mwsim;
@@ -152,6 +153,20 @@ int main(int argc, char** argv) {
       bench::printTimeSeries(label.c_str(), *results[i].series);
     }
   }
+
+  // Surge-window verdicts: past the knee the verdict's note attributes the
+  // completed-throughput plateau to admission shedding, not just the
+  // saturated resource.
+  std::printf("\nsurge-window verdicts:\n");
+  for (std::size_t i = 0; i < surges.size(); ++i) {
+    if (!results[i].metrics) continue;
+    const obs::Verdict v = obs::analyze(
+        *results[i].metrics, nullptr, sim::fromSeconds(surgeStart),
+        sim::fromSeconds(surgeStart + rampSec + holdSec + decaySec));
+    std::printf("  verdict[surge ×%s]: %s\n", stats::fmt(surges[i], 1).c_str(),
+                v.oneLine().c_str());
+  }
+  std::fflush(stdout);
 
   std::printf("\nexpected: at low surge, throughput tracks the offered rate and "
               "nothing sheds; past the knee the admission cap sheds the excess "

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/parallel.hpp"
+#include "obs/analyzer.hpp"
 #include "stats/report.hpp"
 
 namespace mwsim::bench {
@@ -62,11 +63,18 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   opts.csv = argPresent(argc, argv, "--csv");
   opts.fullScale = argPresent(argc, argv, "--full-scale");
   opts.breakdown = argPresent(argc, argv, "--breakdown");
+  opts.noMetrics = argPresent(argc, argv, "--no-metrics");
   if (const char* v = argValue(argc, argv, "--trace-out")) opts.traceOut = v;
+  if (const char* v = argValue(argc, argv, "--metrics-out")) opts.metricsOut = v;
   if (opts.tracing() && !trace::kEnabled) {
     std::fprintf(stderr,
                  "note: built with -DMWSIM_TRACING=OFF; "
                  "--breakdown/--trace-out will produce no output\n");
+  }
+  if (!opts.metricsOut.empty() && !obs::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with -DMWSIM_METRICS=OFF; "
+                 "--metrics-out will produce no output\n");
   }
   return opts;
 }
@@ -122,8 +130,11 @@ void printTimeSeries(const char* label, const stats::TimeSeries& series) {
   std::fflush(stdout);
 }
 
-void writeTraceFile(const std::string& path, const trace::Report& report) {
-  const std::string json = trace::chromeTraceJson(report);
+void writeTraceFile(const std::string& path, const trace::Report& report,
+                    const obs::MetricsReport* metrics) {
+  const std::string extra =
+      metrics != nullptr ? obs::counterTrackEvents(*metrics) : std::string();
+  const std::string json = trace::chromeTraceJson(report, extra);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "  cannot open %s for writing\n", path.c_str());
@@ -131,8 +142,27 @@ void writeTraceFile(const std::string& path, const trace::Report& report) {
   }
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
-  std::fprintf(stderr, "  wrote %zu traces to %s\n", report.retained.size(),
-               path.c_str());
+  std::fprintf(stderr, "  wrote %zu traces%s to %s\n", report.retained.size(),
+               extra.empty() ? "" : " + counter tracks", path.c_str());
+}
+
+void writeMetricsFile(const std::string& path, const obs::MetricsReport& report) {
+  const std::string json = obs::metricsJson(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "  wrote metrics JSON to %s\n", path.c_str());
+}
+
+void printVerdict(const char* label, int clients, const core::ExperimentResult& result) {
+  if (!result.metrics) return;
+  std::printf("  verdict[%s at %d clients]: %s\n", label, clients,
+              result.metrics->verdict.oneLine().c_str());
+  std::fflush(stdout);
 }
 
 core::SweepOptions BenchOptions::sweepOptions() const {
@@ -157,6 +187,9 @@ core::ExperimentParams BenchOptions::baseParams(const FigureSpec& spec) const {
   params.rampDown = sim::fromSeconds(5);
   params.bookstoreScale = fullScale ? 1.0 : 0.25;
   params.auctionHistoryScale = fullScale ? 1.0 : 0.10;
+  // Metrics are on by default: the layer is observation-only (results stay
+  // byte-identical), and every figure bench prints its bottleneck verdict.
+  params.metrics.enabled = metrics();
   return params;
 }
 
@@ -211,6 +244,7 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
   std::printf("%s\n", table.str().c_str());
 
   std::printf("peak throughput (interactions/min):\n");
+  std::vector<std::size_t> peakIdx(spec.configs.size(), 0);
   for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
     double best = 0;
     int bestClients = 0;
@@ -218,10 +252,21 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
       if (curves[ci][p] > best) {
         best = curves[ci][p];
         bestClients = points[p];
+        peakIdx[ci] = p;
       }
     }
     std::printf("  %-22s %6.0f ipm at %d clients\n",
                 core::configurationName(spec.configs[ci]), best, bestClients);
+  }
+  if (!flat.empty() && flat.front().metrics) {
+    std::printf("\nbottleneck verdicts at peak:\n");
+    for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+      printVerdict(core::configurationName(spec.configs[ci]), points[peakIdx[ci]],
+                   grid[ci][peakIdx[ci]]);
+    }
+  }
+  if (!opts.metricsOut.empty() && grid.front()[peakIdx.front()].metrics) {
+    writeMetricsFile(opts.metricsOut, *grid.front()[peakIdx.front()].metrics);
   }
   if (opts.breakdown) {
     for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
@@ -232,7 +277,8 @@ int runThroughputFigure(const FigureSpec& spec, int argc, char** argv) {
     }
   }
   if (!opts.traceOut.empty() && grid.front().back().trace) {
-    writeTraceFile(opts.traceOut, *grid.front().back().trace);
+    writeTraceFile(opts.traceOut, *grid.front().back().trace,
+                   grid.front().back().metrics.get());
   }
   if (opts.csv) std::printf("\nCSV:\n%s", csv.str().c_str());
   return 0;
@@ -299,6 +345,16 @@ int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
     peakClients.push_back(bestClients);
   }
   std::printf("%s", table.str().c_str());
+  if (!peaks.empty() && peaks.front().metrics) {
+    std::printf("\nbottleneck verdicts at peak:\n");
+    for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
+      printVerdict(core::configurationName(spec.configs[ci]), peakClients[ci],
+                   peaks[ci]);
+    }
+  }
+  if (!opts.metricsOut.empty() && !peaks.empty() && peaks.front().metrics) {
+    writeMetricsFile(opts.metricsOut, *peaks.front().metrics);
+  }
   if (opts.breakdown) {
     for (std::size_t ci = 0; ci < spec.configs.size(); ++ci) {
       if (peaks[ci].trace) {
@@ -308,7 +364,7 @@ int runCpuFigure(const FigureSpec& spec, int argc, char** argv) {
     }
   }
   if (!opts.traceOut.empty() && !peaks.empty() && peaks.front().trace) {
-    writeTraceFile(opts.traceOut, *peaks.front().trace);
+    writeTraceFile(opts.traceOut, *peaks.front().trace, peaks.front().metrics.get());
   }
   return 0;
 }

@@ -42,7 +42,12 @@ struct FigureSpec {
 ///                     figures: at the largest client count; CPU figures:
 ///                     at each configuration's located peak)
 ///   --trace-out FILE  Chrome-trace/Perfetto JSON for the first
-///                     configuration's traced point
+///                     configuration's traced point (with metrics on, the
+///                     stream also carries the sampled counter tracks)
+///   --metrics-out FILE  metrics JSON (series + verdict) for the first
+///                     configuration's peak point
+///   --no-metrics      disable the metrics layer (it is on by default —
+///                     observation-only, results are byte-identical)
 struct BenchOptions {
   double measureSec = 60;
   /// Single source of truth is ExperimentParams::rampUp; this only exists
@@ -54,9 +59,12 @@ struct BenchOptions {
   bool csv = false;
   bool fullScale = false;
   bool breakdown = false;
+  bool noMetrics = false;
   std::string traceOut;
+  std::string metricsOut;
 
   bool tracing() const { return breakdown || !traceOut.empty(); }
+  bool metrics() const { return obs::kEnabled && !noMetrics; }
 
   static BenchOptions parse(int argc, char** argv);
   core::ExperimentParams baseParams(const FigureSpec& spec) const;
@@ -75,7 +83,17 @@ void printBreakdown(const char* configName, int clients, const trace::Report& re
 void printTimeSeries(const char* label, const stats::TimeSeries& series);
 
 /// Writes Chrome-trace JSON to `path` (stderr note on success/failure).
-void writeTraceFile(const std::string& path, const trace::Report& report);
+/// When `metrics` is non-null, the stream also carries the sampled series
+/// as Perfetto counter tracks.
+void writeTraceFile(const std::string& path, const trace::Report& report,
+                    const obs::MetricsReport* metrics = nullptr);
+
+/// Writes the --metrics-out JSON (series + verdict) to `path`.
+void writeMetricsFile(const std::string& path, const obs::MetricsReport& report);
+
+/// Prints one "verdict[<label>]: ..." line for a run's bottleneck verdict;
+/// silently does nothing when the run carried no metrics.
+void printVerdict(const char* label, int clients, const core::ExperimentResult& result);
 
 /// Runs a throughput-vs-clients figure: one curve per configuration.
 int runThroughputFigure(const FigureSpec& spec, int argc, char** argv);

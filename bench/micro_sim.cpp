@@ -3,6 +3,7 @@
 /// traffic the figure benches can push per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include "obs/metrics.hpp"
 #include "sim/sim.hpp"
 #include "trace/scope.hpp"
 #include "trace/span.hpp"
@@ -183,6 +184,39 @@ void BM_TracedDelayRoundTrip(benchmark::State& state) {
   sim.shutdown();
 }
 BENCHMARK(BM_TracedDelayRoundTrip);
+
+void BM_MetricsCpuProcessorSharing(benchmark::State& state) {
+  // BM_CpuProcessorSharing with a metrics registry attached but never
+  // sampled: measures the per-dispatch cost of the always-on Little's-law
+  // accumulators plus the hook-site null checks. Under -DMWSIM_METRICS=OFF
+  // this collapses to the plain benchmark, so comparing the two builds
+  // isolates the metrics hook cost (the CI metrics-overhead gate compares
+  // the *other* benchmarks across builds instead — this one exists to see
+  // the hook cost directly rather than bound it).
+  Simulation sim;
+  mwsim::obs::MetricsRegistry registry;
+  sim.setMetrics(&registry);
+  CpuResource cpu(sim, 1);
+  registry.addUtilizationProbe("cpu", mwsim::obs::ResourceKind::Cpu, 1.0,
+                               [&cpu] { return cpu.busyCoreSeconds(); });
+  struct Driver {
+    static Task<> burn(Simulation&, CpuResource& c) {
+      for (;;) {
+        co_await c.consume(10 * kMicrosecond);
+      }
+    }
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(Driver::burn(sim, cpu));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += kMillisecond;
+    sim.runUntil(t);
+  }
+  benchmark::DoNotOptimize(cpu.jobsCompleted());
+  sim.setMetrics(nullptr);
+  sim.shutdown();
+}
+BENCHMARK(BM_MetricsCpuProcessorSharing);
 
 }  // namespace
 

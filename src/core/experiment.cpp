@@ -22,6 +22,8 @@
 #include "middleware/php_module.hpp"
 #include "middleware/servlet_engine.hpp"
 #include "middleware/web_server.hpp"
+#include "obs/analyzer.hpp"
+#include "obs/pump.hpp"
 #include "scenario/timeline.hpp"
 #include "workload/client.hpp"
 #include "workload/open_loop.hpp"
@@ -84,6 +86,65 @@ std::vector<std::unique_ptr<net::Machine>> makeTier(sim::Simulation& simulation,
 std::uint64_t replicaSeed(std::uint64_t seed, int replica) {
   return replica == 0 ? seed
                       : sim::deriveSeed(seed, 0x5E71E7ULL + static_cast<std::uint64_t>(replica));
+}
+
+/// Registers the saturation instruments for one machine: CPU utilization,
+/// run-queue depth, and the Little's-law triple; NIC utilization, queue,
+/// throughput, and effective bandwidth (tracks LinkDegrade events).
+void addMachineProbes(obs::MetricsRegistry& registry, const net::Machine& m) {
+  const std::string& n = m.name();
+  registry.addUtilizationProbe(n + "/cpu", obs::ResourceKind::Cpu,
+                               static_cast<double>(m.cpu().cores()),
+                               [&m] { return m.cpu().busyCoreSeconds(); });
+  registry.addGaugeProbe(n + "/cpu.runq",
+                         [&m] { return static_cast<double>(m.cpu().activeJobs()); });
+  registry.addLittleProbe(n + "/cpu", [&m] { return m.cpu().jobIntegralSeconds(); },
+                          [&m] { return m.cpu().jobsCompleted(); },
+                          [&m] { return m.cpu().sojournSeconds(); });
+  registry.addUtilizationProbe(n + "/nic", obs::ResourceKind::Nic, 1.0,
+                               [&m] { return m.nic().busySeconds(); });
+  registry.addGaugeProbe(n + "/nic.queue",
+                         [&m] { return static_cast<double>(m.nic().queueLength()); });
+  registry.addUtilizationProbe(
+      n + "/nic.mbps", obs::ResourceKind::Rate, 1.0,
+      [&m] { return static_cast<double>(m.nic().bytesTransferred()) * 8.0 / 1e6; });
+  registry.addGaugeProbe(n + "/nic.effective_mbps",
+                         [&m] { return m.nic().effectiveBitsPerSecond() / 1e6; });
+}
+
+/// Registers the database-side instruments for one backend: the global
+/// lock-manager mutex (utilization ~1.0 is the LOCK TABLES wall), table-lock
+/// queue depth and grant rate, and the statement throughput.
+void addBackendProbes(obs::MetricsRegistry& registry, mw::DatabaseServer& backend) {
+  const std::string& n = backend.machine().name();
+  const sim::Mutex& lm = backend.lockManager();
+  registry.addUtilizationProbe(n + "/lock-manager", obs::ResourceKind::Lock, 1.0,
+                               [&lm] { return lm.busyUnitSeconds(); });
+  registry.addGaugeProbe(n + "/lock-manager.queue",
+                         [&lm] { return static_cast<double>(lm.queueLength()); });
+  registry.addUtilizationProbe(n + "/lock-manager.grants", obs::ResourceKind::Rate, 1.0,
+                               [&lm] { return static_cast<double>(lm.acquisitions()); });
+  registry.addGaugeProbe(n + "/table-lock.queue", [&backend] {
+    double q = 0.0;
+    for (const auto& [table, lock] : backend.tableLocks()) {
+      (void)table;
+      q += static_cast<double>(lock->queueLength());
+    }
+    return q;
+  });
+  registry.addUtilizationProbe(n + "/table-lock.grants", obs::ResourceKind::Rate, 1.0,
+                               [&backend] {
+                                 double g = 0.0;
+                                 for (const auto& [table, lock] : backend.tableLocks()) {
+                                   (void)table;
+                                   g += static_cast<double>(lock->readAcquisitions() +
+                                                            lock->writeAcquisitions());
+                                 }
+                                 return g;
+                               });
+  registry.addUtilizationProbe(
+      "db.statements." + n, obs::ResourceKind::Rate, 1.0,
+      [&backend] { return static_cast<double>(backend.statementsProcessed()); });
 }
 
 }  // namespace
@@ -302,16 +363,90 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   for (auto& m : servletMachines) usage.addMachine(m.get(), kServletTier);
   for (auto& m : ejbMachines) usage.addMachine(m.get(), kEjbTier);
 
-  // Phases: ramp-up, measurement, ramp-down (paper §4.5).
-  simulation.runUntil(params.rampUp);
+  // Metrics layer (src/obs/): per-run registry, saturation probes across
+  // every layer, and the sampling pump. Everything here only *reads*
+  // simulation state, and the pump drives runUntil in period-sized steps
+  // instead of spawning a simulated process — so enabling metrics cannot
+  // perturb the event sequence (asserted byte-identical in metrics_test).
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::MetricsPump> pump;
+  if constexpr (obs::kEnabled) {
+    if (params.metrics.enabled) {
+      registry = std::make_unique<obs::MetricsRegistry>();
+      simulation.setMetrics(registry.get());
+      for (auto& m : webMachines) addMachineProbes(*registry, *m);
+      for (auto& m : dbMachines) addMachineProbes(*registry, *m);
+      for (auto& m : servletMachines) addMachineProbes(*registry, *m);
+      for (auto& m : ejbMachines) addMachineProbes(*registry, *m);
+      for (std::size_t b = 0; b < dbCluster.size(); ++b) {
+        addBackendProbes(*registry, dbCluster.backend(b));
+      }
+      if (dbCluster.size() > 1) {
+        sim::Mutex* ws = dbCluster.writeStream();
+        registry->addUtilizationProbe("db-cluster/write-stream",
+                                      obs::ResourceKind::Stream, 1.0,
+                                      [ws] { return ws->busyUnitSeconds(); });
+        registry->addGaugeProbe("db-cluster/write-stream.queue", [ws] {
+          return static_cast<double>(ws->queueLength());
+        });
+        std::vector<std::string> backendNames;
+        for (std::size_t b = 0; b < dbCluster.size(); ++b) {
+          backendNames.push_back(dbCluster.backend(b).machine().name());
+        }
+        registry->initBackendReads(backendNames);
+      }
+      for (std::size_t i = 0; i < webServers.size(); ++i) {
+        const mw::WebServer& w = *webServers[i];
+        const std::string n = webMachines[i]->name();
+        registry->addUtilizationProbe(
+            n + "/httpd-pool", obs::ResourceKind::Pool,
+            static_cast<double>(w.processPool().capacity()),
+            [&w] { return w.processPool().busyUnitSeconds(); });
+        registry->addGaugeProbe(n + "/httpd-pool.queue", [&w] {
+          return static_cast<double>(w.processPool().queueLength());
+        });
+      }
+      if (balancer) {
+        const mw::LoadBalancer* lb = balancer.get();
+        for (std::size_t i = 0; i < lb->replicaCount(); ++i) {
+          registry->addGaugeProbe("lb/inflight." + webMachines[i]->name(),
+                                  [lb, i] {
+                                    return static_cast<double>(lb->picker().inflight(i));
+                                  });
+        }
+      }
+      registry->addGaugeProbe("kernel/pending-events", [&simulation] {
+        return static_cast<double>(simulation.pendingEvents());
+      });
+      stats.responseHist = &registry->histogram("response_sec");
+      // The pump takes its baseline snapshot now: every instrument must be
+      // registered above this line.
+      pump = std::make_unique<obs::MetricsPump>(simulation, *registry,
+                                                params.metrics.period);
+    }
+  }
+
+  // Phases: ramp-up, measurement, ramp-down (paper §4.5). With metrics on,
+  // the pump splits each runUntil into period-sized steps; runUntil(t) runs
+  // all events with timestamp <= t and then advances the clock to t, so the
+  // split dispatches the identical event sequence.
+  const auto advanceTo = [&](sim::SimTime t) {
+    if (pump) {
+      pump->runTo(t);
+    } else {
+      simulation.runUntil(t);
+    }
+  };
+  advanceTo(params.rampUp);
   stats.measuring = true;
   collector.setMeasuring(true);
   usage.start(simulation.now());
-  simulation.runUntil(params.rampUp + params.measure);
+  advanceTo(params.rampUp + params.measure);
   stats.measuring = false;
   collector.setMeasuring(false);
   usage.stop(simulation.now());
-  simulation.runUntil(params.rampUp + params.measure + params.rampDown);
+  advanceTo(params.rampUp + params.measure + params.rampDown);
+  if (pump) pump->finish();  // tail-flush a partial final interval
   // Tear down all client processes while every referenced object is alive.
   simulation.shutdown();
 
@@ -350,6 +485,14 @@ ExperimentResult runExperiment(const ExperimentParams& params) {
   result.series = std::move(series);
   if (collector.enabled()) {
     result.trace = std::make_shared<const trace::Report>(collector.report());
+  }
+  if (pump) {
+    const sim::SimTime from = params.rampUp;
+    const sim::SimTime to = params.rampUp + params.measure;
+    obs::MetricsReport report = pump->buildReport(from, to);
+    report.verdict = obs::analyze(report, result.trace.get(), from, to);
+    result.metrics = std::make_shared<const obs::MetricsReport>(std::move(report));
+    simulation.setMetrics(nullptr);
   }
   return result;
 }

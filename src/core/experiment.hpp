@@ -11,6 +11,7 @@
 #include "core/topology.hpp"
 #include "middleware/cost_model.hpp"
 #include "net/network.hpp"
+#include "obs/report.hpp"
 #include "scenario/spec.hpp"
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
@@ -65,6 +66,14 @@ struct ExperimentParams {
   /// simulated results: spans observe virtual time the scheduler already
   /// decided.
   trace::Options trace;
+
+  /// Metrics layer (off by default): typed instruments sampled into aligned
+  /// time series by the metrics pump, plus the bottleneck verdict. Like
+  /// tracing, observation-only — a metrics-on run is byte-identical to a
+  /// metrics-off run (the pump steps runUntil instead of spawning a
+  /// sampling process), and like seriesInterval it stays out of the
+  /// sweep-point seed derivation.
+  obs::Options metrics;
 
   /// Scenario engine (src/scenario/): arrival mode, failover policy, and
   /// the platform event timeline. The default is "scenario off", which
@@ -132,6 +141,10 @@ struct ExperimentResult {
   /// Per-tier latency attribution (only when params.trace.enabled).
   /// shared_ptr keeps ExperimentResult cheaply copyable.
   std::shared_ptr<const trace::Report> trace;
+
+  /// Sampled metrics series + bottleneck verdict (only when
+  /// params.metrics.enabled and metrics are compiled in).
+  std::shared_ptr<const obs::MetricsReport> metrics;
 
   /// Per-instance lookup by unique machine name ("WebServer", "WebServer#2").
   const stats::MachineUsage* machine(const std::string& name) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "trace/scope.hpp"
 
 namespace mwsim::mw {
@@ -123,6 +124,13 @@ sim::Task<db::ExecResult> DatabaseServer::Connection::process(
   // Execute against the real engine (instantaneous) via the statement's
   // cached plan, then charge the CPU demand the execution statistics imply,
   // holding the locks throughout.
+  if constexpr (obs::kEnabled) {
+    // Like the statement cache, plans are cached process-wide per catalog
+    // signature; hit/miss is per run (first use in this run = miss).
+    if (auto* m = srv.sim_.metrics()) {
+      m->recordPlanUse(planned->planFor(srv.database_).get());
+    }
+  }
   db::ExecResult result = srv.executor_.execute(*planned, params);
   co_await srv.machine_.compute(srv.queryCpuCost(result.stats));
   co_return result;

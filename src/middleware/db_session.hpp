@@ -14,6 +14,7 @@
 #include "middleware/database_server.hpp"
 #include "middleware/db_cluster.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "trace/scope.hpp"
 
 namespace mwsim::mw {
@@ -147,6 +148,12 @@ class DbSession {
                                     std::vector<db::Value> params = {}) {
     trace::SpanScope dbSpan(sim_, "db");
     auto stmt = StatementCache::global().get(sql);
+    if constexpr (obs::kEnabled) {
+      // The cache itself is process-global (shared across sweep workers),
+      // so hit/miss is counted per run: first use of a statement in this
+      // run is the miss. See MetricsRegistry::recordStatementUse.
+      if (auto* m = sim_.metrics()) m->recordStatementUse(stmt.get());
+    }
     const double perQueryUs =
         driver_ == DriverKind::Jdbc ? cost_.jdbcPerQueryUs : cost_.phpDriverPerQueryUs;
     const double perByteUs =
@@ -217,6 +224,9 @@ class DbSession {
                      : cluster.routeRead();
       }
       DatabaseServer& backend = cluster.backend(target);
+      if constexpr (obs::kEnabled) {
+        if (auto* m = sim_.metrics()) m->recordBackendRead(target);
+      }
       co_await net_.send(host_, backend.machine(), requestBytes);
       db::ExecResult result = co_await conns_[target]->process(std::move(stmt),
                                                                std::move(params));

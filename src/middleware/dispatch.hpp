@@ -9,6 +9,7 @@
 #include "middleware/application.hpp"
 #include "middleware/failure.hpp"
 #include "middleware/policy.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace mwsim::mw {
@@ -134,9 +135,18 @@ class LoadBalancer final : public HttpService {
 
   /// Scenario hook: marks a replica up or down for dispatch.
   void setHealthy(std::size_t i, bool healthy) {
-    healthy_.at(i) = healthy ? 1 : 0;
+    const char next = healthy ? 1 : 0;
+    if (healthy_.at(i) == next) return;
+    healthy_.at(i) = next;
+    if constexpr (obs::kEnabled) {
+      if (auto* m = sim_.metrics()) m->lbHealthFlips.add(1);
+    }
   }
   bool healthy(std::size_t i) const { return healthy_.at(i) != 0; }
+
+  /// Metrics wiring: per-replica in-flight gauges read through the picker.
+  std::size_t replicaCount() const noexcept { return replicas_.size(); }
+  const ReplicaPicker& picker() const noexcept { return picker_; }
 
   /// Requests answered with the balancer's own error page (budget
   /// exhausted, timed out, or no healthy replica).
@@ -164,13 +174,22 @@ class LoadBalancer final : public HttpService {
         // The replica died under this request: its partial work is lost
         // (the simulated time it burned stands); reroute if budget remains.
         ++reroutes_;
+        if constexpr (obs::kEnabled) {
+          if (auto* m = sim_.metrics()) m->lbReroutes.add(1);
+        }
       } catch (const RequestTimeout&) {
         // The deadline covers the whole interaction; retrying cannot help.
         ++timeouts_;
+        if constexpr (obs::kEnabled) {
+          if (auto* m = sim_.metrics()) m->lbTimeouts.add(1);
+        }
         break;
       }
     }
     ++errors_;
+    if constexpr (obs::kEnabled) {
+      if (auto* m = sim_.metrics()) m->lbErrors.add(1);
+    }
     co_return errorPage();
   }
 

@@ -58,6 +58,11 @@ class Nic {
   std::uint64_t packetsTransferred() const noexcept { return packets_; }
   double busySeconds() const noexcept { return link_.busyUnitSeconds(); }
   double bandwidthBitsPerSecond() const noexcept { return bitsPerSecond_; }
+  /// Transfers queued behind the link right now (metrics gauge).
+  std::size_t queueLength() const noexcept { return link_.queueLength(); }
+  /// Nominal bandwidth divided by the degrade factor: what the link can
+  /// actually move per second under an active LinkDegrade scenario event.
+  double effectiveBitsPerSecond() const noexcept { return bitsPerSecond_ / degrade_; }
 
  private:
   sim::Simulation& sim_;

@@ -1,0 +1,317 @@
+#include "obs/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mwsim::obs {
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return fmt("%.9g", v);
+}
+
+/// Microsecond timestamp for Chrome-trace events, 3 decimals (ns precision).
+std::string traceTs(sim::SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+void appendCounterEvent(std::string& out, const std::string& name, sim::SimTime t,
+                        double value) {
+  if (!out.empty()) out += ",\n";
+  out += "{\"name\":\"" + jsonEscape(name) +
+         "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" + traceTs(t) +
+         ",\"args\":{\"value\":" + jsonNumber(value) + "}}";
+}
+
+/// The root "interaction" tier holds client-side time (think time, network
+/// round trips); the bottleneck question is about the server tiers.
+bool serverTier(const std::string& name) { return name != "interaction"; }
+
+}  // namespace
+
+std::string Verdict::oneLine() const {
+  std::string s = "bottleneck=" + resource + " kind=" + resourceKindName(kind) +
+                  " util=" + fmt("%.0f", utilization * 100.0) + "%" +
+                  " plateau=" + fmt("%.0f", plateauFraction * 100.0) + "%";
+  if (!saturated) s += " (unsaturated)";
+  if (!dominant.empty()) s += " dominant=" + dominant;
+  if (!note.empty()) s += " note=\"" + note + "\"";
+  return s;
+}
+
+std::vector<LittleRecord> littleRecords(const MetricsReport& report,
+                                        sim::SimTime from, sim::SimTime to) {
+  std::vector<LittleRecord> out;
+  const std::size_t a = report.snapshotAtOrBefore(from);
+  const std::size_t b = report.snapshotAtOrBefore(to);
+  if (b <= a) return out;
+  const double dt = sim::toSeconds(report.times[b] - report.times[a]);
+  if (dt <= 0.0) return out;
+  for (const auto& s : report.little) {
+    if (s.completed.size() <= b) continue;
+    const std::uint64_t completed = s.completed[b] - s.completed[a];
+    if (completed == 0) continue;
+    LittleRecord r;
+    r.name = s.name;
+    r.L = (s.jobIntegral[b] - s.jobIntegral[a]) / dt;
+    r.lambda = static_cast<double>(completed) / dt;
+    r.W = (s.sojourn[b] - s.sojourn[a]) / static_cast<double>(completed);
+    r.relError = std::fabs(r.L - r.lambda * r.W) / std::max(r.L, 1e-9);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Verdict analyze(const MetricsReport& report, const trace::Report* traces,
+                sim::SimTime from, sim::SimTime to, AnalyzerOptions options) {
+  Verdict v;
+
+  // Saturated resource: highest windowed mean utilization among the kinds
+  // that can actually be the wall (CPU, NIC, lock, write stream) — but
+  // physical resources (CPU/NIC/stream) outrank locks. A lock's busy time
+  // counts its holder's time blocked on resources *inside* the critical
+  // section, so a near-100% lock above a saturated CPU is a symptom of that
+  // CPU, while a near-100% lock with every physical resource cool is the
+  // genuine wall (the paper's LOCK TABLES signature: DB CPU well below
+  // saturation while throughput stops scaling). This mirrors the paper's
+  // own method — find the pegged hardware resource first.
+  const MetricsReport::UtilSeries* bestPhysical = nullptr;
+  double bestPhysicalUtil = -1.0;
+  const MetricsReport::UtilSeries* bestLock = nullptr;
+  double bestLockUtil = -1.0;
+  for (const auto& s : report.utilization) {
+    if (!verdictCandidate(s.kind)) continue;
+    const double u = report.meanUtilization(s, from, to);
+    if (s.kind == ResourceKind::Lock) {
+      if (u > bestLockUtil) {
+        bestLockUtil = u;
+        bestLock = &s;
+      }
+    } else if (u > bestPhysicalUtil) {
+      bestPhysicalUtil = u;
+      bestPhysical = &s;
+    }
+  }
+  const MetricsReport::UtilSeries* best = bestPhysical;
+  double bestUtil = bestPhysicalUtil;
+  if (bestLock != nullptr && bestLockUtil >= options.saturation &&
+      bestPhysicalUtil < options.saturation) {
+    best = bestLock;
+    bestUtil = bestLockUtil;
+  }
+  if (best == nullptr && bestLock != nullptr) {
+    best = bestLock;
+    bestUtil = bestLockUtil;
+  }
+  if (best != nullptr) {
+    v.resource = best->name;
+    v.kind = best->kind;
+    v.utilization = bestUtil;
+    v.plateauFraction = report.fractionAbove(*best, options.saturation, from, to);
+    v.saturated = bestUtil >= options.saturation;
+  }
+
+  // Dominant critical-path component from trace attribution: the server
+  // tier with the most exclusive time, tagged with its top category.
+  if (traces != nullptr && traces->traces > 0) {
+    sim::Duration total = 0;
+    const trace::TierStats* top = nullptr;
+    sim::Duration topExcl = 0;
+    for (const auto& tier : traces->tiers) {
+      if (!serverTier(tier.name)) continue;
+      sim::Duration excl = 0;
+      for (sim::Duration d : tier.exclNs) excl += d;
+      total += excl;
+      if (excl > topExcl) {
+        topExcl = excl;
+        top = &tier;
+      }
+    }
+    if (top != nullptr && total > 0) {
+      std::size_t topCat = 0;
+      for (std::size_t c = 1; c < trace::kCategoryCount; ++c) {
+        if (top->exclNs[c] > top->exclNs[topCat]) topCat = c;
+      }
+      v.dominant = top->name + std::string("/") +
+                   trace::categoryName(static_cast<trace::Category>(topCat)) + " " +
+                   fmt("%.0f", 100.0 * static_cast<double>(topExcl) /
+                                   static_cast<double>(total)) +
+                   "%";
+    }
+  }
+
+  // Shed-explains-plateau: when open-loop admission control turned away a
+  // meaningful share of arrivals, the throughput plateau is (partly) the
+  // shed policy, not just the saturated resource.
+  const std::uint64_t arrivals = report.counterDelta("wl.arrivals", from, to);
+  const std::uint64_t shed = report.counterDelta("wl.shed", from, to);
+  if (arrivals > 0 && static_cast<double>(shed) >=
+                          options.shedNoteFraction * static_cast<double>(arrivals)) {
+    v.note = "admission shed " +
+             fmt("%.0f", 100.0 * static_cast<double>(shed) /
+                             static_cast<double>(arrivals)) +
+             "% of open-loop arrivals";
+  }
+
+  v.little = littleRecords(report, from, to);
+  return v;
+}
+
+std::string metricsJson(const MetricsReport& report) {
+  std::string out = "{\n";
+  out += "  \"period_sec\": " + jsonNumber(sim::toSeconds(report.period)) + ",\n";
+  out += "  \"window_start_sec\": " + jsonNumber(sim::toSeconds(report.windowStart)) + ",\n";
+  out += "  \"window_end_sec\": " + jsonNumber(sim::toSeconds(report.windowEnd)) + ",\n";
+
+  out += "  \"times_sec\": [";
+  for (std::size_t i = 0; i < report.times.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += jsonNumber(sim::toSeconds(report.times[i]));
+  }
+  out += "],\n";
+
+  // Utilization series are exported per interval (differentiated), which is
+  // what anyone plotting them wants; the cumulative integrals stay internal.
+  out += "  \"utilization\": [\n";
+  for (std::size_t si = 0; si < report.utilization.size(); ++si) {
+    const auto& s = report.utilization[si];
+    out += "    {\"name\": \"" + jsonEscape(s.name) + "\", \"kind\": \"" +
+           resourceKindName(s.kind) + "\", \"capacity\": " + jsonNumber(s.capacity) +
+           ", \"series\": [";
+    for (std::size_t i = 1; i < s.cumulative.size(); ++i) {
+      const double dt = sim::toSeconds(report.times[i] - report.times[i - 1]);
+      if (i != 1) out += ", ";
+      out += jsonNumber(dt <= 0.0 ? 0.0
+                                  : (s.cumulative[i] - s.cumulative[i - 1]) /
+                                        (dt * s.capacity));
+    }
+    out += "]}";
+    out += si + 1 < report.utilization.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"gauges\": [\n";
+  for (std::size_t si = 0; si < report.gauges.size(); ++si) {
+    const auto& s = report.gauges[si];
+    out += "    {\"name\": \"" + jsonEscape(s.name) + "\", \"series\": [";
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += jsonNumber(s.values[i]);
+    }
+    out += "]}";
+    out += si + 1 < report.gauges.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"counters\": [\n";
+  for (std::size_t si = 0; si < report.counters.size(); ++si) {
+    const auto& s = report.counters[si];
+    out += "    {\"name\": \"" + jsonEscape(s.name) + "\", \"cumulative\": [";
+    for (std::size_t i = 0; i < s.cumulative.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(s.cumulative[i]);
+    }
+    out += "]}";
+    out += si + 1 < report.counters.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"little\": [\n";
+  for (std::size_t i = 0; i < report.verdict.little.size(); ++i) {
+    const LittleRecord& r = report.verdict.little[i];
+    out += "    {\"name\": \"" + jsonEscape(r.name) +
+           "\", \"L\": " + jsonNumber(r.L) + ", \"lambda\": " + jsonNumber(r.lambda) +
+           ", \"W\": " + jsonNumber(r.W) +
+           ", \"rel_error\": " + jsonNumber(r.relError) + "}";
+    out += i + 1 < report.verdict.little.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"histograms\": [\n";
+  for (std::size_t i = 0; i < report.histograms.size(); ++i) {
+    const auto& h = report.histograms[i];
+    out += "    {\"name\": \"" + jsonEscape(h.name) +
+           "\", \"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + jsonNumber(h.mean) + ", \"p50\": " + jsonNumber(h.p50) +
+           ", \"p90\": " + jsonNumber(h.p90) + ", \"p99\": " + jsonNumber(h.p99) +
+           ", \"min\": " + jsonNumber(h.min) + ", \"max\": " + jsonNumber(h.max) + "}";
+    out += i + 1 < report.histograms.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  const Verdict& v = report.verdict;
+  out += "  \"verdict\": {\n";
+  out += "    \"resource\": \"" + jsonEscape(v.resource) + "\",\n";
+  out += "    \"kind\": \"" + std::string(resourceKindName(v.kind)) + "\",\n";
+  out += "    \"utilization\": " + jsonNumber(v.utilization) + ",\n";
+  out += "    \"plateau_fraction\": " + jsonNumber(v.plateauFraction) + ",\n";
+  out += "    \"saturated\": " + std::string(v.saturated ? "true" : "false") + ",\n";
+  out += "    \"dominant\": \"" + jsonEscape(v.dominant) + "\",\n";
+  out += "    \"note\": \"" + jsonEscape(v.note) + "\",\n";
+  out += "    \"one_line\": \"" + jsonEscape(v.oneLine()) + "\"\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string counterTrackEvents(const MetricsReport& report) {
+  std::string out;
+  // Utilization tracks: the interval value holds from the interval's start,
+  // with a closing event at the last snapshot so the track spans the run.
+  for (const auto& s : report.utilization) {
+    double last = 0.0;
+    for (std::size_t i = 1; i < s.cumulative.size(); ++i) {
+      const double dt = sim::toSeconds(report.times[i] - report.times[i - 1]);
+      last = dt <= 0.0 ? 0.0
+                       : (s.cumulative[i] - s.cumulative[i - 1]) / (dt * s.capacity);
+      appendCounterEvent(out, "util:" + s.name, report.times[i - 1], last);
+    }
+    if (s.cumulative.size() > 1) {
+      appendCounterEvent(out, "util:" + s.name, report.times.back(), last);
+    }
+  }
+  for (const auto& s : report.gauges) {
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      appendCounterEvent(out, "gauge:" + s.name, report.times[i], s.values[i]);
+    }
+  }
+  // Counters export as per-second rates; all-zero tracks are skipped to
+  // keep idle instruments from cluttering the Perfetto UI.
+  for (const auto& s : report.counters) {
+    if (s.cumulative.empty() || s.cumulative.back() == 0) continue;
+    double last = 0.0;
+    for (std::size_t i = 1; i < s.cumulative.size(); ++i) {
+      const double dt = sim::toSeconds(report.times[i] - report.times[i - 1]);
+      last = dt <= 0.0 ? 0.0
+                       : static_cast<double>(s.cumulative[i] - s.cumulative[i - 1]) / dt;
+      appendCounterEvent(out, "rate:" + s.name, report.times[i - 1], last);
+    }
+    if (s.cumulative.size() > 1) {
+      appendCounterEvent(out, "rate:" + s.name, report.times.back(), last);
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsim::obs

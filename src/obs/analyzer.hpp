@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "sim/time.hpp"
+#include "trace/collector.hpp"
+
+namespace mwsim::obs {
+
+struct AnalyzerOptions {
+  /// A utilization interval at or above this counts toward the plateau; a
+  /// window mean at or above it marks the resource saturated (the paper
+  /// reads its sysstat plots the same way: "100% utilized throughout").
+  double saturation = 0.90;
+  /// Shed sessions must explain at least this fraction of open-loop
+  /// arrivals before the verdict notes admission control.
+  double shedNoteFraction = 0.05;
+};
+
+/// Joins the sampled metrics with trace attribution into a per-run verdict:
+/// the saturated resource (highest windowed mean utilization among verdict
+/// candidates), the dominant critical-path component (trace tier with the
+/// largest exclusive time, tagged with its top category), and the
+/// Little's-law consistency records. `traces` may be null (no tracing).
+Verdict analyze(const MetricsReport& report, const trace::Report* traces,
+                sim::SimTime from, sim::SimTime to, AnalyzerOptions options = {});
+
+/// Little's-law records for every instrumented resource over [from, to]
+/// (snapshot-aligned); resources with no completions in the window are
+/// skipped.
+std::vector<LittleRecord> littleRecords(const MetricsReport& report,
+                                        sim::SimTime from, sim::SimTime to);
+
+/// Serializes the full report (series + verdict) as the --metrics-out JSON.
+std::string metricsJson(const MetricsReport& report);
+
+/// Renders the report's utilization, gauge, and counter-rate series as
+/// Chrome-trace "C" (counter) events — a comma-joined fragment for
+/// trace::chromeTraceJson's extraEvents slot, so --trace-out files show
+/// counter tracks alongside the span timelines.
+std::string counterTrackEvents(const MetricsReport& report);
+
+}  // namespace mwsim::obs

@@ -1,0 +1,20 @@
+#pragma once
+
+/// Compile-time kill switch for the metrics layer, mirroring
+/// trace/span.hpp. Building with -DMWSIM_METRICS=OFF (which defines
+/// MWSIM_METRICS_OFF) compiles every instrumentation hook — counter bumps
+/// in the middleware, queue/sojourn accumulators in the kernel — down to
+/// nothing; CI benchmarks that build against the default one to bound the
+/// cost of the compiled-in-but-unsampled hooks. This header is
+/// deliberately dependency-free so the simulation kernel can include it
+/// without linking the obs library.
+
+namespace mwsim::obs {
+
+#ifdef MWSIM_METRICS_OFF
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+}  // namespace mwsim::obs

@@ -1,0 +1,256 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "obs/enabled.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace mwsim::obs {
+
+/// Run-level metrics knobs, carried in ExperimentParams. Like tracing, the
+/// metrics layer is observation-only: enabling it never changes simulated
+/// results — every instrument reads state the scheduler already decided,
+/// and the pump samples *between* kernel steps (see MetricsPump).
+struct Options {
+  bool enabled = false;
+  /// Sampling period for the metrics pump (paper §4.5 samples every
+  /// second with sysstat; so do we).
+  sim::Duration period = sim::kSecond;
+};
+
+/// Monotonic event counter (cache hits, reroutes, shed sessions...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed distribution instrument, reusing stats::Histogram.
+class HistogramInstrument {
+ public:
+  void record(double value) { hist_.record(value); }
+  const stats::Histogram& histogram() const noexcept { return hist_; }
+
+ private:
+  stats::Histogram hist_;
+};
+
+/// What kind of saturable resource a utilization series measures. The
+/// bottleneck analyzer only considers kinds that can be "the wall": CPUs,
+/// NIC links, locks, and the cluster write stream. Pool occupancy and
+/// plain rates are exported for plots but excluded from verdicts — a full
+/// process pool means requests are *inside* the server, not that the pool
+/// itself is the binding resource.
+enum class ResourceKind { Cpu, Nic, Lock, Stream, Pool, Rate };
+
+inline const char* resourceKindName(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::Cpu: return "cpu";
+    case ResourceKind::Nic: return "nic";
+    case ResourceKind::Lock: return "lock";
+    case ResourceKind::Stream: return "stream";
+    case ResourceKind::Pool: return "pool";
+    case ResourceKind::Rate: return "rate";
+  }
+  return "?";
+}
+
+inline bool verdictCandidate(ResourceKind k) {
+  return k == ResourceKind::Cpu || k == ResourceKind::Nic ||
+         k == ResourceKind::Lock || k == ResourceKind::Stream;
+}
+
+/// Per-simulation instrument registry.
+///
+/// One registry belongs to one run (mirroring trace::Collector), reachable
+/// from middleware through sim::Simulation::metrics(); every hook site is
+/// guarded by `if constexpr (obs::kEnabled)` plus a null check, so the
+/// layer costs one branch when disabled and nothing at all when compiled
+/// out. The hot middleware counters are plain members — no name lookup on
+/// the request path; named instruments and pull probes exist for wiring
+/// code and tests.
+///
+/// Register everything before the pump takes its first sample: the pump
+/// snapshots the full instrument list each tick, so late registration
+/// would misalign the series.
+class MetricsRegistry {
+ public:
+  // --- Well-known middleware counters (zero-lookup hook sites) -----------
+  Counter stmtCacheHit;    // db.stmt_cache.hit
+  Counter stmtCacheMiss;   // db.stmt_cache.miss
+  Counter planCacheHit;    // db.plan_cache.hit
+  Counter planCacheMiss;   // db.plan_cache.miss
+  Counter lbHealthFlips;   // lb.health_flips
+  Counter lbReroutes;      // lb.reroutes
+  Counter lbTimeouts;      // lb.timeouts
+  Counter lbErrors;        // lb.errors
+  Counter openArrivals;    // wl.arrivals
+  Counter shedSessions;    // wl.shed
+
+  MetricsRegistry() {
+    registerCounter("db.stmt_cache.hit", &stmtCacheHit);
+    registerCounter("db.stmt_cache.miss", &stmtCacheMiss);
+    registerCounter("db.plan_cache.hit", &planCacheHit);
+    registerCounter("db.plan_cache.miss", &planCacheMiss);
+    registerCounter("lb.health_flips", &lbHealthFlips);
+    registerCounter("lb.reroutes", &lbReroutes);
+    registerCounter("lb.timeouts", &lbTimeouts);
+    registerCounter("lb.errors", &lbErrors);
+    registerCounter("wl.arrivals", &openArrivals);
+    registerCounter("wl.shed", &shedSessions);
+  }
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- Named instruments (create-or-get; deque storage keeps pointers
+  // stable across creation) ----------------------------------------------
+  Counter& counter(const std::string& name) {
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end()) return *it->second;
+    Counter& c = counterStore_.emplace_back();
+    registerCounter(name, &c);
+    return c;
+  }
+  Gauge& gauge(const std::string& name) {
+    auto it = gaugeIndex_.find(name);
+    if (it != gaugeIndex_.end()) return *it->second;
+    Gauge& g = gaugeStore_.emplace_back();
+    gaugeIndex_.emplace(name, &g);
+    // A plain gauge is sampled like a pull probe reading itself.
+    gaugeProbes_.push_back({name, [&g] { return g.value(); }});
+    return g;
+  }
+  HistogramInstrument& histogram(const std::string& name) {
+    auto it = histogramIndex_.find(name);
+    if (it != histogramIndex_.end()) return *it->second;
+    HistogramInstrument& h = histogramStore_.emplace_back();
+    histogramIndex_.emplace(name, &h);
+    histograms_.push_back({name, &h});
+    return h;
+  }
+
+  // --- Pull probes, sampled by the pump ----------------------------------
+  struct GaugeProbe {
+    std::string name;
+    std::function<double()> read;
+  };
+  /// `cumulative` returns a monotone busy integral in unit-seconds; the
+  /// pump differentiates it into per-interval utilization of `capacity`
+  /// units. Kind Rate reuses the machinery for plain rates (grants/s,
+  /// Mbit/s) with capacity 1.
+  struct UtilizationProbe {
+    std::string name;
+    ResourceKind kind;
+    double capacity;
+    std::function<double()> cumulative;
+  };
+  /// Exact Little's-law triple for one resource: the time integral of
+  /// jobs-in-system, completions, and the cumulative sojourn of completed
+  /// jobs — L = dIntegral/dt, lambda = dCompleted/dt, W = dSojourn /
+  /// dCompleted over any snapshot-aligned window.
+  struct LittleProbe {
+    std::string name;
+    std::function<double()> jobIntegralSeconds;
+    std::function<std::uint64_t()> completed;
+    std::function<double()> sojournSeconds;
+  };
+
+  void addGaugeProbe(std::string name, std::function<double()> read) {
+    gaugeProbes_.push_back({std::move(name), std::move(read)});
+  }
+  void addUtilizationProbe(std::string name, ResourceKind kind, double capacity,
+                           std::function<double()> cumulative) {
+    utilProbes_.push_back({std::move(name), kind, capacity, std::move(cumulative)});
+  }
+  void addLittleProbe(std::string name, std::function<double()> jobIntegralSeconds,
+                      std::function<std::uint64_t()> completed,
+                      std::function<double()> sojournSeconds) {
+    littleProbes_.push_back({std::move(name), std::move(jobIntegralSeconds),
+                             std::move(completed), std::move(sojournSeconds)});
+  }
+
+  // --- Per-run cache identity --------------------------------------------
+  // The statement/plan caches are process-global and shared across the
+  // worker threads of a parallel sweep, so "was it cached already?" is
+  // nondeterministic. First use *within this run* is the deterministic
+  // signal: the run's statement stream depends only on its seed.
+  void recordStatementUse(const void* stmt) {
+    (stmtSeen_.insert(stmt).second ? stmtCacheMiss : stmtCacheHit).add(1);
+  }
+  void recordPlanUse(const void* plan) {
+    (planSeen_.insert(plan).second ? planCacheMiss : planCacheHit).add(1);
+  }
+
+  // --- Per-backend read fan-out ------------------------------------------
+  void initBackendReads(const std::vector<std::string>& backendNames) {
+    backendReads_.clear();
+    for (const auto& name : backendNames) {
+      backendReads_.push_back(&counter("db.read." + name));
+    }
+  }
+  void recordBackendRead(std::size_t i) {
+    if (i < backendReads_.size()) backendReads_[i]->add(1);
+  }
+
+  // --- Pump/report access -------------------------------------------------
+  struct NamedCounter {
+    std::string name;
+    const Counter* value;
+  };
+  struct NamedHistogram {
+    std::string name;
+    const HistogramInstrument* value;
+  };
+  const std::vector<NamedCounter>& counters() const noexcept { return counters_; }
+  const std::vector<GaugeProbe>& gaugeProbes() const noexcept { return gaugeProbes_; }
+  const std::vector<UtilizationProbe>& utilizationProbes() const noexcept {
+    return utilProbes_;
+  }
+  const std::vector<LittleProbe>& littleProbes() const noexcept { return littleProbes_; }
+  const std::vector<NamedHistogram>& histograms() const noexcept { return histograms_; }
+
+ private:
+  void registerCounter(std::string name, Counter* c) {
+    counterIndex_.emplace(name, c);
+    counters_.push_back({std::move(name), c});
+  }
+
+  std::deque<Counter> counterStore_;
+  std::deque<Gauge> gaugeStore_;
+  std::deque<HistogramInstrument> histogramStore_;
+  std::unordered_map<std::string, Counter*> counterIndex_;
+  std::unordered_map<std::string, Gauge*> gaugeIndex_;
+  std::unordered_map<std::string, HistogramInstrument*> histogramIndex_;
+  std::vector<NamedCounter> counters_;
+  std::vector<GaugeProbe> gaugeProbes_;
+  std::vector<UtilizationProbe> utilProbes_;
+  std::vector<LittleProbe> littleProbes_;
+  std::vector<NamedHistogram> histograms_;
+  std::unordered_set<const void*> stmtSeen_;
+  std::unordered_set<const void*> planSeen_;
+  std::vector<Counter*> backendReads_;
+};
+
+}  // namespace mwsim::obs

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace mwsim::obs {
+
+/// One Little's-law consistency record: over a window, the time-averaged
+/// jobs-in-system L should equal arrival rate lambda times mean sojourn W.
+/// All three come from independent exact accumulators, so a large relError
+/// means an instrument (or the law's stationarity assumption) is broken —
+/// the check validates the instruments as much as the run.
+struct LittleRecord {
+  std::string name;
+  double L = 0.0;
+  double lambda = 0.0;  // completions per second
+  double W = 0.0;       // mean sojourn, seconds
+  double relError = 0.0;  // |L - lambda*W| / max(L, tiny)
+};
+
+/// The analyzer's structured answer to "what is the bottleneck of this
+/// window": the most-utilized saturable resource, how saturated and for how
+/// much of the window, the dominant critical-path component from trace
+/// attribution, and the Little's-law consistency records.
+struct Verdict {
+  std::string resource;   // utilization-series name, e.g. "Database/cpu"
+  ResourceKind kind = ResourceKind::Cpu;
+  double utilization = 0.0;      // mean over the window
+  double plateauFraction = 0.0;  // fraction of samples >= saturation threshold
+  bool saturated = false;        // utilization >= threshold over the window
+  std::string dominant;          // e.g. "db cpu-service 48%" ("" without traces)
+  std::string note;              // extra explanation (e.g. admission shedding)
+  std::vector<LittleRecord> little;
+
+  /// The one-line verdict the figure benches print.
+  std::string oneLine() const;
+};
+
+/// Everything the metrics pump sampled, copied out of the registry/pump so
+/// it outlives the simulation (ExperimentResult holds it by shared_ptr).
+/// Snapshot i is taken at times[i]; interval i (i >= 1) covers
+/// (times[i-1], times[i]] — the final interval may be partial (tail flush).
+struct MetricsReport {
+  sim::Duration period = 0;
+  sim::SimTime windowStart = 0;  // measurement window (ramp-up excluded)
+  sim::SimTime windowEnd = 0;
+  std::vector<sim::SimTime> times;
+
+  struct UtilSeries {
+    std::string name;
+    ResourceKind kind = ResourceKind::Cpu;
+    double capacity = 1.0;
+    std::vector<double> cumulative;  // unit-seconds at each snapshot
+  };
+  struct GaugeSeries {
+    std::string name;
+    std::vector<double> values;
+  };
+  struct CounterSeries {
+    std::string name;
+    std::vector<std::uint64_t> cumulative;
+  };
+  struct LittleSeries {
+    std::string name;
+    std::vector<double> jobIntegral;  // job-seconds at each snapshot
+    std::vector<std::uint64_t> completed;
+    std::vector<double> sojourn;  // seconds at each snapshot
+  };
+  struct HistogramSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
+  };
+
+  std::vector<UtilSeries> utilization;
+  std::vector<GaugeSeries> gauges;
+  std::vector<CounterSeries> counters;
+  std::vector<LittleSeries> little;
+  std::vector<HistogramSummary> histograms;
+
+  /// Verdict over the measurement window, filled by the analyzer.
+  Verdict verdict;
+
+  // --- Window helpers (all windows snap to snapshot instants) ------------
+
+  /// Index of the last snapshot taken at or before t (0 if t precedes all).
+  std::size_t snapshotAtOrBefore(sim::SimTime t) const {
+    std::size_t i = 0;
+    while (i + 1 < times.size() && times[i + 1] <= t) ++i;
+    return i;
+  }
+
+  /// Mean utilization of one series over [from, to].
+  double meanUtilization(const UtilSeries& s, sim::SimTime from, sim::SimTime to) const {
+    const std::size_t a = snapshotAtOrBefore(from);
+    const std::size_t b = snapshotAtOrBefore(to);
+    if (b <= a || s.cumulative.size() <= b) return 0.0;
+    const double dt = sim::toSeconds(times[b] - times[a]);
+    if (dt <= 0.0) return 0.0;
+    return (s.cumulative[b] - s.cumulative[a]) / (dt * s.capacity);
+  }
+
+  /// Fraction of whole sampling intervals inside [from, to] whose
+  /// utilization is at least `threshold` — "100% utilized throughout the
+  /// peak plateau" made checkable.
+  double fractionAbove(const UtilSeries& s, double threshold, sim::SimTime from,
+                       sim::SimTime to) const {
+    const std::size_t a = snapshotAtOrBefore(from);
+    const std::size_t b = snapshotAtOrBefore(to);
+    std::size_t total = 0, above = 0;
+    for (std::size_t i = a + 1; i <= b && i < s.cumulative.size(); ++i) {
+      const double dt = sim::toSeconds(times[i] - times[i - 1]);
+      if (dt <= 0.0) continue;
+      ++total;
+      if ((s.cumulative[i] - s.cumulative[i - 1]) / (dt * s.capacity) >= threshold) {
+        ++above;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(total);
+  }
+
+  const UtilSeries* findUtilization(const std::string& name) const {
+    for (const auto& s : utilization) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  const CounterSeries* findCounter(const std::string& name) const {
+    for (const auto& s : counters) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  const GaugeSeries* findGauge(const std::string& name) const {
+    for (const auto& s : gauges) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Counter increment over [from, to] (snapshot-aligned).
+  std::uint64_t counterDelta(const std::string& name, sim::SimTime from,
+                             sim::SimTime to) const {
+    const CounterSeries* s = findCounter(name);
+    if (s == nullptr || s->cumulative.empty()) return 0;
+    const std::size_t a = snapshotAtOrBefore(from);
+    const std::size_t b = snapshotAtOrBefore(to);
+    if (b <= a || s->cumulative.size() <= b) return 0;
+    return s->cumulative[b] - s->cumulative[a];
+  }
+  /// Final (whole-run) value of a counter.
+  std::uint64_t counterTotal(const std::string& name) const {
+    const CounterSeries* s = findCounter(name);
+    return s == nullptr || s->cumulative.empty() ? 0 : s->cumulative.back();
+  }
+};
+
+}  // namespace mwsim::obs

@@ -30,6 +30,11 @@ double CpuResource::busyCoreSeconds() const noexcept {
                          ? static_cast<int>(jobs_.size())
                          : cores_;
     busyIntegral_ += dt * busy;
+    if constexpr (obs::kEnabled) {
+      // The job count is constant between event dispatches, so folding at
+      // the same instants as the busy integral makes this exact.
+      queueIntegral_ += dt * static_cast<double>(jobs_.size());
+    }
     lastIntegralUpdate_ = now;
   }
   return busyIntegral_;
@@ -84,6 +89,11 @@ void CpuResource::onCompletionEvent(std::uint64_t seq) {
     jobs_.pop_back();
   }
   completed_ += finished.size();
+  if constexpr (obs::kEnabled) {
+    for (const Job& job : finished) {
+      sojournSeconds_ += toSeconds(sim_.now() - job.enqueued);
+    }
+  }
   scheduleNextCompletion();
   for (const Job& job : finished) {
     if constexpr (trace::kEnabled) {

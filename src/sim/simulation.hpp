@@ -17,6 +17,12 @@
 #include "sim/time.hpp"
 #include "trace/span.hpp"
 
+namespace mwsim {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace mwsim
+
 namespace mwsim::sim {
 
 class Simulation;
@@ -192,6 +198,17 @@ class Simulation {
   /// Total events processed, for kernel benchmarking.
   std::uint64_t eventsProcessed() const noexcept { return eventsProcessed_; }
 
+  /// Events currently pending in the timer wheel (for the metrics pump's
+  /// kernel.events gauge).
+  std::uint64_t pendingEvents() const noexcept { return queue_.size(); }
+
+  /// Per-simulation metrics registry, or null when metrics are off for
+  /// this run. Mirrors the mc::KernelObserver pattern: components reach it
+  /// through their Simulation reference, and every hook site checks
+  /// obs::kEnabled first so -DMWSIM_METRICS=OFF compiles the access out.
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+  void setMetrics(obs::MetricsRegistry* m) noexcept { metrics_ = m; }
+
   /// Kernel-level random source (components should derive their own).
   Rng& rng() noexcept { return rng_; }
 
@@ -273,6 +290,7 @@ class Simulation {
   std::unordered_map<std::uint64_t, std::coroutine_handle<detail::RootPromise>> roots_;
   std::exception_ptr pendingError_;
   trace::Span* currentSpan_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unordered_set<std::string> claimedNames_;
   // Model-checking state; cold unless setModelChecking() installed hooks.
   mc::ChoiceStrategy* mcStrategy_ = nullptr;

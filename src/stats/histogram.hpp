@@ -28,15 +28,20 @@ class Histogram {
   double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
   double max() const noexcept { return max_; }
 
-  /// Value at percentile p in [0, 100]. Returns an upper bucket bound.
+  /// Value at percentile p in [0, 100]. Returns a bucket upper bound,
+  /// clamped into [min(), max()] so the estimate can never leave the
+  /// recorded range (the raw bound of the last occupied bucket may exceed
+  /// the largest recorded value by up to the bucket width). percentile(0)
+  /// is the recorded minimum.
   double percentile(double p) const {
     if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min_;
     const auto target = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i];
-      if (seen >= target) return bucketUpperBound(i);
+      if (seen >= target) return std::clamp(bucketUpperBound(i), min_, max_);
     }
     return max_;
   }

@@ -42,7 +42,17 @@ class Sampler {
       lastCpu_[i] = machines_[i]->cpu().busyCoreSeconds();
       lastNicBytes_[i] = machines_[i]->nic().bytesTransferred();
     }
+    lastSample_ = sim_.now();
     sim_.spawn(loop());
+  }
+
+  /// Records the final partial interval. The sampling loop only fires on
+  /// whole periods, so without this a run that stops mid-period silently
+  /// drops its tail — short runs under-report trailing activity. Call once
+  /// when measurement stops; utilization is scaled by the actual elapsed
+  /// time, so a partial interval reports correctly.
+  void flush() {
+    if (sim_.now() > lastSample_) recordSamples(sim_.now() - lastSample_);
   }
 
   const std::vector<Sample>& series(std::size_t machine) const {
@@ -70,25 +80,31 @@ class Sampler {
   sim::Task<> loop() {
     for (;;) {
       co_await sim_.delay(period_);
-      const double seconds = sim::toSeconds(period_);
-      for (std::size_t i = 0; i < machines_.size(); ++i) {
-        const net::Machine& m = *machines_[i];
-        const double cpu = m.cpu().busyCoreSeconds();
-        const auto bytes = m.nic().bytesTransferred();
-        Sample s;
-        s.time = sim_.now();
-        s.cpuUtilization = (cpu - lastCpu_[i]) / (seconds * m.cpu().cores());
-        s.nicMbps =
-            static_cast<double>(bytes - lastNicBytes_[i]) * 8.0 / seconds / 1e6;
-        series_[i].push_back(s);
-        lastCpu_[i] = cpu;
-        lastNicBytes_[i] = bytes;
-      }
+      recordSamples(period_);
     }
+  }
+
+  void recordSamples(sim::Duration elapsed) {
+    const double seconds = sim::toSeconds(elapsed);
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      const net::Machine& m = *machines_[i];
+      const double cpu = m.cpu().busyCoreSeconds();
+      const auto bytes = m.nic().bytesTransferred();
+      Sample s;
+      s.time = sim_.now();
+      s.cpuUtilization = (cpu - lastCpu_[i]) / (seconds * m.cpu().cores());
+      s.nicMbps =
+          static_cast<double>(bytes - lastNicBytes_[i]) * 8.0 / seconds / 1e6;
+      series_[i].push_back(s);
+      lastCpu_[i] = cpu;
+      lastNicBytes_[i] = bytes;
+    }
+    lastSample_ = sim_.now();
   }
 
   sim::Simulation& sim_;
   sim::Duration period_;
+  sim::SimTime lastSample_ = 0;
   std::vector<const net::Machine*> machines_;
   std::vector<std::vector<Sample>> series_;
   std::vector<double> lastCpu_;

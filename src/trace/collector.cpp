@@ -122,7 +122,7 @@ void appendMicros(std::string& out, sim::Duration ns) {
 
 }  // namespace
 
-std::string chromeTraceJson(const Report& report) {
+std::string chromeTraceJson(const Report& report, const std::string& extraEvents) {
   std::string out;
   out.reserve(256 + report.retained.size() * 512);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -152,6 +152,10 @@ std::string chromeTraceJson(const Report& report) {
       }
       out += "}}";
     }
+  }
+  if (!extraEvents.empty()) {
+    out += ",\n";
+    out += extraEvents;
   }
   out += "\n]}\n";
   return out;

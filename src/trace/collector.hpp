@@ -95,6 +95,9 @@ class Collector {
 
 /// Serializes retained traces as Chrome-trace/Perfetto JSON ("X" complete
 /// events, microsecond timestamps; tid = simulated client id).
-std::string chromeTraceJson(const Report& report);
+/// `extraEvents` is an optional comma-joined fragment of additional events
+/// appended to the traceEvents array — the metrics layer injects its
+/// counter ("C") tracks through it (see obs::counterTrackEvents).
+std::string chromeTraceJson(const Report& report, const std::string& extraEvents = {});
 
 }  // namespace mwsim::trace

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "middleware/web_server.hpp"
+#include "obs/metrics.hpp"
 #include "stats/histogram.hpp"
 #include "stats/timeseries.hpp"
 #include "trace/collector.hpp"
@@ -28,6 +29,9 @@ struct WorkloadStats {
   stats::Histogram responseSeconds;
   /// When non-null, every completion lands in a fixed-interval bucket too.
   stats::TimeSeries* series = nullptr;
+  /// When non-null, measured response times also land in this metrics
+  /// instrument (summarized into the MetricsReport).
+  obs::HistogramInstrument* responseHist = nullptr;
 
   void record(const std::string& interaction, bool readWrite, double responseSecs,
               const mw::InteractionResult& result, sim::SimTime now) {
@@ -42,6 +46,9 @@ struct WorkloadStats {
     totalResponseBytes += result.totalResponseBytes;
     ++perInteraction[interaction];
     responseSeconds.record(responseSecs);
+    if constexpr (obs::kEnabled) {
+      if (responseHist != nullptr) responseHist->record(responseSecs);
+    }
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "scenario/arrival.hpp"
 #include "scenario/spec.hpp"
 #include "workload/client.hpp"
@@ -50,8 +51,14 @@ class OpenLoopFarm {
       const sim::Duration wait = sim::fromSeconds(nextSec) - sim_.now();
       if (wait > 0) co_await sim_.delay(wait);
       ++arrivals_;
+      if constexpr (obs::kEnabled) {
+        if (auto* m = sim_.metrics()) m->openArrivals.add(1);
+      }
       if (active_ >= spec_.maxInFlightSessions) {
         ++shed_;
+        if constexpr (obs::kEnabled) {
+          if (auto* m = sim_.metrics()) m->shedSessions.add(1);
+        }
         if (stats_.series != nullptr) stats_.series->recordShed(sim_.now());
         continue;
       }

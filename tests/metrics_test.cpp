@@ -1,0 +1,365 @@
+/// Tests for the obs:: metrics layer (PR 10):
+///
+///  * instruments and registry semantics (create-or-get, well-known names);
+///  * the metrics pump's aligned series, utilization differentiation, and
+///    final partial-interval flush;
+///  * the observation-only invariant — metrics-on runs are byte-identical
+///    to metrics-off, sequentially and under parallel sweeps;
+///  * the Little's-law consistency check (|L - lambda*W| / L < 5% on a
+///    steady closed-loop run) — which validates the instruments themselves;
+///  * bottleneck verdicts: scenario runs flip the verdict mid-run (the
+///    surviving web replica's CPU during a crash window) and admission
+///    shedding is called out on flash-crowd plateaus.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/analyzer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pump.hpp"
+#include "trace/collector.hpp"
+
+namespace mwsim {
+namespace {
+
+using sim::kSecond;
+
+// ------------------------------------------------------------- instruments
+
+TEST(MetricsRegistryTest, InstrumentBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("test.counter");
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_EQ(&registry.counter("test.counter"), &c) << "create-or-get identity";
+
+  obs::Gauge& g = registry.gauge("test.gauge");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_EQ(g.value(), 3.0);
+  EXPECT_EQ(&registry.gauge("test.gauge"), &g);
+
+  obs::HistogramInstrument& h = registry.histogram("test.hist");
+  h.record(0.010);
+  h.record(0.030);
+  EXPECT_EQ(h.histogram().count(), 2u);
+  EXPECT_EQ(&registry.histogram("test.hist"), &h);
+}
+
+TEST(MetricsRegistryTest, WellKnownCountersAreRegisteredByName) {
+  obs::MetricsRegistry registry;
+  registry.stmtCacheHit.add(2);
+  registry.shedSessions.add(7);
+  bool sawHit = false;
+  bool sawShed = false;
+  for (const auto& nc : registry.counters()) {
+    if (nc.name == "db.stmt_cache.hit") {
+      sawHit = true;
+      EXPECT_EQ(nc.value->value(), 2u);
+    }
+    if (nc.name == "wl.shed") {
+      sawShed = true;
+      EXPECT_EQ(nc.value->value(), 7u);
+    }
+  }
+  EXPECT_TRUE(sawHit);
+  EXPECT_TRUE(sawShed);
+}
+
+TEST(MetricsRegistryTest, CacheIdentityIsPerRunFirstSeen) {
+  obs::MetricsRegistry registry;
+  int a = 0, b = 0;
+  registry.recordStatementUse(&a);  // first use in this run: miss
+  registry.recordStatementUse(&a);  // hit
+  registry.recordStatementUse(&b);  // miss
+  EXPECT_EQ(registry.stmtCacheMiss.value(), 2u);
+  EXPECT_EQ(registry.stmtCacheHit.value(), 1u);
+}
+
+// -------------------------------------------------------------------- pump
+
+TEST(MetricsPumpTest, SamplesAlignedUtilizationSeries) {
+  sim::Simulation simulation;
+  sim::CpuResource cpu(simulation, 1);
+  obs::MetricsRegistry registry;
+  registry.addUtilizationProbe("m/cpu", obs::ResourceKind::Cpu, 1.0,
+                               [&cpu] { return cpu.busyCoreSeconds(); });
+  obs::MetricsPump pump(simulation, registry, kSecond);
+  // Busy during [2, 5): same shape as the Sampler test it subsumes.
+  simulation.spawn([](sim::Simulation& s, sim::CpuResource& c) -> sim::Task<> {
+    co_await s.delay(2 * kSecond);
+    co_await c.consume(3 * kSecond);
+  }(simulation, cpu));
+  pump.runTo(8 * kSecond);
+  pump.finish();
+  const obs::MetricsReport report = pump.buildReport(0, 8 * kSecond);
+  ASSERT_EQ(report.times.size(), 9u);  // baseline + one per second
+  EXPECT_EQ(report.times.front(), 0);
+  EXPECT_EQ(report.times.back(), 8 * kSecond);
+  ASSERT_EQ(report.utilization.size(), 1u);
+  const auto& s = report.utilization[0];
+  EXPECT_EQ(s.name, "m/cpu");
+  EXPECT_NEAR(report.meanUtilization(s, 2 * kSecond, 5 * kSecond), 1.0, 1e-9);
+  EXPECT_NEAR(report.meanUtilization(s, 0, 8 * kSecond), 3.0 / 8.0, 1e-9);
+  EXPECT_NEAR(report.fractionAbove(s, 0.9, 0, 8 * kSecond), 3.0 / 8.0, 1e-9);
+}
+
+TEST(MetricsPumpTest, FinishFlushesFinalPartialInterval) {
+  sim::Simulation simulation;
+  sim::CpuResource cpu(simulation, 1);
+  obs::MetricsRegistry registry;
+  registry.addUtilizationProbe("m/cpu", obs::ResourceKind::Cpu, 1.0,
+                               [&cpu] { return cpu.busyCoreSeconds(); });
+  obs::MetricsPump pump(simulation, registry, kSecond);
+  simulation.spawn([](sim::CpuResource& c) -> sim::Task<> {
+    co_await c.consume(10 * kSecond);
+  }(cpu));
+  // Stop mid-period at t = 2.5 s: the pump fired at t=1 and t=2; finish()
+  // must record the [2, 2.5) tail (the Sampler bug this layer ports the
+  // fix for).
+  pump.runTo(2 * kSecond + kSecond / 2);
+  pump.finish();
+  const obs::MetricsReport report = pump.buildReport(0, 3 * kSecond);
+  ASSERT_EQ(report.times.size(), 4u);
+  EXPECT_EQ(report.times.back(), 2 * kSecond + kSecond / 2);
+  const auto& s = report.utilization[0];
+  // The partial tail is still fully busy: utilization 1.0 over 0.5 s.
+  EXPECT_NEAR((s.cumulative[3] - s.cumulative[2]) / 0.5, 1.0, 1e-9);
+}
+
+TEST(MetricsPumpTest, CountersAndGaugesSnapshotPerTick) {
+  sim::Simulation simulation;
+  obs::MetricsRegistry registry;
+  obs::Counter& work = registry.counter("work.done");
+  obs::MetricsPump pump(simulation, registry, kSecond);
+  simulation.spawn([](sim::Simulation& s, obs::Counter& c) -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await s.delay(kSecond);
+      c.add(10);
+    }
+  }(simulation, work));
+  pump.runTo(5 * kSecond);
+  pump.finish();
+  const obs::MetricsReport report = pump.buildReport(0, 5 * kSecond);
+  EXPECT_EQ(report.counterTotal("work.done"), 50u);
+  EXPECT_EQ(report.counterDelta("work.done", kSecond, 3 * kSecond), 20u);
+}
+
+// ------------------------------------------------- observation-only runs
+
+core::ExperimentParams tinyParams(core::App app) {
+  core::ExperimentParams p;
+  p.app = app;
+  p.mix = 1;
+  p.clients = 25;
+  p.rampUp = 5 * kSecond;
+  p.measure = 20 * kSecond;
+  p.rampDown = 2 * kSecond;
+  p.bookstoreScale = 0.02;
+  p.auctionHistoryScale = 0.01;
+  p.bbsHistoryScale = 0.01;
+  return p;
+}
+
+/// Bit-exact equality across every simulated (non-observational) field the
+/// benches print — same contract as determinism_test's expectIdentical.
+void expectIdentical(const core::ExperimentResult& a, const core::ExperimentResult& b) {
+  EXPECT_EQ(a.throughputIpm, b.throughputIpm);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.meanResponseSeconds, b.meanResponseSeconds);
+  EXPECT_EQ(a.p90ResponseSeconds, b.p90ResponseSeconds);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    EXPECT_EQ(a.usage[i].name, b.usage[i].name);
+    EXPECT_EQ(a.usage[i].cpuUtilization, b.usage[i].cpuUtilization);
+    EXPECT_EQ(a.usage[i].nicMbps, b.usage[i].nicMbps);
+  }
+  EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
+  EXPECT_EQ(a.lockWaitSeconds, b.lockWaitSeconds);
+  EXPECT_EQ(a.lockManagerWaitSeconds, b.lockManagerWaitSeconds);
+  EXPECT_EQ(a.webErrors, b.webErrors);
+}
+
+TEST(MetricsObservationOnlyTest, Fig05ConfigMetricsOnIsByteIdenticalToOff) {
+  auto p = tinyParams(core::App::Bookstore);
+  p.config = core::Configuration::WsServletDb;  // a fig05 LOCK TABLES curve
+  const auto off = core::runExperiment(p);
+  p.metrics.enabled = true;
+  const auto on = core::runExperiment(p);
+  expectIdentical(off, on);
+  EXPECT_EQ(off.metrics, nullptr);
+  if (obs::kEnabled) {
+    ASSERT_NE(on.metrics, nullptr);
+    EXPECT_FALSE(on.metrics->times.empty());
+  } else {
+    EXPECT_EQ(on.metrics, nullptr);  // -DMWSIM_METRICS=OFF collects nothing
+  }
+}
+
+TEST(MetricsObservationOnlyTest, Fig11ConfigMetricsOnIsByteIdenticalToOff) {
+  auto p = tinyParams(core::App::Auction);
+  p.config = core::Configuration::WsPhpDb;  // a fig11 curve
+  const auto off = core::runExperiment(p);
+  p.metrics.enabled = true;
+  const auto on = core::runExperiment(p);
+  expectIdentical(off, on);
+}
+
+TEST(MetricsObservationOnlyTest, ParallelSweepMetricsMatchSequential) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  auto base = tinyParams(core::App::Auction);
+  base.metrics.enabled = true;
+  const std::vector<core::Configuration> configs{core::Configuration::WsPhpDb,
+                                                 core::Configuration::WsServletDb};
+  const std::vector<int> clients{15, 30};
+  core::SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = core::sweepGrid(base, configs, clients, core::SweepOptions{});
+  const auto b = core::sweepGrid(base, configs, clients, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].size(), b[c].size());
+    for (std::size_t i = 0; i < a[c].size(); ++i) {
+      expectIdentical(a[c][i], b[c][i]);
+      ASSERT_NE(a[c][i].metrics, nullptr);
+      ASSERT_NE(b[c][i].metrics, nullptr);
+      // The whole serialized report — series, verdict, cache hit/miss
+      // counters — must be jobs-invariant, byte for byte.
+      EXPECT_EQ(obs::metricsJson(*a[c][i].metrics), obs::metricsJson(*b[c][i].metrics));
+    }
+  }
+}
+
+// ------------------------------------------------------------ Little's law
+
+TEST(MetricsAnalyzerTest, LittlesLawHoldsOnSteadyClosedLoopRun) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  auto p = tinyParams(core::App::Auction);
+  p.config = core::Configuration::WsPhpDb;
+  p.measure = 30 * kSecond;
+  p.metrics.enabled = true;
+  const auto result = core::runExperiment(p);
+  ASSERT_NE(result.metrics, nullptr);
+  const auto& little = result.metrics->verdict.little;
+  ASSERT_FALSE(little.empty());
+  bool checked = false;
+  for (const auto& r : little) {
+    // Only resources with a meaningful sample: sparse servers see too few
+    // completions for the window edges to wash out.
+    if (r.lambda * 30.0 < 500.0) continue;
+    checked = true;
+    EXPECT_LT(r.relError, 0.05)
+        << r.name << ": L=" << r.L << " lambda=" << r.lambda << " W=" << r.W;
+  }
+  EXPECT_TRUE(checked) << "no resource saw enough completions to check";
+}
+
+// ---------------------------------------------------------------- verdicts
+
+TEST(MetricsAnalyzerTest, FailoverVerdictFlipsToSurvivorWebCpu) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  // Two web replicas, crash the second one mid-measurement: during the
+  // blackout all traffic lands on the surviving "WebServer", whose CPU
+  // becomes the window's bottleneck (the auction site is generator-bound).
+  // The client count offers ~1.3x one web machine's capacity, so the pair
+  // is comfortable (~65% each) until the crash pegs the survivor.
+  core::ExperimentParams p = tinyParams(core::App::Auction);
+  p.config = core::Configuration::WsPhpDb;
+  p.clients = 1400;
+  p.rampUp = 10 * kSecond;
+  p.measure = 40 * kSecond;
+  p.metrics.enabled = true;
+  core::Topology topo = core::canonicalTopology(core::Configuration::WsPhpDb);
+  topo.web.replicas = 2;
+  p.topology = topo;
+  const double crashSec = 20.0;
+  const double recoverSec = 36.0;
+  p.scenario.events = {
+      scenario::replicaCrash(sim::fromSeconds(crashSec), scenario::Tier::Web, 1),
+      scenario::replicaRecover(sim::fromSeconds(recoverSec), scenario::Tier::Web, 1),
+  };
+  p.scenario.requestRetries = 2;
+  p.seed = core::pointSeed(p.seed, p.app, p.mix, p.config, p.clients,
+                           p.scenario.seedTag());
+  const auto result = core::runExperiment(p);
+  ASSERT_NE(result.metrics, nullptr);
+  const obs::Verdict during =
+      obs::analyze(*result.metrics, nullptr, sim::fromSeconds(crashSec),
+                   sim::fromSeconds(recoverSec));
+  EXPECT_EQ(during.resource, "WebServer/cpu")
+      << "crash window: " << during.oneLine();
+  EXPECT_TRUE(during.saturated) << during.oneLine();
+  // Before the crash the two replicas split the load evenly; neither web
+  // CPU can be as hot as the survivor is during the blackout.
+  const obs::Verdict before =
+      obs::analyze(*result.metrics, nullptr, 0, sim::fromSeconds(crashSec));
+  const auto* survivorSeries = result.metrics->findUtilization("WebServer/cpu");
+  ASSERT_NE(survivorSeries, nullptr);
+  EXPECT_LT(result.metrics->meanUtilization(*survivorSeries, 0,
+                                            sim::fromSeconds(crashSec)),
+            during.utilization);
+  (void)before;
+}
+
+TEST(MetricsAnalyzerTest, FlashCrowdShedNoteExplainsPlateau) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  // Open-loop arrivals far past capacity with a tight admission cap: the
+  // verdict's note must attribute the completed-throughput plateau to
+  // admission shedding.
+  core::ExperimentParams p = tinyParams(core::App::Auction);
+  p.config = core::Configuration::WsPhpDb;
+  p.clients = 0;
+  p.measure = 30 * kSecond;
+  p.metrics.enabled = true;
+  p.scenario.mode = scenario::ArrivalMode::OpenLoop;
+  p.scenario.arrivals = scenario::RateSchedule::constant(30.0);
+  p.scenario.maxInFlightSessions = 20;
+  p.seed = core::pointSeed(p.seed, p.app, p.mix, p.config, p.clients,
+                           p.scenario.seedTag());
+  const auto result = core::runExperiment(p);
+  ASSERT_NE(result.metrics, nullptr);
+  const obs::Verdict& v = result.metrics->verdict;
+  EXPECT_NE(v.note.find("admission shed"), std::string::npos) << v.oneLine();
+  EXPECT_GT(result.metrics->counterTotal("wl.shed"), 0u);
+}
+
+TEST(MetricsAnalyzerTest, CounterTracksMergeIntoChromeTrace) {
+  if (!obs::kEnabled || !trace::kEnabled) GTEST_SKIP() << "layer compiled out";
+  auto p = tinyParams(core::App::Bookstore);
+  p.config = core::Configuration::WsServletDbSync;
+  p.metrics.enabled = true;
+  p.trace.enabled = true;
+  const auto result = core::runExperiment(p);
+  ASSERT_NE(result.trace, nullptr);
+  ASSERT_NE(result.metrics, nullptr);
+  const std::string extra = obs::counterTrackEvents(*result.metrics);
+  EXPECT_NE(extra.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(extra.find("util:Database/cpu"), std::string::npos);
+  const std::string json = trace::chromeTraceJson(*result.trace, extra);
+  // The merged stream carries both span events and counter tracks, and the
+  // fragment lands inside the traceEvents array (valid JSON bracketing).
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(json.find("]}\n", json.find("util:")), json.size() - 3);
+}
+
+TEST(MetricsAnalyzerTest, MetricsJsonCarriesVerdictAndSeries) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  auto p = tinyParams(core::App::Auction);
+  p.config = core::Configuration::WsPhpDb;
+  p.metrics.enabled = true;
+  const auto result = core::runExperiment(p);
+  ASSERT_NE(result.metrics, nullptr);
+  const std::string json = obs::metricsJson(*result.metrics);
+  EXPECT_NE(json.find("\"verdict\""), std::string::npos);
+  EXPECT_NE(json.find("\"one_line\": \"bottleneck="), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  EXPECT_NE(json.find("WebServer/cpu"), std::string::npos);
+  EXPECT_NE(json.find("\"little\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwsim

@@ -38,6 +38,34 @@ TEST(HistogramTest, PercentilesAreOrdered) {
   EXPECT_NEAR(p90, 0.9, 0.09);
 }
 
+TEST(HistogramTest, PercentileZeroIsRecordedMin) {
+  stats::Histogram h;
+  h.record(0.250);
+  h.record(0.500);
+  h.record(0.750);
+  EXPECT_NEAR(h.percentile(0), 0.250, 1e-12);
+  EXPECT_NEAR(h.percentile(-5), 0.250, 1e-12);  // out-of-range clamps too
+}
+
+TEST(HistogramTest, PercentileClampedToRecordedRange) {
+  // The raw upper bound of the last occupied bucket can exceed the largest
+  // recorded value by up to the bucket width (~4.6%); the estimate must
+  // never leave [min, max].
+  stats::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1.0);
+  EXPECT_NEAR(h.percentile(100), 1.0, 1e-12);
+  EXPECT_NEAR(h.percentile(99), 1.0, 1e-12);
+  EXPECT_NEAR(h.percentile(50), 1.0, 1e-12);
+  // A two-point distribution: every percentile stays within the range.
+  stats::Histogram h2;
+  h2.record(0.010);
+  h2.record(0.020);
+  for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_GE(h2.percentile(p), 0.010);
+    EXPECT_LE(h2.percentile(p), 0.020);
+  }
+}
+
 TEST(HistogramTest, EmptyHistogramIsZero) {
   stats::Histogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -232,6 +260,29 @@ TEST(SamplerTest, TracksUtilizationOverTime) {
   EXPECT_NEAR(series[0].cpuUtilization, 0.0, 1e-9);   // [0,1): idle
   EXPECT_NEAR(series[3].cpuUtilization, 1.0, 1e-6);   // [3,4): busy
   EXPECT_NEAR(series[6].cpuUtilization, 0.0, 1e-9);   // [6,7): idle again
+  simulation.shutdown();
+}
+
+TEST(SamplerTest, FlushRecordsFinalPartialInterval) {
+  sim::Simulation simulation;
+  net::Machine m(simulation, "m");
+  stats::Sampler sampler(simulation, kSecond);
+  sampler.addMachine(&m);
+  sampler.start();
+  // Busy for the whole run; stop mid-period at t = 2.5 s. The loop has
+  // fired twice (t=1, t=2); flush() must record the [2, 2.5) tail.
+  simulation.spawn([](net::Machine& m) -> sim::Task<> {
+    co_await m.compute(10 * kSecond);
+  }(m));
+  simulation.runUntil(2 * kSecond + kSecond / 2);
+  sampler.flush();
+  const auto& series = sampler.series(0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[2].time, 2 * kSecond + kSecond / 2);
+  EXPECT_NEAR(series[2].cpuUtilization, 1.0, 1e-6);  // scaled by 0.5 s, not 1 s
+  // Flushing again without time passing records nothing.
+  sampler.flush();
+  EXPECT_EQ(series.size(), 3u);
   simulation.shutdown();
 }
 
